@@ -1,0 +1,266 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (Guo et al., SIGMOD 2003). Each benchmark emits, via
+// b.ReportMetric, the series the corresponding figure plots (simulated
+// cold-disk milliseconds and page reads), at a miniature corpus scale so
+// `go test -bench=.` stays fast; cmd/xrank-bench runs the same experiments
+// at full scale and prints the paper-style tables (see EXPERIMENTS.md).
+package xrank_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"xrank"
+	"xrank/internal/bench"
+	"xrank/internal/datagen/dblp"
+	"xrank/internal/datagen/xmark"
+	"xrank/internal/elemrank"
+	"xrank/internal/index"
+	"xrank/internal/xmldoc"
+)
+
+// TestMain removes the shared benchmark fixtures after the run.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if fixPerf != nil {
+		fixPerf.Close()
+	}
+	if fixDBLP != nil {
+		fixDBLP.Close()
+	}
+	if fixDir != "" {
+		os.RemoveAll(fixDir)
+	}
+	os.Exit(code)
+}
+
+// Lazily built shared fixtures (building corpora per-benchmark would drown
+// the measurements).
+var (
+	fixOnce sync.Once
+	fixDir  string
+	fixPerf *xrank.Engine // long-list performance corpus
+	fixDBLP *xrank.Engine
+	fixErr  error
+
+	graphOnce  sync.Once
+	graphDBLP  *elemrank.Graph
+	graphXMark *elemrank.Graph
+	graphErr   error
+)
+
+func perfEngines(b *testing.B) (*xrank.Engine, *xrank.Engine) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixDir, fixErr = os.MkdirTemp("", "xrank-benchfix-*")
+		if fixErr != nil {
+			return
+		}
+		fixPerf, _, fixErr = bench.BuildPerfEngine(fixDir+"/perf", 24000, 42)
+		if fixErr != nil {
+			return
+		}
+		fixDBLP, _, fixErr = bench.BuildEngine(bench.CorpusSpec{Name: "dblp", Scale: 0.3, Seed: 42}, fixDir+"/dblp")
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixPerf, fixDBLP
+}
+
+func graphs(b *testing.B) (*elemrank.Graph, *elemrank.Graph) {
+	b.Helper()
+	graphOnce.Do(func() {
+		build := func(docs map[string]string) (*elemrank.Graph, error) {
+			c := xmldoc.NewCollection()
+			names := make([]string, 0, len(docs))
+			for n := range docs {
+				names = append(names, n)
+			}
+			// Deterministic insertion order.
+			for i := range names {
+				for j := i + 1; j < len(names); j++ {
+					if names[j] < names[i] {
+						names[i], names[j] = names[j], names[i]
+					}
+				}
+			}
+			for _, n := range names {
+				if _, err := c.AddXML(n, strings.NewReader(docs[n]), nil); err != nil {
+					return nil, err
+				}
+			}
+			g, _ := elemrank.BuildGraph(c)
+			return g, nil
+		}
+		dd := map[string]string{}
+		for _, d := range dblp.Generate(dblp.Params{Seed: 1, Docs: 10, PapersPerDoc: 80}) {
+			dd[d.Name] = d.XML
+		}
+		graphDBLP, graphErr = build(dd)
+		if graphErr != nil {
+			return
+		}
+		graphXMark, graphErr = build(map[string]string{
+			"xmark": xmark.Generate(xmark.Params{Seed: 1, Items: 500, People: 300, OpenAuctions: 250, ClosedAuctions: 150}),
+		})
+	})
+	if graphErr != nil {
+		b.Fatal(graphErr)
+	}
+	return graphDBLP, graphXMark
+}
+
+// BenchmarkElemRank regenerates E1 (Section 3.2): the offline ElemRank
+// power iteration on both dataset shapes.
+func BenchmarkElemRank(b *testing.B) {
+	gd, gx := graphs(b)
+	for _, c := range []struct {
+		name string
+		g    *elemrank.Graph
+	}{{"DBLP", gd}, {"XMark", gx}} {
+		b.Run(c.name, func(b *testing.B) {
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := elemrank.Compute(c.g, elemrank.DefaultParams())
+				if err != nil || !res.Converged {
+					b.Fatalf("compute: %v converged=%v", err, res.Converged)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+			b.ReportMetric(float64(c.g.N), "elements")
+		})
+	}
+}
+
+// BenchmarkIndexBuild regenerates E2 (Table 1): building all five index
+// variants, reporting the space shape as bytes-per-variant metrics.
+func BenchmarkIndexBuild(b *testing.B) {
+	docs := dblp.Generate(dblp.Params{Seed: 1, Docs: 6, PapersPerDoc: 60})
+	c := xmldoc.NewCollection()
+	for _, d := range docs {
+		if _, err := c.AddXML(d.Name, strings.NewReader(d.XML), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, err := elemrank.Compute(g, elemrank.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var stats *index.BuildStats
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		stats, err = index.Build(c, res.Scores, dir, index.BuildOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.NaiveIDList), "naiveID-bytes")
+	b.ReportMetric(float64(stats.DILList), "dil-bytes")
+	b.ReportMetric(float64(stats.RDILIndex), "rdil-index-bytes")
+	b.ReportMetric(float64(stats.HDILIndex), "hdil-index-bytes")
+}
+
+// benchQueries measures one algorithm on one query set, reporting the
+// figure's series values.
+func benchQueries(b *testing.B, e *xrank.Engine, algo xrank.Algorithm, queries [][]string, topM int) {
+	b.Helper()
+	var m bench.Measurement
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = bench.MeasureQueries(e, algo, queries, topM)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.SimTime.Microseconds())/1000, "simulated-ms")
+	b.ReportMetric(float64(m.Reads), "page-reads")
+}
+
+// BenchmarkQueryHighCorr regenerates E3 (Figure 10): query cost by
+// algorithm and keyword count under high keyword correlation.
+func BenchmarkQueryHighCorr(b *testing.B) {
+	perf, _ := perfEngines(b)
+	for _, algo := range []xrank.Algorithm{
+		xrank.AlgoNaiveID, xrank.AlgoNaiveRank, xrank.AlgoDIL, xrank.AlgoRDIL, xrank.AlgoHDIL,
+	} {
+		for k := 1; k <= 4; k++ {
+			b.Run(fmt.Sprintf("%s/k=%d", algo, k), func(b *testing.B) {
+				benchQueries(b, perf, algo, bench.HighCorrQueries(k, 3), 10)
+			})
+		}
+	}
+}
+
+// BenchmarkQueryLowCorr regenerates E4 (Figure 11): the same sweep under
+// low keyword correlation (the paper plots DIL, RDIL and HDIL).
+func BenchmarkQueryLowCorr(b *testing.B) {
+	perf, _ := perfEngines(b)
+	for _, algo := range []xrank.Algorithm{xrank.AlgoDIL, xrank.AlgoRDIL, xrank.AlgoHDIL} {
+		for k := 1; k <= 4; k++ {
+			b.Run(fmt.Sprintf("%s/k=%d", algo, k), func(b *testing.B) {
+				benchQueries(b, perf, algo, bench.LowCorrQueries(k, 3), 10)
+			})
+		}
+	}
+}
+
+// BenchmarkQueryTopM regenerates E5 (Section 5.4 / [18]): query cost vs
+// the desired number of results m.
+func BenchmarkQueryTopM(b *testing.B) {
+	perf, _ := perfEngines(b)
+	for _, algo := range []xrank.Algorithm{xrank.AlgoDIL, xrank.AlgoRDIL, xrank.AlgoHDIL} {
+		for _, m := range []int{5, 10, 20, 40, 80} {
+			b.Run(fmt.Sprintf("%s/m=%d", algo, m), func(b *testing.B) {
+				benchQueries(b, perf, algo, bench.HighCorrQueries(2, 3), m)
+			})
+		}
+	}
+}
+
+// BenchmarkQualityQueries regenerates E6 (Section 5.2): the anecdote
+// queries as end-to-end searches (their cost, not their quality — quality
+// verdicts are asserted in the bench package tests and printed by
+// cmd/xrank-bench).
+func BenchmarkQualityQueries(b *testing.B) {
+	_, dblpEng := perfEngines(b)
+	for _, q := range []string{"gray", "author gray"} {
+		b.Run(strings.ReplaceAll(q, " ", "_"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dblpEng.SearchTop(q, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVariants regenerates E7a: the cost of each ElemRank
+// formula refinement from Section 3.1.
+func BenchmarkAblationVariants(b *testing.B) {
+	gd, _ := graphs(b)
+	for _, v := range []elemrank.Variant{
+		elemrank.VariantFinal, elemrank.VariantPageRank,
+		elemrank.VariantBidirectional, elemrank.VariantDiscriminated,
+	} {
+		b.Run(v.String(), func(b *testing.B) {
+			p := elemrank.DefaultParams()
+			p.Variant = v
+			var iters int
+			for i := 0; i < b.N; i++ {
+				res, err := elemrank.Compute(gd, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+			}
+			b.ReportMetric(float64(iters), "iterations")
+		})
+	}
+}

@@ -1,0 +1,182 @@
+// Command xrank-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index):
+//
+//	xrank-bench -exp all                       # everything
+//	xrank-bench -exp space                     # Table 1
+//	xrank-bench -exp fig10,fig11 -perfblocks 400000
+//	xrank-bench -exp crossover -sweep 50000,200000,800000
+//
+// Experiments: elemrank (E1), space (E2 + E2b), fig10 (E3), fig11 (E4),
+// topm (E5), quality (E6), ablation (E7a-d), crossover (E8), warm (E9).
+//
+// E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
+// run on the long-list performance corpus (see internal/datagen/perfgen),
+// and E8 sweeps that corpus's size to expose the DIL/RDIL crossover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xrank"
+	"xrank/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "comma-separated experiments: elemrank,space,fig10,fig11,topm,quality,ablation,crossover or 'all'")
+		scale      = flag.Float64("scale", 1.0, "DBLP/XMark corpus scale factor")
+		perfBlocks = flag.Int("perfblocks", 200000, "performance-corpus size (records) for fig10/fig11/topm")
+		sweep      = flag.String("sweep", "25000,100000,400000", "comma-separated block counts for the crossover sweep")
+		seed       = flag.Int64("seed", 42, "generation seed")
+		topM       = flag.Int("m", 10, "desired number of results per query")
+		dir        = flag.String("dir", "", "workspace directory (default: a temp dir, removed afterwards)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm"} {
+			want[e] = true
+		}
+	}
+
+	ws := *dir
+	if ws == "" {
+		td, err := os.MkdirTemp("", "xrank-bench-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(td)
+		ws = td
+	}
+
+	needDatasets := want["elemrank"] || want["space"] || want["quality"] || want["ablation"]
+	needPerf := want["fig10"] || want["fig11"] || want["topm"] || want["warm"]
+
+	var es *bench.Engines
+	if needDatasets {
+		fmt.Printf("building DBLP/XMark corpora (scale %.2f, seed %d)...\n", *scale, *seed)
+		t0 := time.Now()
+		var err error
+		es, err = bench.BuildAll(ws, *scale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		defer es.Close()
+		fmt.Printf("built: DBLP-shape %d docs / %d elements, XMark-shape %d elements (%.1fs)\n",
+			es.DBLPInfo.NumDocs, es.DBLPInfo.NumElements, es.XMarkInfo.NumElements, time.Since(t0).Seconds())
+	}
+
+	var perf *xrank.Engine
+	if needPerf {
+		fmt.Printf("building performance corpus (%d blocks)...\n", *perfBlocks)
+		t0 := time.Now()
+		var info *xrank.BuildInfo
+		var err error
+		perf, info, err = bench.BuildPerfEngine(ws+"/perf", *perfBlocks, *seed)
+		if err != nil {
+			fail(err)
+		}
+		defer perf.Close()
+		fmt.Printf("built: perf corpus %d docs / %d elements, DIL %0.1fMB (%.1fs)\n",
+			info.NumDocs, info.NumElements, float64(info.Sizes.DILList)/(1<<20), time.Since(t0).Seconds())
+	}
+
+	if want["elemrank"] {
+		bench.E1ElemRank(es).Render(os.Stdout)
+	}
+	if want["space"] {
+		bench.E2Space(es).Render(os.Stdout)
+		t, err := bench.E2bCompression(ws, *scale, *seed, es)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["fig10"] {
+		t, err := bench.E3Fig10(perf, "perf corpus", *topM)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["fig11"] {
+		t, err := bench.E4Fig11(perf, "perf corpus", *topM)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["topm"] {
+		t, err := bench.E5TopM(perf, "perf corpus")
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["quality"] {
+		ts, err := bench.E6Quality(es)
+		if err != nil {
+			fail(err)
+		}
+		for _, t := range ts {
+			t.Render(os.Stdout)
+		}
+	}
+	if want["ablation"] {
+		t, err := bench.E7AblationVariants(*seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		t, err = bench.E7AblationDecay(es.XMark)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		t, err = bench.E7AblationProximity(es.DBLP)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		t, err = bench.E7AblationDs(*seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["warm"] {
+		t, err := bench.E9WarmCache(perf)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+	if want["crossover"] {
+		var blocks []int
+		for _, s := range strings.Split(*sweep, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+				fail(fmt.Errorf("bad -sweep value %q: %v", s, err))
+			}
+			blocks = append(blocks, n)
+		}
+		t, err := bench.E8Crossover(ws, blocks, *seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "xrank-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,179 @@
+// Command xrank indexes and searches XML/HTML document collections with
+// the XRANK ranked keyword search engine.
+//
+//	xrank index  -dir ./idx docs/*.xml pages/*.html
+//	xrank search -dir ./idx -m 10 -algo hdil "xql language"
+//	xrank serve  -dir ./idx -addr :8080
+//
+// The index directory is self-contained (inverted lists, B+-trees,
+// ElemRanks and a document store), so search/serve reopen it without the
+// original files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xrank"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "index":
+		err = cmdIndex(os.Args[2:])
+	case "search":
+		err = cmdSearch(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "xrank: unknown command %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xrank:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  xrank index  -dir DIR [flags] FILE...   build an index over XML/HTML files
+  xrank search -dir DIR [flags] QUERY     run a ranked keyword query
+  xrank serve  -dir DIR [-addr :8080]     serve a search API + mini UI
+`)
+	os.Exit(2)
+}
+
+func cmdIndex(args []string) error {
+	fs := flag.NewFlagSet("index", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory (required)")
+	decay := fs.Float64("decay", 0.75, "per-level rank decay in (0,1]")
+	skipNaive := fs.Bool("skip-naive", true, "omit the naive baseline indexes")
+	compress := fs.Bool("compress", false, "prefix-compress Dewey postings")
+	answerTags := fs.String("answer-tags", "", "comma-separated answer-node tags (empty: all elements)")
+	fs.Parse(args)
+	if *dir == "" || fs.NArg() == 0 {
+		return fmt.Errorf("index: -dir and at least one input file are required")
+	}
+	cfg := &xrank.Config{IndexDir: *dir, Decay: *decay, SkipNaive: *skipNaive, CompressDewey: *compress}
+	if *answerTags != "" {
+		cfg.AnswerTags = splitComma(*answerTags)
+	}
+	e := xrank.NewEngine(cfg)
+	for _, path := range fs.Args() {
+		if err := e.AddFile(path); err != nil {
+			return err
+		}
+	}
+	info, err := e.Build()
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	fmt.Printf("indexed %d documents, %d elements, %d terms\n", info.NumDocs, info.NumElements, info.Terms)
+	fmt.Printf("ElemRank: %d iterations in %v (links: %d resolved, %d dangling)\n",
+		info.ElemRankIterations, info.ElemRankTime.Round(1e6), info.ResolvedLinks, info.DanglingLinks)
+	fmt.Printf("index size: DIL %.2fMB, RDIL %.2fMB+%.2fMB trees, HDIL +%.2fMB prefix +%.2fMB trees\n",
+		mb(info.Sizes.DILList), mb(info.Sizes.RDILList), mb(info.Sizes.RDILIndex),
+		mb(info.Sizes.HDILRank), mb(info.Sizes.HDILIndex))
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory (required)")
+	m := fs.Int("m", 10, "number of results")
+	algo := fs.String("algo", "hdil", "algorithm: dil, rdil, hdil, naiveid, naiverank")
+	stats := fs.Bool("stats", false, "print query cost statistics")
+	disjunctive := fs.Bool("or", false, "disjunctive semantics (match any keyword)")
+	tfidf := fs.Bool("tfidf", false, "tf-idf scoring instead of ElemRank (dil/naiveid only)")
+	fragments := fs.Bool("frag", false, "print each result's XML fragment")
+	fs.Parse(args)
+	if *dir == "" || fs.NArg() == 0 {
+		return fmt.Errorf("search: -dir and a query are required")
+	}
+	a, err := parseAlgo(*algo)
+	if err != nil {
+		return err
+	}
+	e, err := xrank.OpenEngine(*dir)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	query := ""
+	for i, w := range fs.Args() {
+		if i > 0 {
+			query += " "
+		}
+		query += w
+	}
+	results, qs, err := e.SearchDetailed(query, xrank.SearchOptions{
+		TopM:        *m,
+		Algorithm:   a,
+		Disjunctive: *disjunctive,
+		TFIDF:       *tfidf,
+	})
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	for i, r := range results {
+		fmt.Printf("%2d. [%.3g] <%s>  %s (%s)\n    %s\n", i+1, r.Score, r.Tag, r.Path, r.Doc, r.Snippet)
+		if *fragments {
+			frag, err := e.Fragment(r.DeweyID, 3)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("    %s\n", frag)
+		}
+	}
+	if *stats {
+		fmt.Printf("\n%s: %v wall, %d page reads (%d seq, %d random), %v simulated cold-disk\n",
+			qs.Algorithm, qs.WallTime.Round(1e3), qs.IO.Reads, qs.IO.SeqReads, qs.IO.RandReads, qs.SimulatedTime.Round(1e5))
+	}
+	return nil
+}
+
+func parseAlgo(s string) (xrank.Algorithm, error) {
+	switch s {
+	case "hdil":
+		return xrank.AlgoHDIL, nil
+	case "dil":
+		return xrank.AlgoDIL, nil
+	case "rdil":
+		return xrank.AlgoRDIL, nil
+	case "naiveid":
+		return xrank.AlgoNaiveID, nil
+	case "naiverank":
+		return xrank.AlgoNaiveRank, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html/template"
+	"log"
+	"net/http"
+	"strconv"
+
+	"xrank"
+)
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory (required)")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("serve: -dir is required")
+	}
+	e, err := xrank.OpenEngine(*dir)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	log.Printf("xrank: serving on %s (index %s)", *addr, *dir)
+	return http.ListenAndServe(*addr, newMux(e))
+}
+
+// newMux builds the HTTP API: /api/search, /api/ancestors, and a minimal
+// HTML search page at /.
+func newMux(e *xrank.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+			return
+		}
+		m := 10
+		if ms := r.URL.Query().Get("m"); ms != "" {
+			v, err := strconv.Atoi(ms)
+			if err != nil || v < 1 || v > 1000 {
+				http.Error(w, `bad "m" parameter`, http.StatusBadRequest)
+				return
+			}
+			m = v
+		}
+		algo := xrank.AlgoHDIL
+		if as := r.URL.Query().Get("algo"); as != "" {
+			a, err := parseAlgo(as)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			algo = a
+		}
+		results, stats, err := e.SearchDetailed(q, xrank.SearchOptions{TopM: m, Algorithm: algo})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"query":     q,
+			"algorithm": stats.Algorithm.String(),
+			"wall_us":   stats.WallTime.Microseconds(),
+			"results":   results,
+		})
+	})
+	mux.HandleFunc("/api/ancestors", func(w http.ResponseWriter, r *http.Request) {
+		id := r.URL.Query().Get("id")
+		anc, err := e.Ancestors(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(anc)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query().Get("q")
+		data := struct {
+			Query   string
+			Results []xrank.SearchResult
+			Err     string
+		}{Query: q}
+		if q != "" {
+			rs, err := e.Search(q)
+			if err != nil {
+				data.Err = err.Error()
+			} else {
+				data.Results = rs
+			}
+		}
+		if err := page.Execute(w, data); err != nil {
+			log.Printf("render: %v", err)
+		}
+	})
+	return mux
+}
+
+var page = template.Must(template.New("page").Parse(`<!doctype html>
+<html><head><title>XRANK</title>
+<style>
+ body { font-family: sans-serif; max-width: 48rem; margin: 2rem auto; }
+ .path { color: #666; font-size: 0.85rem; }
+ .score { color: #295; }
+ .snippet { margin: 0.2rem 0 1rem; }
+</style></head>
+<body>
+<h1>XRANK — ranked XML keyword search</h1>
+<form action="/" method="get"><input name="q" size="50" value="{{.Query}}" autofocus>
+<button type="submit">Search</button></form>
+{{if .Err}}<p style="color:#a00">{{.Err}}</p>{{end}}
+{{range .Results}}
+  <div>
+   <div><span class="score">{{printf "%.3g" .Score}}</span> &lt;{{.Tag}}&gt; in <b>{{.Doc}}</b></div>
+   <div class="path">{{.Path}} (dewey {{.DeweyID}})</div>
+   <div class="snippet">{{.Snippet}}</div>
+  </div>
+{{end}}
+</body></html>`))

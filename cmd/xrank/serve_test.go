@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xrank"
+)
+
+func newTestEngine(t *testing.T) *xrank.Engine {
+	t.Helper()
+	e := xrank.NewEngine(nil)
+	doc := `<workshop><title>xml search systems</title>
+	 <paper id="1"><title>ranked xml keyword search</title><body>the xql language and more</body></paper>
+	 <paper id="2"><title>another xml paper</title><cite ref="1">see</cite></paper>
+	</workshop>`
+	if err := e.AddXML("ws", strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestServeSearchAPI(t *testing.T) {
+	mux := newMux(newTestEngine(t))
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xql+language&m=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Query     string
+		Algorithm string
+		Results   []xrank.SearchResult
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query != "xql language" || resp.Algorithm != "HDIL" || len(resp.Results) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if resp.Results[0].Tag != "body" {
+		t.Errorf("top result tag = %q (want the most specific element)", resp.Results[0].Tag)
+	}
+
+	// Algorithm selection and validation.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xml&algo=dil", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"DIL"`) {
+		t.Errorf("algo=dil: %d %s", rec.Code, rec.Body)
+	}
+	for _, bad := range []string{
+		"/api/search",                // missing q
+		"/api/search?q=xml&m=0",      // bad m
+		"/api/search?q=xml&m=x",      // bad m
+		"/api/search?q=xml&algo=wat", // bad algo
+	} {
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+func TestServeAncestorsAPI(t *testing.T) {
+	e := newTestEngine(t)
+	mux := newMux(e)
+	rs, err := e.Search("xql language")
+	if err != nil || len(rs) == 0 {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ancestors?id="+rs[0].DeweyID, nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var anc []xrank.SearchResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &anc); err != nil {
+		t.Fatal(err)
+	}
+	if len(anc) == 0 || anc[len(anc)-1].Tag != "workshop" {
+		t.Errorf("ancestors = %+v", anc)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/ancestors?id=bogus", nil))
+	if rec.Code != 400 {
+		t.Errorf("bogus id: status %d", rec.Code)
+	}
+}
+
+func TestServeHTMLPage(t *testing.T) {
+	mux := newMux(newTestEngine(t))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/?q=xml", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "XRANK") || !strings.Contains(body, "workshop") {
+		t.Errorf("page body missing content:\n%s", body)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown path: %d", rec.Code)
+	}
+}

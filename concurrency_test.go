@@ -1,0 +1,72 @@
+package xrank
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSearches exercises the engine under parallel queries (run
+// with -race): buffer pools pin/unpin concurrently, cursors are
+// independent, and DeleteDoc may interleave with queries.
+func TestConcurrentSearches(t *testing.T) {
+	e := NewEngine(nil)
+	for d := 0; d < 8; d++ {
+		var b strings.Builder
+		b.WriteString("<proc>")
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&b, "<rec><t>shared topic item w%d common words</t></rec>", i%13)
+		}
+		b.WriteString("</proc>")
+		if err := e.AddXML(fmt.Sprintf("doc%d", d), strings.NewReader(b.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	queries := []string{"shared topic", "common words", "item w3", "topic common", "w5"}
+	algos := []Algorithm{AlgoDIL, AlgoRDIL, AlgoHDIL}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(g+i)%len(queries)]
+				a := algos[(g*7+i)%len(algos)]
+				if _, _, err := e.SearchDetailed(q, SearchOptions{TopM: 5, Algorithm: a}); err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v on %q: %w", g, a, q, err)
+					return
+				}
+			}
+		}(g)
+	}
+	// Interleave a tombstone while queries run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e.DeleteDoc("doc7"); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// After the dust settles, doc7 must be gone from results.
+	rs, err := e.SearchTop("shared topic", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Doc == "doc7" {
+			t.Errorf("tombstoned doc7 still in results")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package xrank_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xrank"
+)
+
+// Example indexes a small document collection and runs the paper's worked
+// example query, showing the most-specific-result semantics.
+func Example() {
+	e := xrank.NewEngine(nil)
+	defer e.Close()
+	doc := `<workshop>
+	  <title>XML and IR workshop</title>
+	  <paper id="1">
+	    <title>XQL and Proximal Nodes</title>
+	    <abstract>We consider the recently proposed language</abstract>
+	    <body><section><subsection>the XQL query language up close</subsection></section></body>
+	  </paper>
+	</workshop>`
+	if err := e.AddXML("proceedings", strings.NewReader(doc)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+	results, err := e.Search("xql language")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The <subsection> directly contains both keywords; its section/body
+	// ancestors are suppressed; the <paper> qualifies independently via
+	// its title (XQL) and abstract (language).
+	for _, r := range results {
+		fmt.Printf("<%s> %s\n", r.Tag, r.Path)
+	}
+	// Output:
+	// <subsection> workshop/paper/body/section/subsection
+	// <paper> workshop/paper
+}
+
+// ExampleEngine_SearchDetailed shows algorithm selection and cost
+// statistics.
+func ExampleEngine_SearchDetailed() {
+	e := xrank.NewEngine(nil)
+	defer e.Close()
+	if err := e.AddXML("d", strings.NewReader("<r><a>alpha beta</a><b>alpha</b></r>")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+	results, stats, err := e.SearchDetailed("alpha beta", xrank.SearchOptions{
+		TopM:      5,
+		Algorithm: xrank.AlgoDIL,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats.Algorithm, len(results), results[0].Tag)
+	// Output: DIL 1 a
+}
+
+// ExampleEngine_Search_disjunctive demonstrates the disjunctive semantics
+// extension: elements matching any keyword are returned.
+func ExampleEngine_Search_disjunctive() {
+	e := xrank.NewEngine(nil)
+	defer e.Close()
+	if err := e.AddXML("d", strings.NewReader("<r><a>apples</a><b>oranges</b></r>")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		log.Fatal(err)
+	}
+	conj, _ := e.Search("apples oranges")
+	disj, _, err := e.SearchDetailed("apples oranges", xrank.SearchOptions{Disjunctive: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conjunctive:", len(conj), "disjunctive:", len(disj))
+	// Output: conjunctive: 1 disjunctive: 2
+}

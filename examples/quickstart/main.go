@@ -1,0 +1,83 @@
+// Quickstart: index the paper's Figure 1 workshop document and run the
+// worked example query "XQL language" (Section 2.2), showing the
+// most-specific-result semantics and ancestor navigation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xrank"
+)
+
+const workshop = `<workshop date="28 July 2000">
+  <title>XML and IR a SIGIR 2000 Workshop</title>
+  <editors>David Carmel, Yoelle Maarek, Aya Soffer</editors>
+  <proceedings>
+    <paper id="1">
+      <title>XQL and Proximal Nodes</title>
+      <author>Ricardo Baeza-Yates</author>
+      <author>Gonzalo Navarro</author>
+      <abstract>We consider the recently proposed language</abstract>
+      <body>
+        <section name="Introduction">Searching on structured text is more important</section>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">At first sight the XQL query language looks</subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+      </body>
+    </paper>
+    <paper id="2">
+      <title>Querying XML in Xyleme</title>
+    </paper>
+  </proceedings>
+</workshop>`
+
+func main() {
+	// 1. Build an engine. A nil config selects the paper's parameters
+	// (d1=0.35, d2=0.25, d3=0.25, decay=0.75, proximity on).
+	e := xrank.NewEngine(nil)
+	if err := e.AddXML("sigir2000", strings.NewReader(workshop)); err != nil {
+		log.Fatal(err)
+	}
+	info, err := e.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer e.Close()
+	fmt.Printf("indexed %d elements, ElemRank converged in %d iterations\n\n",
+		info.NumElements, info.ElemRankIterations)
+
+	// 2. Query. The most specific element containing both keywords — the
+	// <subsection> — is returned; its <section> and <body> ancestors are
+	// suppressed as spurious; the <paper> appears too because its title
+	// and abstract contain independent occurrences.
+	results, err := e.Search("XQL language")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(`results for "XQL language":`)
+	for i, r := range results {
+		fmt.Printf("%d. [%.3g] <%s> %s\n   %q\n", i+1, r.Score, r.Tag, r.Path, r.Snippet)
+	}
+
+	// 3. Navigate up for context (Section 2.2's user interaction).
+	if len(results) > 0 {
+		anc, err := e.Ancestors(results[0].DeweyID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nancestors of the top result (%s):\n", results[0].Path)
+		for _, a := range anc {
+			fmt.Printf("  <%s> %s\n", a.Tag, a.Path)
+		}
+
+		// 4. Render the result as an XML fragment.
+		frag, err := e.Fragment(results[0].DeweyID, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntop result fragment:\n%s\n", frag)
+	}
+}

@@ -1,0 +1,3 @@
+module xrank
+
+go 1.22

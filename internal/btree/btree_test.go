@@ -1,0 +1,413 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"xrank/internal/storage"
+)
+
+type testEnv struct {
+	pf   *storage.PageFile
+	w    *PageWriter
+	pool *storage.BufferPool
+}
+
+func newEnv(t *testing.T) *testEnv {
+	t.Helper()
+	pf, err := storage.CreatePageFile(filepath.Join(t.TempDir(), "tree.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return &testEnv{pf: pf, w: NewPageWriter(pf), pool: storage.NewBufferPool(pf, 64)}
+}
+
+// buildTree constructs a tree over the given sorted keys with value =
+// "v:"+key and returns it opened for reading.
+func buildTree(t *testing.T, env *testEnv, keys [][]byte, targetSize int) *Tree {
+	t.Helper()
+	b := NewBuilder(env.w, targetSize)
+	for _, k := range keys {
+		if err := b.Add(k, append([]byte("v:"), k...)); err != nil {
+			t.Fatalf("Add(%q): %v", k, err)
+		}
+	}
+	root, n, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if n != len(keys) {
+		t.Fatalf("Finish count = %d, want %d", n, len(keys))
+	}
+	if err := env.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return NewTree(env.pool, root)
+}
+
+func sortedKeys(n int, r *rand.Rand) [][]byte {
+	set := make(map[string]bool)
+	for len(set) < n {
+		k := fmt.Sprintf("k%06d", r.Intn(n*10))
+		set[k] = true
+	}
+	keys := make([][]byte, 0, n)
+	for k := range set {
+		keys = append(keys, []byte(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+func collectAll(t *testing.T, tr *Tree) [][]byte {
+	t.Helper()
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for c.Valid() {
+		out = append(out, append([]byte(nil), c.Key()...))
+		wantVal := append([]byte("v:"), c.Key()...)
+		if !bytes.Equal(c.Value(), wantVal) {
+			t.Fatalf("value mismatch for %q: %q", c.Key(), c.Value())
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestSingleLeafTree(t *testing.T) {
+	env := newEnv(t)
+	keys := [][]byte{[]byte("apple"), []byte("banana"), []byte("cherry")}
+	tr := buildTree(t, env, keys, 0)
+	got := collectAll(t, tr)
+	if len(got) != 3 {
+		t.Fatalf("iterated %d entries", len(got))
+	}
+	c, err := tr.Seek([]byte("banana"))
+	if err != nil || !c.Valid() || string(c.Key()) != "banana" {
+		t.Errorf("Seek exact failed: %v %v", c.Valid(), err)
+	}
+	c, _ = tr.Seek([]byte("b"))
+	if !c.Valid() || string(c.Key()) != "banana" {
+		t.Errorf("Seek between: %q", c.Key())
+	}
+	c, _ = tr.Seek([]byte("a"))
+	if !c.Valid() || string(c.Key()) != "apple" {
+		t.Errorf("Seek before all: %q", c.Key())
+	}
+	c, _ = tr.Seek([]byte("zzz"))
+	if c.Valid() {
+		t.Errorf("Seek past end should be invalid")
+	}
+	c, _ = tr.SeekBefore([]byte("banana"))
+	if !c.Valid() || string(c.Key()) != "apple" {
+		t.Errorf("SeekBefore: %v", c.Valid())
+	}
+	c, _ = tr.SeekBefore([]byte("apple"))
+	if c.Valid() {
+		t.Errorf("SeekBefore first key should be invalid")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	env := newEnv(t)
+	b := NewBuilder(env.w, 0)
+	root, n, err := b.Finish()
+	if err != nil || n != 0 || !root.IsNil() {
+		t.Fatalf("empty Finish: %v %d %v", root, n, err)
+	}
+	tr := NewTree(env.pool, root)
+	if c, err := tr.First(); err != nil || c.Valid() {
+		t.Errorf("First on empty tree")
+	}
+	if c, err := tr.Seek([]byte("x")); err != nil || c.Valid() {
+		t.Errorf("Seek on empty tree")
+	}
+	if c, err := tr.SeekBefore([]byte("x")); err != nil || c.Valid() {
+		t.Errorf("SeekBefore on empty tree")
+	}
+}
+
+func TestLargeTreeIterationAndSeek(t *testing.T) {
+	env := newEnv(t)
+	r := rand.New(rand.NewSource(1))
+	keys := sortedKeys(5000, r)
+	// Small node size forces several levels.
+	tr := buildTree(t, env, keys, 256)
+	got := collectAll(t, tr)
+	if len(got) != len(keys) {
+		t.Fatalf("iterated %d, want %d", len(got), len(keys))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], keys[i]) {
+			t.Fatalf("entry %d = %q, want %q", i, got[i], keys[i])
+		}
+	}
+	// Seek every key exactly, and a nonexistent key between each pair.
+	for i, k := range keys {
+		c, err := tr.Seek(k)
+		if err != nil || !c.Valid() || !bytes.Equal(c.Key(), k) {
+			t.Fatalf("Seek(%q): valid=%v key=%q err=%v", k, c.Valid(), c.Key(), err)
+		}
+		mid := append(append([]byte(nil), k...), '!')
+		c, err = tr.Seek(mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i+1 < len(keys) {
+			if !c.Valid() || !bytes.Equal(c.Key(), keys[i+1]) {
+				t.Fatalf("Seek(%q) = %q, want %q", mid, c.Key(), keys[i+1])
+			}
+		} else if c.Valid() {
+			t.Fatalf("Seek past last should be invalid")
+		}
+	}
+}
+
+func TestSeekBeforeMatchesReference(t *testing.T) {
+	env := newEnv(t)
+	r := rand.New(rand.NewSource(2))
+	keys := sortedKeys(2000, r)
+	tr := buildTree(t, env, keys, 200)
+	probe := func(target []byte) {
+		c, err := tr.SeekBefore(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: last key < target.
+		i := sort.Search(len(keys), func(i int) bool { return bytes.Compare(keys[i], target) >= 0 })
+		if i == 0 {
+			if c.Valid() {
+				t.Fatalf("SeekBefore(%q) should be invalid, got %q", target, c.Key())
+			}
+			return
+		}
+		if !c.Valid() || !bytes.Equal(c.Key(), keys[i-1]) {
+			t.Fatalf("SeekBefore(%q) = %q (valid=%v), want %q", target, c.Key(), c.Valid(), keys[i-1])
+		}
+		// And Next from the predecessor must land on the successor.
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if i < len(keys) {
+			if !c.Valid() || !bytes.Equal(c.Key(), keys[i]) {
+				t.Fatalf("Next after SeekBefore(%q) = %q, want %q", target, c.Key(), keys[i])
+			}
+		} else if c.Valid() {
+			t.Fatalf("Next after SeekBefore(%q) should exhaust", target)
+		}
+	}
+	for _, k := range keys {
+		probe(k)
+		probe(append(append([]byte(nil), k...), 0))
+	}
+	probe([]byte("")) // before everything? empty target
+	probe([]byte("zzzzzzzz"))
+}
+
+func TestManySmallTreesSharePages(t *testing.T) {
+	env := newEnv(t)
+	const nTrees = 200
+	roots := make([]Ref, nTrees)
+	for i := 0; i < nTrees; i++ {
+		b := NewBuilder(env.w, 0)
+		for j := 0; j < 3; j++ {
+			k := []byte(fmt.Sprintf("t%03d-k%d", i, j))
+			if err := b.Add(k, []byte("val")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		root, _, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots[i] = root
+	}
+	if err := env.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// 200 trees of ~60 bytes each must share pages: far fewer than one
+	// page per tree (the Section 4.3.1 optimization).
+	if np := env.pf.NumPages(); np > 5 {
+		t.Errorf("%d pages for %d tiny trees; packing broken", np, nTrees)
+	}
+	// Every tree must still be independently readable.
+	for i, root := range roots {
+		tr := NewTree(env.pool, root)
+		c, err := tr.First()
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for c.Valid() {
+			count++
+			c.Next()
+		}
+		if count != 3 {
+			t.Fatalf("tree %d has %d entries", i, count)
+		}
+	}
+}
+
+func TestExternalLeafTree(t *testing.T) {
+	env := newEnv(t)
+	// Simulate 50 inverted-list pages with known first keys.
+	b := NewExternalBuilder(env.w, 128)
+	type leaf struct {
+		key  []byte
+		page storage.PageID
+	}
+	var leaves []leaf
+	for i := 0; i < 50; i++ {
+		l := leaf{key: []byte(fmt.Sprintf("p%04d", i*10)), page: storage.PageID(1000 + i)}
+		leaves = append(leaves, l)
+		if err := b.AddLeafPage(l.key, l.page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, n, err := b.Finish()
+	if err != nil || n != 50 {
+		t.Fatalf("Finish: %d %v", n, err)
+	}
+	if err := env.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree(env.pool, root)
+	probe := func(target string, want storage.PageID) {
+		got, ok, err := tr.FindLeafPage([]byte(target))
+		if err != nil || !ok || got != want {
+			t.Errorf("FindLeafPage(%q) = %d,%v,%v want %d", target, got, ok, err, want)
+		}
+	}
+	probe("p0000", 1000) // exact first
+	probe("a", 1000)     // before all -> first page
+	probe("p0005", 1000) // inside first page's range
+	probe("p0010", 1001) // exact second
+	probe("p0495", 1049) // inside last
+	probe("zzzz", 1049)  // after all -> last page
+	probe("p0123", 1012) // p0120 <= p0123 < p0130
+	// Internal ops must be rejected on external trees.
+	if _, err := tr.Seek([]byte("x")); err == nil {
+		t.Errorf("Seek on external tree should fail")
+	}
+	// And vice versa.
+	it := buildTree(t, env, [][]byte{[]byte("k")}, 0)
+	if _, _, err := it.FindLeafPage([]byte("k")); err == nil {
+		t.Errorf("FindLeafPage on internal tree should fail")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	env := newEnv(t)
+	b := NewBuilder(env.w, 0)
+	if err := b.Add([]byte("b"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte("a"), nil); err == nil {
+		t.Errorf("out-of-order Add should fail")
+	}
+	if err := b.Add([]byte("b"), nil); err == nil {
+		t.Errorf("duplicate Add should fail")
+	}
+	if err := b.Add(nil, nil); err == nil {
+		t.Errorf("empty key should fail")
+	}
+	if err := b.Add([]byte("c"), make([]byte, storage.PageSize)); err == nil {
+		t.Errorf("oversized value should fail")
+	}
+	if err := b.AddLeafPage([]byte("x"), 1); err == nil {
+		t.Errorf("AddLeafPage on internal builder should fail")
+	}
+	if _, _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Finish(); err == nil {
+		t.Errorf("double Finish should fail")
+	}
+	if err := b.Add([]byte("z"), nil); err == nil {
+		t.Errorf("Add after Finish should fail")
+	}
+	eb := NewExternalBuilder(env.w, 0)
+	if err := eb.Add([]byte("x"), nil); err == nil {
+		t.Errorf("Add on external builder should fail")
+	}
+}
+
+func TestPageWriterErrors(t *testing.T) {
+	env := newEnv(t)
+	if _, err := env.w.Write(nil); err == nil {
+		t.Errorf("empty blob should fail")
+	}
+	if _, err := env.w.Write(make([]byte, storage.PageSize+1)); err == nil {
+		t.Errorf("oversized blob should fail")
+	}
+	// A full-page blob is fine.
+	if _, err := env.w.Write(make([]byte, storage.PageSize)); err != nil {
+		t.Errorf("page-sized blob: %v", err)
+	}
+}
+
+func TestRefRoundTrip(t *testing.T) {
+	r := Ref{Page: 123456, Off: 789, Len: 4321}
+	got := DecodeRef(r.AppendTo(nil))
+	if got != r {
+		t.Errorf("ref round trip: %+v != %+v", got, r)
+	}
+	if !NilRef.IsNil() || r.IsNil() {
+		t.Errorf("IsNil wrong")
+	}
+}
+
+func TestQuickSeekMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pf, err := storage.CreatePageFile(filepath.Join(t.TempDir(), fmt.Sprintf("q%d.pages", seed)))
+		if err != nil {
+			return false
+		}
+		defer pf.Close()
+		w := NewPageWriter(pf)
+		n := 1 + r.Intn(300)
+		keys := sortedKeys(n, r)
+		b := NewBuilder(w, 64+r.Intn(400))
+		for _, k := range keys {
+			if b.Add(k, k) != nil {
+				return false
+			}
+		}
+		root, _, err := b.Finish()
+		if err != nil || w.Flush() != nil {
+			return false
+		}
+		tr := NewTree(storage.NewBufferPool(pf, 32), root)
+		for trial := 0; trial < 30; trial++ {
+			target := []byte(fmt.Sprintf("k%06d", r.Intn(n*10)))
+			i := sort.Search(len(keys), func(i int) bool { return bytes.Compare(keys[i], target) >= 0 })
+			c, err := tr.Seek(target)
+			if err != nil {
+				return false
+			}
+			if i == len(keys) {
+				if c.Valid() {
+					return false
+				}
+			} else if !c.Valid() || !bytes.Equal(c.Key(), keys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"xrank/internal/storage"
+)
+
+// Builder bulk-loads one B+-tree from key-sorted input. Keys must be added
+// in strictly increasing byte order. The tree is laid out bottom-up: leaves
+// stream out as they fill, inner levels accumulate and flush behind them,
+// so memory use is O(height), not O(n).
+type Builder struct {
+	w          *PageWriter
+	targetSize int
+
+	leaf    *nodeBuf
+	levels  []*levelState
+	last    []byte
+	n       int
+	extMode bool
+	done    bool
+}
+
+type levelState struct {
+	nb  *nodeBuf
+	typ byte
+}
+
+// NewBuilder returns a builder writing nodes through w. targetSize bounds
+// the serialized node size; 0 means a full page, which makes large-tree
+// nodes page-sized while small trees still pack tightly with their
+// neighbors.
+func NewBuilder(w *PageWriter, targetSize int) *Builder {
+	if targetSize <= 0 || targetSize > MaxBlobSize {
+		targetSize = MaxBlobSize
+	}
+	return &Builder{w: w, targetSize: targetSize, leaf: newNodeBuf(nodeLeaf)}
+}
+
+// NewExternalBuilder returns a builder for a tree whose leaf level is
+// external: the caller supplies (firstKey, pageID) pairs via AddLeafPage —
+// the inverted-list pages themselves — and only inner levels are stored
+// (the HDIL layout of Section 4.4.1).
+func NewExternalBuilder(w *PageWriter, targetSize int) *Builder {
+	b := NewBuilder(w, targetSize)
+	b.extMode = true
+	b.leaf = nil
+	return b
+}
+
+func (b *Builder) checkKey(key []byte) error {
+	if b.done {
+		return fmt.Errorf("btree: Add after Finish")
+	}
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if b.last != nil && bytes.Compare(key, b.last) <= 0 {
+		return fmt.Errorf("btree: keys out of order: %x after %x", key, b.last)
+	}
+	b.last = append(b.last[:0], key...)
+	b.n++
+	return nil
+}
+
+// Add appends a leaf entry. Only valid on internal-leaf builders.
+func (b *Builder) Add(key, val []byte) error {
+	if b.extMode {
+		return fmt.Errorf("btree: Add on an external-leaf builder")
+	}
+	if err := b.checkKey(key); err != nil {
+		return err
+	}
+	sz := leafEntrySize(key, val)
+	if nodeHeader+sz > b.targetSize {
+		return fmt.Errorf("btree: entry of %d bytes exceeds node size %d", sz, b.targetSize)
+	}
+	if b.leaf.size()+sz > b.targetSize {
+		if err := b.flushLeaf(); err != nil {
+			return err
+		}
+	}
+	b.leaf.addLeaf(key, val)
+	return nil
+}
+
+// AddLeafPage registers an external leaf: the inverted-list page starting
+// with firstKey. Only valid on external builders.
+func (b *Builder) AddLeafPage(firstKey []byte, page storage.PageID) error {
+	if !b.extMode {
+		return fmt.Errorf("btree: AddLeafPage on an internal-leaf builder")
+	}
+	if err := b.checkKey(firstKey); err != nil {
+		return err
+	}
+	return b.push(0, firstKey, Ref{}, page, nodeExtInner)
+}
+
+func (b *Builder) flushLeaf() error {
+	if b.leaf.count == 0 {
+		return nil
+	}
+	firstKey := append([]byte(nil), b.leaf.firstKey...)
+	ref, err := b.w.Write(b.leaf.finish())
+	if err != nil {
+		return err
+	}
+	b.leaf.reset(nodeLeaf)
+	return b.push(0, firstKey, ref, 0, nodeInner)
+}
+
+// push adds an entry to inner level i (0 = level directly above leaves),
+// flushing that level's node upward if full. typ tells how the level
+// stores children (nodeInner for Ref children, nodeExtInner for external
+// pages; only level 0 can be nodeExtInner).
+func (b *Builder) push(i int, key []byte, child Ref, ext storage.PageID, typ byte) error {
+	for len(b.levels) <= i {
+		b.levels = append(b.levels, &levelState{nb: newNodeBuf(typ), typ: typ})
+	}
+	lv := b.levels[i]
+	var sz int
+	if lv.typ == nodeExtInner {
+		sz = extEntrySize(key)
+	} else {
+		sz = innerEntrySize(key)
+	}
+	if nodeHeader+sz > b.targetSize {
+		return fmt.Errorf("btree: inner entry of %d bytes exceeds node size %d", sz, b.targetSize)
+	}
+	if lv.nb.size()+sz > b.targetSize {
+		if err := b.flushLevel(i); err != nil {
+			return err
+		}
+	}
+	if lv.typ == nodeExtInner {
+		lv.nb.addExt(key, ext)
+	} else {
+		lv.nb.addInner(key, child)
+	}
+	return nil
+}
+
+func (b *Builder) flushLevel(i int) error {
+	lv := b.levels[i]
+	if lv.nb.count == 0 {
+		return nil
+	}
+	firstKey := append([]byte(nil), lv.nb.firstKey...)
+	ref, err := b.w.Write(lv.nb.finish())
+	if err != nil {
+		return err
+	}
+	lv.nb.reset(lv.typ)
+	return b.push(i+1, firstKey, ref, 0, nodeInner)
+}
+
+// Finish completes the tree and returns its root Ref, plus the number of
+// entries added. An empty tree yields NilRef.
+func (b *Builder) Finish() (Ref, int, error) {
+	if b.done {
+		return NilRef, 0, fmt.Errorf("btree: Finish called twice")
+	}
+	b.done = true
+	if b.n == 0 {
+		return NilRef, 0, nil
+	}
+	if !b.extMode {
+		// A tree that fits one leaf: the leaf is the root.
+		if len(b.levels) == 0 {
+			ref, err := b.w.Write(b.leaf.finish())
+			return ref, b.n, err
+		}
+		if err := b.flushLeaf(); err != nil {
+			return NilRef, 0, err
+		}
+	}
+	// Collapse pending levels upward. The topmost level with exactly one
+	// pending node and nothing above becomes the root.
+	for i := 0; ; i++ {
+		lv := b.levels[i]
+		isTop := i == len(b.levels)-1
+		if isTop && lv.nb.count == 1 && lv.typ == nodeInner {
+			// A single-child inner node is redundant; its child is the root.
+			// (Never true for nodeExtInner: an external page cannot be a
+			// root, we need at least one inner node to map keys to pages.)
+			n, err := parseNode(lv.nb.finish())
+			if err != nil {
+				return NilRef, 0, err
+			}
+			return n.kids[0], b.n, nil
+		}
+		if isTop {
+			ref, err := b.w.Write(lv.nb.finish())
+			return ref, b.n, err
+		}
+		if err := b.flushLevel(i); err != nil {
+			return NilRef, 0, err
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xrank/internal/storage"
+)
+
+// Node wire format. A node is a blob placed by PageWriter:
+//
+//	byte 0:     type (nodeLeaf, nodeInner, nodeExtInner)
+//	bytes 1..2: entry count (uint16 LE)
+//	entries:
+//	  leaf:     { u16 keyLen, u16 valLen, key, val }
+//	  inner:    { u16 keyLen, key, Ref(8) }          child = node
+//	  extInner: { u16 keyLen, key, u32 page }        child = external page
+//
+// Inner keys are the first (smallest) key of the child's subtree.
+const (
+	nodeLeaf     = 0
+	nodeInner    = 1
+	nodeExtInner = 2
+
+	nodeHeader = 3
+)
+
+// parsedNode is a decoded node. Its slices alias the copied node buffer,
+// which the cursor owns, so they stay valid for the cursor's lifetime.
+type parsedNode struct {
+	typ  byte
+	keys [][]byte
+	vals [][]byte         // leaf only
+	kids []Ref            // inner only
+	ext  []storage.PageID // extInner only
+}
+
+func parseNode(data []byte) (parsedNode, error) {
+	var n parsedNode
+	if len(data) < nodeHeader {
+		return n, fmt.Errorf("btree: node blob too short (%d bytes)", len(data))
+	}
+	n.typ = data[0]
+	count := int(binary.LittleEndian.Uint16(data[1:3]))
+	p := nodeHeader
+	n.keys = make([][]byte, 0, count)
+	switch n.typ {
+	case nodeLeaf:
+		n.vals = make([][]byte, 0, count)
+		for i := 0; i < count; i++ {
+			if p+4 > len(data) {
+				return n, fmt.Errorf("btree: truncated leaf entry header")
+			}
+			kl := int(binary.LittleEndian.Uint16(data[p:]))
+			vl := int(binary.LittleEndian.Uint16(data[p+2:]))
+			p += 4
+			if p+kl+vl > len(data) {
+				return n, fmt.Errorf("btree: truncated leaf entry body")
+			}
+			n.keys = append(n.keys, data[p:p+kl])
+			n.vals = append(n.vals, data[p+kl:p+kl+vl])
+			p += kl + vl
+		}
+	case nodeInner:
+		n.kids = make([]Ref, 0, count)
+		for i := 0; i < count; i++ {
+			if p+2 > len(data) {
+				return n, fmt.Errorf("btree: truncated inner entry header")
+			}
+			kl := int(binary.LittleEndian.Uint16(data[p:]))
+			p += 2
+			if p+kl+RefSize > len(data) {
+				return n, fmt.Errorf("btree: truncated inner entry body")
+			}
+			n.keys = append(n.keys, data[p:p+kl])
+			n.kids = append(n.kids, DecodeRef(data[p+kl:]))
+			p += kl + RefSize
+		}
+	case nodeExtInner:
+		n.ext = make([]storage.PageID, 0, count)
+		for i := 0; i < count; i++ {
+			if p+2 > len(data) {
+				return n, fmt.Errorf("btree: truncated ext entry header")
+			}
+			kl := int(binary.LittleEndian.Uint16(data[p:]))
+			p += 2
+			if p+kl+4 > len(data) {
+				return n, fmt.Errorf("btree: truncated ext entry body")
+			}
+			n.keys = append(n.keys, data[p:p+kl])
+			n.ext = append(n.ext, storage.PageID(binary.LittleEndian.Uint32(data[p+kl:])))
+			p += kl + 4
+		}
+	default:
+		return n, fmt.Errorf("btree: unknown node type %d", n.typ)
+	}
+	return n, nil
+}
+
+// nodeBuf incrementally serializes one node.
+type nodeBuf struct {
+	buf      []byte
+	count    int
+	firstKey []byte
+}
+
+func newNodeBuf(typ byte) *nodeBuf {
+	nb := &nodeBuf{buf: make([]byte, nodeHeader, 512)}
+	nb.buf[0] = typ
+	return nb
+}
+
+func (nb *nodeBuf) reset(typ byte) {
+	nb.buf = nb.buf[:nodeHeader]
+	nb.buf[0] = typ
+	nb.count = 0
+	nb.firstKey = nb.firstKey[:0]
+}
+
+func (nb *nodeBuf) noteFirst(key []byte) {
+	if nb.count == 0 {
+		nb.firstKey = append(nb.firstKey[:0], key...)
+	}
+	nb.count++
+}
+
+func (nb *nodeBuf) addLeaf(key, val []byte) {
+	nb.noteFirst(key)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(val)))
+	nb.buf = append(nb.buf, hdr[:]...)
+	nb.buf = append(nb.buf, key...)
+	nb.buf = append(nb.buf, val...)
+}
+
+func (nb *nodeBuf) addInner(key []byte, child Ref) {
+	nb.noteFirst(key)
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(key)))
+	nb.buf = append(nb.buf, hdr[:]...)
+	nb.buf = append(nb.buf, key...)
+	nb.buf = child.AppendTo(nb.buf)
+}
+
+func (nb *nodeBuf) addExt(key []byte, page storage.PageID) {
+	nb.noteFirst(key)
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(key)))
+	nb.buf = append(nb.buf, hdr[:2]...)
+	nb.buf = append(nb.buf, key...)
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(page))
+	nb.buf = append(nb.buf, hdr[2:6]...)
+}
+
+func (nb *nodeBuf) finish() []byte {
+	binary.LittleEndian.PutUint16(nb.buf[1:3], uint16(nb.count))
+	return nb.buf
+}
+
+func (nb *nodeBuf) size() int { return len(nb.buf) }
+
+// leafEntrySize returns the serialized size of a leaf entry.
+func leafEntrySize(key, val []byte) int { return 4 + len(key) + len(val) }
+
+// innerEntrySize returns the serialized size of an inner entry.
+func innerEntrySize(key []byte) int { return 2 + len(key) + RefSize }
+
+// extEntrySize returns the serialized size of an external-child entry.
+func extEntrySize(key []byte) int { return 2 + len(key) + 4 }

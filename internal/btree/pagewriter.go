@@ -1,0 +1,69 @@
+package btree
+
+import (
+	"fmt"
+
+	"xrank/internal/storage"
+)
+
+// PageWriter packs variable-size node blobs into fixed-size pages of a
+// PageFile. Blobs never span pages; a blob that does not fit in the
+// remaining space of the current page starts a new one. Sharing one
+// PageWriter across many trees is what co-locates small trees on shared
+// pages.
+type PageWriter struct {
+	pf   *storage.PageFile
+	page []byte
+	used int
+	// pageID of the buffered page once flushed; pages are appended
+	// sequentially so the buffered page's ID is the current page count.
+	dirty bool
+}
+
+// NewPageWriter returns a writer appending to pf.
+func NewPageWriter(pf *storage.PageFile) *PageWriter {
+	return &PageWriter{pf: pf, page: make([]byte, storage.PageSize)}
+}
+
+// MaxBlobSize is the largest blob a PageWriter accepts.
+const MaxBlobSize = storage.PageSize
+
+// Write places blob into the file and returns its Ref. Blobs larger than
+// MaxBlobSize are rejected.
+func (w *PageWriter) Write(blob []byte) (Ref, error) {
+	if len(blob) == 0 {
+		return NilRef, fmt.Errorf("btree: empty blob")
+	}
+	if len(blob) > MaxBlobSize {
+		return NilRef, fmt.Errorf("btree: blob of %d bytes exceeds page size %d", len(blob), storage.PageSize)
+	}
+	if w.used+len(blob) > storage.PageSize {
+		if err := w.flush(); err != nil {
+			return NilRef, err
+		}
+	}
+	ref := Ref{Page: storage.PageID(w.pf.NumPages()), Off: uint16(w.used), Len: uint16(len(blob))}
+	copy(w.page[w.used:], blob)
+	w.used += len(blob)
+	w.dirty = true
+	return ref, nil
+}
+
+func (w *PageWriter) flush() error {
+	if !w.dirty {
+		return nil
+	}
+	for i := w.used; i < storage.PageSize; i++ {
+		w.page[i] = 0
+	}
+	if _, err := w.pf.AppendPage(w.page); err != nil {
+		return err
+	}
+	w.used = 0
+	w.dirty = false
+	return nil
+}
+
+// Flush writes out the partially filled current page, if any. Call after
+// the last tree has been built. Refs handed out earlier remain valid.
+func (w *PageWriter) Flush() error { return w.flush() }

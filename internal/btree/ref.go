@@ -1,0 +1,63 @@
+// Package btree implements the disk-resident B+-trees that XRANK builds
+// over its inverted lists (Guo et al., SIGMOD 2003, Sections 4.3 and 4.4).
+//
+// Keys are arbitrary byte strings compared with bytes.Compare; XRANK uses
+// the order-preserving encoding of Dewey IDs, so tree order is document
+// order and the paper's getLongestCommonPrefix probe (Figure 7) reduces to
+// a successor/predecessor pair of descents.
+//
+// Two departures from a textbook B+-tree implement the paper's space
+// optimizations:
+//
+//   - Nodes are variable-size byte regions packed into pages, so many
+//     small trees (over short inverted lists) share a single disk page
+//     (Section 4.3.1: "we store multiple B+-trees ... on the same disk
+//     page").
+//   - A tree can be built with *external* leaves: the sorted inverted
+//     list itself serves as the leaf level and only internal nodes are
+//     stored (Section 4.4.1, the HDIL layout).
+//
+// Trees are bulk-loaded from sorted input and read-only thereafter, which
+// matches the paper's usage (indexes are rebuilt on document-granularity
+// updates, Section 4.5).
+package btree
+
+import (
+	"encoding/binary"
+
+	"xrank/internal/storage"
+)
+
+// Ref addresses a node: a byte region [Off, Off+Len) within a page.
+type Ref struct {
+	Page storage.PageID
+	Off  uint16
+	Len  uint16
+}
+
+// RefSize is the encoded size of a Ref in bytes.
+const RefSize = 8
+
+// NilRef is the zero-length reference used for empty trees.
+var NilRef = Ref{Page: storage.InvalidPage}
+
+// IsNil reports whether r is the nil reference.
+func (r Ref) IsNil() bool { return r.Len == 0 && r.Page == storage.InvalidPage }
+
+// AppendTo appends the 8-byte encoding of r to buf.
+func (r Ref) AppendTo(buf []byte) []byte {
+	var tmp [RefSize]byte
+	binary.LittleEndian.PutUint32(tmp[0:], uint32(r.Page))
+	binary.LittleEndian.PutUint16(tmp[4:], r.Off)
+	binary.LittleEndian.PutUint16(tmp[6:], r.Len)
+	return append(buf, tmp[:]...)
+}
+
+// DecodeRef decodes a Ref from the first 8 bytes of buf.
+func DecodeRef(buf []byte) Ref {
+	return Ref{
+		Page: storage.PageID(binary.LittleEndian.Uint32(buf[0:])),
+		Off:  binary.LittleEndian.Uint16(buf[4:]),
+		Len:  binary.LittleEndian.Uint16(buf[6:]),
+	}
+}

@@ -1,0 +1,253 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"xrank/internal/storage"
+)
+
+// Tree reads a bulk-loaded B+-tree through a buffer pool.
+type Tree struct {
+	pool *storage.BufferPool
+	root Ref
+}
+
+// NewTree opens the tree rooted at root.
+func NewTree(pool *storage.BufferPool, root Ref) *Tree {
+	return &Tree{pool: pool, root: root}
+}
+
+// Root returns the root Ref (for persisting in a lexicon).
+func (t *Tree) Root() Ref { return t.root }
+
+// readNode fetches and parses the node at ref. The node bytes are copied
+// out of the buffer-pool frame so the frame can be released immediately;
+// nodes are small and queries touch O(height) of them per probe.
+func (t *Tree) readNode(ref Ref) (parsedNode, error) {
+	fr, err := t.pool.Get(ref.Page)
+	if err != nil {
+		return parsedNode{}, err
+	}
+	end := int(ref.Off) + int(ref.Len)
+	if end > len(fr.Data) {
+		fr.Release()
+		return parsedNode{}, fmt.Errorf("btree: node ref %+v beyond page", ref)
+	}
+	data := make([]byte, ref.Len)
+	copy(data, fr.Data[ref.Off:end])
+	fr.Release()
+	return parseNode(data)
+}
+
+// Cursor iterates leaf entries in key order. It keeps the descent path so
+// Next can cross leaf boundaries without sibling pointers.
+type Cursor struct {
+	t     *Tree
+	stack []pathLevel // root .. leaf parent
+	leaf  parsedNode
+	idx   int
+	valid bool
+}
+
+type pathLevel struct {
+	n   parsedNode
+	idx int
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Key returns the current entry's key. Valid only while the cursor is.
+func (c *Cursor) Key() []byte { return c.leaf.keys[c.idx] }
+
+// Value returns the current entry's value.
+func (c *Cursor) Value() []byte { return c.leaf.vals[c.idx] }
+
+// Next advances to the following entry in key order, invalidating the
+// cursor at the end of the tree.
+func (c *Cursor) Next() error {
+	if !c.valid {
+		return fmt.Errorf("btree: Next on invalid cursor")
+	}
+	c.idx++
+	if c.idx < len(c.leaf.keys) {
+		return nil
+	}
+	// Climb to the deepest ancestor with a following sibling.
+	for lvl := len(c.stack) - 1; lvl >= 0; lvl-- {
+		pl := &c.stack[lvl]
+		if pl.idx+1 < len(pl.n.keys) {
+			pl.idx++
+			c.stack = c.stack[:lvl+1]
+			return c.descendLeftmost(pl.n.kids[pl.idx])
+		}
+	}
+	c.valid = false
+	return nil
+}
+
+func (c *Cursor) descendLeftmost(ref Ref) error {
+	for {
+		n, err := c.t.readNode(ref)
+		if err != nil {
+			return err
+		}
+		if n.typ == nodeLeaf {
+			c.leaf = n
+			c.idx = 0
+			c.valid = len(n.keys) > 0
+			return nil
+		}
+		if n.typ != nodeInner {
+			return fmt.Errorf("btree: unexpected node type %d during leaf descent", n.typ)
+		}
+		c.stack = append(c.stack, pathLevel{n: n, idx: 0})
+		ref = n.kids[0]
+	}
+}
+
+// First positions a cursor at the smallest entry.
+func (t *Tree) First() (*Cursor, error) {
+	c := &Cursor{t: t}
+	if t.root.IsNil() {
+		return c, nil
+	}
+	if err := c.descendLeftmost(t.root); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Seek positions a cursor at the first entry with key >= target (the
+// B+-tree range-scan entry point used by the RDIL probe, Section 4.3.2).
+func (t *Tree) Seek(target []byte) (*Cursor, error) {
+	c := &Cursor{t: t}
+	if t.root.IsNil() {
+		return c, nil
+	}
+	ref := t.root
+	for {
+		n, err := t.readNode(ref)
+		if err != nil {
+			return nil, err
+		}
+		switch n.typ {
+		case nodeLeaf:
+			c.leaf = n
+			c.idx = len(n.keys)
+			for i, k := range n.keys {
+				if bytes.Compare(k, target) >= 0 {
+					c.idx = i
+					break
+				}
+			}
+			c.valid = true
+			if c.idx == len(n.keys) {
+				// All entries in this leaf are < target; the successor (if
+				// any) is the first entry of the next leaf.
+				c.idx = len(n.keys) - 1
+				return c, c.Next()
+			}
+			return c, nil
+		case nodeInner:
+			// Largest child whose first key <= target; child 0 if target
+			// precedes everything.
+			i := 0
+			for j := 1; j < len(n.keys); j++ {
+				if bytes.Compare(n.keys[j], target) <= 0 {
+					i = j
+				} else {
+					break
+				}
+			}
+			c.stack = append(c.stack, pathLevel{n: n, idx: i})
+			ref = n.kids[i]
+		default:
+			return nil, fmt.Errorf("btree: Seek in external tree")
+		}
+	}
+}
+
+// SeekBefore positions a cursor at the last entry with key < target, or an
+// invalid cursor if none exists. Together with Seek it yields the
+// predecessor/successor pair that determines the longest common prefix of
+// target present in the tree (Figure 7, lines 11-16).
+func (t *Tree) SeekBefore(target []byte) (*Cursor, error) {
+	c := &Cursor{t: t}
+	if t.root.IsNil() {
+		return c, nil
+	}
+	ref := t.root
+	for {
+		n, err := t.readNode(ref)
+		if err != nil {
+			return nil, err
+		}
+		switch n.typ {
+		case nodeLeaf:
+			c.leaf = n
+			c.idx = -1
+			for i, k := range n.keys {
+				if bytes.Compare(k, target) < 0 {
+					c.idx = i
+				} else {
+					break
+				}
+			}
+			c.valid = c.idx >= 0
+			return c, nil
+		case nodeInner:
+			// Largest child whose first key < target. If none, no entry
+			// precedes target anywhere in this tree.
+			i := -1
+			for j := 0; j < len(n.keys); j++ {
+				if bytes.Compare(n.keys[j], target) < 0 {
+					i = j
+				} else {
+					break
+				}
+			}
+			if i < 0 {
+				return c, nil
+			}
+			c.stack = append(c.stack, pathLevel{n: n, idx: i})
+			ref = n.kids[i]
+		default:
+			return nil, fmt.Errorf("btree: SeekBefore in external tree")
+		}
+	}
+}
+
+// FindLeafPage returns the external leaf page that would contain target:
+// the last page whose first key is <= target, or the first page when
+// target precedes all keys. ok is false for an empty tree. Used by HDIL,
+// where the Dewey-sorted inverted list is the leaf level (Section 4.4.1).
+func (t *Tree) FindLeafPage(target []byte) (page storage.PageID, ok bool, err error) {
+	if t.root.IsNil() {
+		return 0, false, nil
+	}
+	ref := t.root
+	for {
+		n, err := t.readNode(ref)
+		if err != nil {
+			return 0, false, err
+		}
+		i := 0
+		for j := 1; j < len(n.keys); j++ {
+			if bytes.Compare(n.keys[j], target) <= 0 {
+				i = j
+			} else {
+				break
+			}
+		}
+		switch n.typ {
+		case nodeExtInner:
+			return n.ext[i], true, nil
+		case nodeInner:
+			ref = n.kids[i]
+		default:
+			return 0, false, fmt.Errorf("btree: FindLeafPage in internal-leaf tree")
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package dblp generates a DBLP-shaped synthetic corpus: many shallow
+// documents (venue-year proceedings of paper records, depth ≈ 4) densely
+// cross-linked by citation references — the structural profile of the real
+// 143MB DBLP dataset used in the paper's experiments (Section 5.1: "DBLP
+// data is relatively shallow with a depth of about 4 ... has many
+// inter-document references (in the form of bibliographic citations)").
+//
+// The real dataset is not redistributable here; the experiments only
+// depend on its shape (nesting depth, fan-out, citation graph skew, and
+// Zipfian text), which the generator reproduces at any scale. See
+// DESIGN.md, "Substitutions".
+package dblp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xrank/internal/text"
+)
+
+// Doc is one generated document.
+type Doc struct {
+	Name string
+	XML  string
+}
+
+// Params scale and shape the corpus.
+type Params struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Docs is the number of venue-year proceedings documents. Default 20.
+	Docs int
+	// PapersPerDoc is the number of paper records per document. Default 100.
+	PapersPerDoc int
+	// VocabSize is the title/abstract vocabulary size. Default 5000.
+	VocabSize int
+	// ZipfS is the vocabulary skew exponent (>1). Default 1.25.
+	ZipfS float64
+	// MaxCites bounds citations per paper. Default 8. Citations prefer
+	// already-cited papers (preferential attachment), giving the skewed
+	// in-link distribution that makes ElemRank interesting.
+	MaxCites int
+	// CorrelationGroups plants marker keyword groups for the Figure 10/11
+	// experiments: that many high-correlation and low-correlation groups
+	// of CorrelationWidth keywords each. Zero disables planting.
+	CorrelationGroups int
+	// CorrelationWidth is keywords per group. Default 4.
+	CorrelationWidth int
+	// PlantRate is the probability a paper receives a marker planting.
+	// Default 0.2.
+	PlantRate float64
+	// PlantAnecdotes seeds the Section 5.2 anecdote: an author "gray"
+	// in heavily cited papers, and "gray codes" titles in ordinary ones.
+	PlantAnecdotes bool
+}
+
+func (p *Params) fill() {
+	if p.Docs <= 0 {
+		p.Docs = 20
+	}
+	if p.PapersPerDoc <= 0 {
+		p.PapersPerDoc = 100
+	}
+	if p.VocabSize <= 0 {
+		p.VocabSize = 5000
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.25
+	}
+	if p.MaxCites <= 0 {
+		p.MaxCites = 8
+	}
+	if p.CorrelationWidth <= 0 {
+		p.CorrelationWidth = 4
+	}
+	if p.PlantRate <= 0 {
+		p.PlantRate = 0.2
+	}
+}
+
+var venues = []string{"sigmod", "vldb", "icde", "sigir", "www", "pods", "kdd", "cikm"}
+
+var surnames = []string{
+	"smith", "chen", "garcia", "kumar", "ivanov", "tanaka", "muller",
+	"johnson", "lee", "patel", "rossi", "silva", "novak", "kim",
+	"papadopoulos", "anders", "moreau", "blake", "olsen", "haas",
+}
+
+var givens = []string{
+	"alice", "bob", "carol", "david", "erika", "frank", "grace",
+	"henry", "irene", "jack", "karin", "liam", "maria", "nils",
+}
+
+// paperRef tracks one generated paper for citation selection.
+type paperRef struct {
+	doc   string
+	id    string
+	cites int
+}
+
+// Generate produces the corpus.
+func Generate(p Params) []Doc {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+	z := text.NewZipf(r, text.SyntheticVocab(p.VocabSize), p.ZipfS)
+	var planter *text.CorrelatedPlanter
+	if p.CorrelationGroups > 0 {
+		planter = text.NewCorrelatedPlanter(r, p.CorrelationGroups, p.CorrelationWidth, p.PlantRate)
+	}
+
+	var all []paperRef
+	// endpoints implements preferential attachment in O(1) per pick: every
+	// paper appears once at creation and once per received citation, so a
+	// uniform draw selects with probability proportional to cites+1.
+	var endpoints []int
+
+	pickCitation := func() *paperRef {
+		if len(endpoints) == 0 {
+			return nil
+		}
+		i := endpoints[r.Intn(len(endpoints))]
+		endpoints = append(endpoints, i)
+		all[i].cites++
+		return &all[i]
+	}
+
+	docs := make([]Doc, 0, p.Docs)
+	paperSeq := 0
+	var words []string
+	for d := 0; d < p.Docs; d++ {
+		venue := venues[d%len(venues)]
+		year := 1990 + d/len(venues)
+		// The name carries the .xml extension so that XLink targets match
+		// the file basenames when the corpus is written to disk and
+		// indexed per file.
+		name := fmt.Sprintf("%s%d.xml", venue, year)
+		var b strings.Builder
+		fmt.Fprintf(&b, `<proceedings venue="%s" year="%d">`, venue, year)
+		fmt.Fprintf(&b, "\n  <title>proceedings of the %s conference %d</title>\n", venue, year)
+		for i := 0; i < p.PapersPerDoc; i++ {
+			paperSeq++
+			pid := fmt.Sprintf("p%d", paperSeq)
+			fmt.Fprintf(&b, `  <inproceedings id="%s">`+"\n", pid)
+			// Authors.
+			nAuth := 1 + r.Intn(3)
+			for a := 0; a < nAuth; a++ {
+				fmt.Fprintf(&b, "    <author>%s %s</author>\n", givens[r.Intn(len(givens))], surnames[r.Intn(len(surnames))])
+			}
+			// Title: Zipf words plus optional markers.
+			words = z.Sentence(words[:0], 4+r.Intn(6))
+			if planter != nil {
+				words = planter.Plant(words)
+			}
+			if p.PlantAnecdotes && r.Intn(97) == 0 {
+				words = append(words, "gray", "codes")
+			}
+			fmt.Fprintf(&b, "    <title>%s</title>\n", strings.Join(words, " "))
+			fmt.Fprintf(&b, "    <year>%d</year>\n    <pages>%d-%d</pages>\n", year, 1+r.Intn(400), 401+r.Intn(40))
+			// Abstract.
+			words = z.Sentence(words[:0], 15+r.Intn(25))
+			if planter != nil {
+				words = planter.Plant(words)
+			}
+			fmt.Fprintf(&b, "    <abstract>%s</abstract>\n", strings.Join(words, " "))
+			// Citations.
+			nCites := r.Intn(p.MaxCites + 1)
+			for c := 0; c < nCites; c++ {
+				target := pickCitation()
+				if target == nil {
+					break
+				}
+				if target.doc == name {
+					fmt.Fprintf(&b, `    <cite ref="%s">see also</cite>`+"\n", target.id)
+				} else {
+					fmt.Fprintf(&b, `    <cite xlink="%s#%s">see also</cite>`+"\n", target.doc, target.id)
+				}
+			}
+			b.WriteString("  </inproceedings>\n")
+			all = append(all, paperRef{doc: name, id: pid})
+			endpoints = append(endpoints, len(all)-1)
+		}
+		b.WriteString("</proceedings>\n")
+		docs = append(docs, Doc{Name: name, XML: b.String()})
+	}
+
+	if p.PlantAnecdotes {
+		docs = plantGrayAuthor(docs, all)
+	}
+	return docs
+}
+
+// plantGrayAuthor rewrites the three most-cited papers to carry the
+// author "jim gray", reproducing the paper's 'gray' ranking anecdote: the
+// <author> elements of heavily referenced papers outrank the <title>
+// elements about gray codes.
+func plantGrayAuthor(docs []Doc, all []paperRef) []Doc {
+	// Find top-3 cited papers.
+	type top struct {
+		doc, id string
+		cites   int
+	}
+	var best [3]top
+	for _, p := range all {
+		for i := 0; i < 3; i++ {
+			if p.cites > best[i].cites {
+				copy(best[i+1:], best[i:2])
+				best[i] = top{doc: p.doc, id: p.id, cites: p.cites}
+				break
+			}
+		}
+	}
+	for di := range docs {
+		for _, b := range best {
+			if b.doc != docs[di].Name || b.id == "" {
+				continue
+			}
+			marker := fmt.Sprintf(`<inproceedings id="%s">`, b.id)
+			replacement := marker + "\n    <author>jim gray</author>"
+			docs[di].XML = strings.Replace(docs[di].XML, marker, replacement, 1)
+		}
+	}
+	return docs
+}

@@ -1,0 +1,76 @@
+// Package htmlgen generates a small synthetic web: HTML pages with
+// Zipfian text and preferentially attached hyperlinks. It exists to
+// exercise XRANK's design goal of generalizing an HTML search engine
+// (Section 1): on these two-level documents ElemRank reduces to PageRank
+// and whole pages are returned.
+package htmlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xrank/internal/text"
+)
+
+// Doc is one generated page.
+type Doc struct {
+	Name string
+	HTML string
+}
+
+// Params scale the web.
+type Params struct {
+	Seed      int64
+	Pages     int     // default 50
+	VocabSize int     // default 2000
+	ZipfS     float64 // default 1.25
+	MaxLinks  int     // default 6
+}
+
+func (p *Params) fill() {
+	if p.Pages <= 0 {
+		p.Pages = 50
+	}
+	if p.VocabSize <= 0 {
+		p.VocabSize = 2000
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.25
+	}
+	if p.MaxLinks <= 0 {
+		p.MaxLinks = 6
+	}
+}
+
+// Generate produces the pages. Links point to already generated pages
+// with probability proportional to their in-degree + 1.
+func Generate(p Params) []Doc {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+	z := text.NewZipf(r, text.SyntheticVocab(p.VocabSize), p.ZipfS)
+	docs := make([]Doc, 0, p.Pages)
+	var endpoints []int
+	var words []string
+	for i := 0; i < p.Pages; i++ {
+		name := fmt.Sprintf("page%04d.html", i)
+		var b strings.Builder
+		words = z.Sentence(words[:0], 4)
+		fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>\n", strings.Join(words, " "))
+		for par := 0; par < 2+r.Intn(4); par++ {
+			words = z.Sentence(words[:0], 20+r.Intn(30))
+			fmt.Fprintf(&b, "<p>%s</p>\n", strings.Join(words, " "))
+		}
+		if len(endpoints) > 0 {
+			for l := 0; l < r.Intn(p.MaxLinks+1); l++ {
+				t := endpoints[r.Intn(len(endpoints))]
+				endpoints = append(endpoints, t)
+				fmt.Fprintf(&b, `<a href="page%04d.html">related</a>`+"\n", t)
+			}
+		}
+		b.WriteString("</body></html>\n")
+		docs = append(docs, Doc{Name: name, HTML: b.String()})
+		endpoints = append(endpoints, i)
+	}
+	return docs
+}

@@ -1,0 +1,42 @@
+package htmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"xrank/internal/xmldoc"
+)
+
+func TestGenerateParsesAndLinks(t *testing.T) {
+	docs := Generate(Params{Seed: 1, Pages: 30})
+	if len(docs) != 30 {
+		t.Fatalf("pages = %d", len(docs))
+	}
+	c := xmldoc.NewCollection()
+	for _, d := range docs {
+		if _, err := c.AddHTML(d.Name, strings.NewReader(d.HTML), nil); err != nil {
+			t.Fatalf("AddHTML(%s): %v", d.Name, err)
+		}
+	}
+	// Two-level model: one element per page.
+	if c.NumElements() != 30 {
+		t.Errorf("elements = %d, want 30", c.NumElements())
+	}
+	_, stats := c.ResolveLinks()
+	if stats.Resolved == 0 {
+		t.Errorf("no links resolved")
+	}
+	if stats.Dangling > 0 {
+		t.Errorf("dangling links: %+v", stats)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Params{Seed: 2, Pages: 5})
+	b := Generate(Params{Seed: 2, Pages: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package perfgen generates the query-performance corpus behind the
+// Figure 10/11 and top-m experiments. The paper runs those on frequent
+// keywords over 143MB/113MB datasets, where a single inverted list spans
+// thousands of disk pages; what matters to the experiments is the *list
+// length* of the query keywords, not the bulk of unrelated text. This
+// generator therefore emits lightweight records whose text is dominated
+// by planted marker keywords, reaching paper-scale list lengths at a
+// tractable corpus size:
+//
+//   - every record carries one complete high-correlation group
+//     (hicorr<g>k<i> — keywords that co-occur, adjacent, in the same
+//     element: the Figure 10 regime), and
+//   - one member of each low-correlation group (locorr<g>k<i> — keywords
+//     individually frequent but co-occurring only at coarse ancestors:
+//     the Figure 11 regime),
+//
+// plus a little Zipfian filler and a sprinkling of citation references so
+// ElemRanks are not degenerate.
+package perfgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xrank/internal/text"
+)
+
+// Doc is one generated document.
+type Doc struct {
+	Name string
+	XML  string
+}
+
+// Params size the corpus.
+type Params struct {
+	Seed int64
+	// Blocks is the total number of records; each plants one full
+	// high-correlation group and one member per low-correlation group.
+	// Default 100000.
+	Blocks int
+	// BlocksPerDoc is records per document. Default 400.
+	BlocksPerDoc int
+	// Groups is the number of marker groups (both kinds). Default 3.
+	Groups int
+	// Width is keywords per group. Default 4.
+	Width int
+	// Repeat is occurrences per planted keyword per record; it fattens
+	// posLists the way frequent words repeat inside large text elements.
+	// Default 6.
+	Repeat int
+	// FillerVocab is the size of the background vocabulary. Default 200.
+	FillerVocab int
+}
+
+func (p *Params) fill() {
+	if p.Blocks <= 0 {
+		p.Blocks = 100000
+	}
+	if p.BlocksPerDoc <= 0 {
+		p.BlocksPerDoc = 400
+	}
+	if p.Groups <= 0 {
+		p.Groups = 3
+	}
+	if p.Width <= 0 {
+		p.Width = 4
+	}
+	if p.Repeat <= 0 {
+		p.Repeat = 6
+	}
+	if p.FillerVocab <= 0 {
+		p.FillerVocab = 200
+	}
+}
+
+// Generate produces the corpus.
+func Generate(p Params) []Doc {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+	z := text.NewZipf(r, text.SyntheticVocab(p.FillerVocab), 1.3)
+
+	// Pre-render the marker phrases: interleaved repetitions keep every
+	// pair of group members adjacent somewhere (proximity 1).
+	hiPhrase := make([]string, p.Groups)
+	for g := 0; g < p.Groups; g++ {
+		var sb strings.Builder
+		for rep := 0; rep < p.Repeat; rep++ {
+			for k := 0; k < p.Width; k++ {
+				if sb.Len() > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "hicorr%dk%d", g, k)
+			}
+		}
+		hiPhrase[g] = sb.String()
+	}
+	loWord := func(g, k int) string {
+		var sb strings.Builder
+		for rep := 0; rep < p.Repeat; rep++ {
+			if rep > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "locorr%dk%d", g, k)
+		}
+		return sb.String()
+	}
+	loPhrases := make([][]string, p.Groups)
+	for g := range loPhrases {
+		loPhrases[g] = make([]string, p.Width)
+		for k := 0; k < p.Width; k++ {
+			loPhrases[g][k] = loWord(g, k)
+		}
+	}
+
+	nDocs := (p.Blocks + p.BlocksPerDoc - 1) / p.BlocksPerDoc
+	docs := make([]Doc, 0, nDocs)
+	loCursor := make([]int, p.Groups)
+	blk := 0
+	for d := 0; d < nDocs; d++ {
+		var b strings.Builder
+		b.Grow(p.BlocksPerDoc * 160)
+		b.WriteString("<proc>\n")
+		for i := 0; i < p.BlocksPerDoc && blk < p.Blocks; i++ {
+			hi := blk % p.Groups
+			fmt.Fprintf(&b, ` <rec id="r%d"`, blk)
+			if i > 0 && r.Intn(5) == 0 {
+				// Intra-document citation for rank variety; the target is a
+				// record earlier in the same document.
+				first := blk - i
+				fmt.Fprintf(&b, ` ref="r%d"`, first+r.Intn(i))
+			}
+			b.WriteString("><t>")
+			b.WriteString(hiPhrase[hi])
+			for g := 0; g < p.Groups; g++ {
+				b.WriteByte(' ')
+				b.WriteString(loPhrases[g][loCursor[g]%p.Width])
+				loCursor[g]++
+			}
+			fmt.Fprintf(&b, " %s %s", z.Next(), z.Next())
+			b.WriteString("</t></rec>\n")
+			blk++
+		}
+		b.WriteString("</proc>\n")
+		docs = append(docs, Doc{Name: fmt.Sprintf("perf%05d.xml", d), XML: b.String()})
+	}
+	return docs
+}

@@ -1,0 +1,78 @@
+package perfgen
+
+import (
+	"strings"
+	"testing"
+
+	"xrank/internal/xmldoc"
+)
+
+func TestGenerateParsesAndPlants(t *testing.T) {
+	docs := Generate(Params{Seed: 1, Blocks: 3000, BlocksPerDoc: 500})
+	if len(docs) != 6 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	c := xmldoc.NewCollection()
+	blocks := 0
+	for _, d := range docs {
+		doc, err := c.AddXML(d.Name, strings.NewReader(d.XML), nil)
+		if err != nil {
+			t.Fatalf("parse %s: %v", d.Name, err)
+		}
+		for _, e := range doc.Elements {
+			if e.Tag == "rec" {
+				blocks++
+			}
+		}
+	}
+	if blocks != 3000 {
+		t.Errorf("blocks = %d", blocks)
+	}
+	_, stats := c.ResolveLinks()
+	if stats.Dangling > 0 {
+		t.Errorf("dangling refs: %+v", stats)
+	}
+	if stats.Resolved == 0 {
+		t.Errorf("no citation refs resolved")
+	}
+}
+
+func TestMarkerListLengths(t *testing.T) {
+	docs := Generate(Params{Seed: 2, Blocks: 1200, Groups: 3, Width: 4})
+	joined := strings.Builder{}
+	for _, d := range docs {
+		joined.WriteString(d.XML)
+	}
+	s := joined.String()
+	// Each high group appears in blocks/groups records (the phrase opens
+	// the <t> element exactly once per planted record).
+	hi := strings.Count(s, "<t>hicorr0k0")
+	if hi != 400 {
+		t.Errorf("hicorr group 0 plantings = %d, want 400", hi)
+	}
+	// Low members rotate: each in ~blocks/width records, never together.
+	lo := strings.Count(s, "locorr0k0")
+	if lo < 200 {
+		t.Errorf("locorr0k0 occurrences = %d", lo)
+	}
+	if strings.Contains(s, "locorr0k0 locorr0k1") || strings.Contains(s, "locorr0k1 locorr0k0") {
+		t.Errorf("low-correlation members co-occur")
+	}
+}
+
+func TestRepeatFattensPosLists(t *testing.T) {
+	docs := Generate(Params{Seed: 3, Blocks: 10, BlocksPerDoc: 10, Repeat: 5})
+	if n := strings.Count(docs[0].XML, "hicorr0k0"); n < 5 {
+		t.Errorf("repeat not applied: %d occurrences in first doc", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Params{Seed: 9, Blocks: 100})
+	b := Generate(Params{Seed: 9, Blocks: 100})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package xmark generates an XMark-shaped synthetic corpus: a single deep
+// document following the XML Benchmark auction schema (Schmidt et al.
+// [31]) — site → regions/categories/people/open_auctions/closed_auctions,
+// items with nested description parlists, depth ≈ 10, and intra-document
+// references (itemref, personref, incategory) — the structural profile of
+// the 113MB scale-1.0 XMark dataset in the paper's experiments
+// (Section 5.1: "XMark data is relatively deep with a depth of 10 ...
+// mostly intra-document references ... a single XML document").
+package xmark
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xrank/internal/text"
+)
+
+// Params scale the document. The defaults give a small but structurally
+// faithful instance; Items ≈ 2000 approximates a scale-0.1 XMark.
+type Params struct {
+	Seed           int64
+	Items          int // default 400
+	People         int // default 200
+	OpenAuctions   int // default 150
+	ClosedAuctions int // default 100
+	Categories     int // default 40
+	VocabSize      int // default 5000
+	ZipfS          float64
+	// CorrelationGroups / CorrelationWidth / PlantRate mirror the DBLP
+	// generator: marker keywords for the correlation experiments.
+	CorrelationGroups int
+	CorrelationWidth  int
+	PlantRate         float64
+	// PlantAnecdotes seeds the Section 5.2 'stained mirror' anecdote: an
+	// item named "stained" whose description mentions "mirror", referenced
+	// by many auctions.
+	PlantAnecdotes bool
+}
+
+func (p *Params) fill() {
+	if p.Items <= 0 {
+		p.Items = 400
+	}
+	if p.People <= 0 {
+		p.People = 200
+	}
+	if p.OpenAuctions <= 0 {
+		p.OpenAuctions = 150
+	}
+	if p.ClosedAuctions <= 0 {
+		p.ClosedAuctions = 100
+	}
+	if p.Categories <= 0 {
+		p.Categories = 40
+	}
+	if p.VocabSize <= 0 {
+		p.VocabSize = 5000
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.25
+	}
+	if p.CorrelationWidth <= 0 {
+		p.CorrelationWidth = 4
+	}
+	if p.PlantRate <= 0 {
+		p.PlantRate = 0.2
+	}
+}
+
+var regions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var cities = []string{"lisbon", "osaka", "lagos", "quito", "perth", "oslo", "austin", "pune"}
+
+// Generate produces the single XMark-shaped document.
+func Generate(p Params) string {
+	p.fill()
+	r := rand.New(rand.NewSource(p.Seed))
+	z := text.NewZipf(r, text.SyntheticVocab(p.VocabSize), p.ZipfS)
+	var planter *text.CorrelatedPlanter
+	if p.CorrelationGroups > 0 {
+		planter = text.NewCorrelatedPlanter(r, p.CorrelationGroups, p.CorrelationWidth, p.PlantRate)
+	}
+	var words []string
+	sentence := func(n int) string {
+		words = z.Sentence(words[:0], n)
+		if planter != nil {
+			words = planter.Plant(words)
+		}
+		return strings.Join(words, " ")
+	}
+
+	var b strings.Builder
+	b.Grow(1 << 20)
+	b.WriteString("<site>\n")
+
+	// Categories.
+	b.WriteString(" <categories>\n")
+	for c := 0; c < p.Categories; c++ {
+		fmt.Fprintf(&b, `  <category id="category%d"><name>%s</name><description><text>%s</text></description></category>`+"\n",
+			c, sentence(2), sentence(8))
+	}
+	b.WriteString(" </categories>\n <catgraph>\n")
+	for c := 1; c < p.Categories; c++ {
+		fmt.Fprintf(&b, `  <edge from="category%d" to="category%d"/>`+"\n", r.Intn(c), c)
+	}
+	b.WriteString(" </catgraph>\n")
+
+	// Regions with items. Deep structure: site/regions/africa/item/
+	// description/parlist/listitem/parlist/listitem/text ≈ depth 10.
+	b.WriteString(" <regions>\n")
+	itemRegion := make([]int, p.Items)
+	perRegion := make([][]int, len(regions))
+	for i := 0; i < p.Items; i++ {
+		reg := r.Intn(len(regions))
+		itemRegion[i] = reg
+		perRegion[reg] = append(perRegion[reg], i)
+	}
+	for reg, items := range perRegion {
+		fmt.Fprintf(&b, "  <%s>\n", regions[reg])
+		for _, i := range items {
+			name := sentence(2)
+			descWords1, descWords2 := sentence(10), sentence(10)
+			if p.PlantAnecdotes && i == 0 {
+				name = "stained"
+				descWords1 = "antique mirror " + descWords1
+			}
+			fmt.Fprintf(&b, `   <item id="item%d">`+"\n", i)
+			fmt.Fprintf(&b, "    <location>%s</location>\n", cities[r.Intn(len(cities))])
+			fmt.Fprintf(&b, "    <quantity>%d</quantity>\n", 1+r.Intn(5))
+			fmt.Fprintf(&b, "    <name>%s</name>\n", name)
+			fmt.Fprintf(&b, "    <payment>%s</payment>\n", []string{"creditcard", "money order", "cash"}[r.Intn(3)])
+			b.WriteString("    <description>\n     <parlist>\n")
+			fmt.Fprintf(&b, "      <listitem><text>%s</text></listitem>\n", descWords1)
+			fmt.Fprintf(&b, "      <listitem>\n       <parlist>\n        <listitem><text>%s</text></listitem>\n       </parlist>\n      </listitem>\n", descWords2)
+			b.WriteString("     </parlist>\n    </description>\n")
+			fmt.Fprintf(&b, "    <shipping>%s</shipping>\n", sentence(4))
+			for c := 0; c < 1+r.Intn(3); c++ {
+				fmt.Fprintf(&b, `    <incategory ref="category%d"/>`+"\n", r.Intn(p.Categories))
+			}
+			// Mailbox with a nested mail thread (more depth).
+			fmt.Fprintf(&b, "    <mailbox>\n     <mail>\n      <from>%s</from>\n      <to>%s</to>\n      <date>%02d/%02d/2000</date>\n      <text>%s</text>\n     </mail>\n    </mailbox>\n",
+				sentence(2), sentence(2), 1+r.Intn(12), 1+r.Intn(28), sentence(12))
+			b.WriteString("   </item>\n")
+		}
+		fmt.Fprintf(&b, "  </%s>\n", regions[reg])
+	}
+	b.WriteString(" </regions>\n")
+
+	// People.
+	b.WriteString(" <people>\n")
+	for i := 0; i < p.People; i++ {
+		fmt.Fprintf(&b, `  <person id="person%d">`+"\n", i)
+		fmt.Fprintf(&b, "   <name>%s</name>\n   <emailaddress>mailto:u%d@example.net</emailaddress>\n", sentence(2), i)
+		fmt.Fprintf(&b, "   <address><street>%d main</street><city>%s</city><country>gen</country><zipcode>%05d</zipcode></address>\n",
+			1+r.Intn(99), cities[r.Intn(len(cities))], r.Intn(99999))
+		fmt.Fprintf(&b, "   <profile><interest ref=\"category%d\"/><education>%s</education><income>%d</income></profile>\n",
+			r.Intn(p.Categories), []string{"high school", "college", "graduate school"}[r.Intn(3)], 20000+r.Intn(80000))
+		b.WriteString("  </person>\n")
+	}
+	b.WriteString(" </people>\n")
+
+	// Open auctions. The anecdote item (item0) is referenced by many
+	// auctions, giving it a high ElemRank through hyperlink awareness.
+	pickItem := func(k int) int {
+		if p.PlantAnecdotes && k%4 == 0 {
+			return 0
+		}
+		return r.Intn(p.Items)
+	}
+	b.WriteString(" <open_auctions>\n")
+	for i := 0; i < p.OpenAuctions; i++ {
+		fmt.Fprintf(&b, `  <open_auction id="open%d">`+"\n", i)
+		fmt.Fprintf(&b, "   <initial>%d.%02d</initial>\n", 1+r.Intn(200), r.Intn(100))
+		for bd := 0; bd < 1+r.Intn(4); bd++ {
+			fmt.Fprintf(&b, "   <bidder>\n    <date>%02d/%02d/2000</date>\n    <personref ref=\"person%d\"/>\n    <increase>%d.00</increase>\n   </bidder>\n",
+				1+r.Intn(12), 1+r.Intn(28), r.Intn(p.People), 1+r.Intn(30))
+		}
+		fmt.Fprintf(&b, "   <itemref ref=\"item%d\"/>\n", pickItem(i))
+		fmt.Fprintf(&b, "   <seller ref=\"person%d\"/>\n", r.Intn(p.People))
+		fmt.Fprintf(&b, "   <annotation><description><text>%s</text></description></annotation>\n", sentence(10))
+		fmt.Fprintf(&b, "   <quantity>%d</quantity>\n   <type>regular</type>\n", 1+r.Intn(3))
+		fmt.Fprintf(&b, "   <interval><start>01/01/2000</start><end>12/31/2000</end></interval>\n")
+		b.WriteString("  </open_auction>\n")
+	}
+	b.WriteString(" </open_auctions>\n")
+
+	// Closed auctions.
+	b.WriteString(" <closed_auctions>\n")
+	for i := 0; i < p.ClosedAuctions; i++ {
+		fmt.Fprintf(&b, "  <closed_auction>\n   <seller ref=\"person%d\"/>\n   <buyer ref=\"person%d\"/>\n",
+			r.Intn(p.People), r.Intn(p.People))
+		fmt.Fprintf(&b, "   <itemref ref=\"item%d\"/>\n", pickItem(i))
+		fmt.Fprintf(&b, "   <price>%d.%02d</price>\n   <date>%02d/%02d/2000</date>\n", 1+r.Intn(500), r.Intn(100), 1+r.Intn(12), 1+r.Intn(28))
+		fmt.Fprintf(&b, "   <quantity>%d</quantity>\n   <type>regular</type>\n", 1+r.Intn(3))
+		fmt.Fprintf(&b, "   <annotation><description><text>%s</text></description></annotation>\n", sentence(10))
+		b.WriteString("  </closed_auction>\n")
+	}
+	b.WriteString(" </closed_auctions>\n</site>\n")
+	return b.String()
+}

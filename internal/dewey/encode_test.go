@@ -1,0 +1,219 @@
+package dewey
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ids := []ID{
+		nil,
+		id(0),
+		id(5, 0, 3, 0, 0),
+		id(127),
+		id(128),
+		id(lim2 - 1),
+		id(lim2),
+		id(lim3 - 1),
+		id(lim3),
+		id(lim4 - 1),
+		id(lim4),
+		id(0xFFFFFFFF),
+		id(1, 127, 128, lim2, lim3, lim4, 0xFFFFFFFF),
+	}
+	for _, want := range ids {
+		enc := Encode(want)
+		if len(enc) != EncodedLen(want) {
+			t.Errorf("EncodedLen(%v) = %d, actual %d", want, EncodedLen(want), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", want, err)
+		}
+		if Compare(got, want) != 0 {
+			t.Errorf("round trip %v -> %v", want, got)
+		}
+		n, err := NumComponents(enc)
+		if err != nil || n != len(want) {
+			t.Errorf("NumComponents(%v) = %d, %v; want %d", want, n, err, len(want))
+		}
+	}
+}
+
+func TestEncodeSmallComponentsOneByte(t *testing.T) {
+	// The paper's space argument (Section 4.2.1) relies on small sibling
+	// ordinals taking one byte each.
+	e := Encode(id(5, 0, 3, 0, 0))
+	if len(e) != 5 {
+		t.Errorf("5 small components should encode in 5 bytes, got %d", len(e))
+	}
+}
+
+func TestEncodedOrderPreserved(t *testing.T) {
+	ids := []ID{
+		id(0), id(1), id(127), id(128), id(129), id(16511), id(16512),
+		id(1, 0), id(1, 1), id(1, 0, 0), id(2), id(2, 0),
+		id(5, 0, 3, 0, 0), id(5, 0, 3, 0, 1), id(6, 0, 3, 8, 3),
+		id(0xFFFFFFFF), id(0xFFFFFFFE, 5),
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			cmpID := Compare(a, b)
+			cmpBytes := bytes.Compare(Encode(a), Encode(b))
+			if sign(cmpID) != sign(cmpBytes) {
+				t.Errorf("order mismatch: Compare(%v,%v)=%d but bytes.Compare=%d", a, b, cmpID, cmpBytes)
+			}
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestEncodedPrefixProperty(t *testing.T) {
+	anc := id(5, 0, 3)
+	desc := id(5, 0, 3, 0, 1)
+	ea, ed := Encode(anc), Encode(desc)
+	if !bytes.HasPrefix(ed, ea) {
+		t.Errorf("encoded ancestor %x is not byte prefix of descendant %x", ea, ed)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full := Encode(id(300, 5_000_000, 400_000_000))
+	for i := 1; i < len(full); i++ {
+		if _, err := Decode(full[:i]); err == nil {
+			// Truncation mid-component must error; truncation at a
+			// component boundary legitimately yields a shorter ID.
+			if _, berr := NumComponents(full[:i]); berr == nil {
+				continue
+			}
+			t.Errorf("Decode of truncated buffer len %d should fail", i)
+		}
+	}
+}
+
+func TestDecodeInto(t *testing.T) {
+	buf := make(ID, 0, 8)
+	e := Encode(id(5, 0, 3))
+	got, err := DecodeInto(buf, e)
+	if err != nil || !Equal(got, id(5, 0, 3)) {
+		t.Fatalf("DecodeInto = %v, %v", got, err)
+	}
+	// Reuse must reset.
+	got2, err := DecodeInto(got, Encode(id(9)))
+	if err != nil || !Equal(got2, id(9)) {
+		t.Fatalf("DecodeInto reuse = %v, %v", got2, err)
+	}
+}
+
+// quick-check properties
+
+func randomID(r *rand.Rand) ID {
+	n := 1 + r.Intn(8)
+	v := make(ID, n)
+	for i := range v {
+		// Mix magnitudes so all encoding lengths are exercised.
+		switch r.Intn(4) {
+		case 0:
+			v[i] = uint32(r.Intn(128))
+		case 1:
+			v[i] = uint32(r.Intn(1 << 14))
+		case 2:
+			v[i] = uint32(r.Intn(1 << 22))
+		default:
+			v[i] = r.Uint32()
+		}
+	}
+	return v
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		want := randomID(r)
+		got, err := Decode(Encode(want))
+		return err == nil && Compare(got, want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrderPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomID(r), randomID(r)
+		return sign(Compare(a, b)) == sign(bytes.Compare(Encode(a), Encode(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPrefixEncoding(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomID(r)
+		cut := r.Intn(len(a) + 1)
+		return bytes.HasPrefix(Encode(a), Encode(a[:cut]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCommonPrefixIsDeepestAncestor(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomID(r), randomID(r)
+		n := CommonPrefixLen(a, b)
+		p := ID(a[:n])
+		if !p.IsPrefixOf(a) || !p.IsPrefixOf(b) {
+			return false
+		}
+		// Maximality: extending by one more component must break prefix-ness.
+		if n < len(a) && n < len(b) && a[n] == b[n] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	v := id(5, 0, 3, 0, 0, 12, 7)
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = Append(buf[:0], v)
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	e := Encode(id(5, 0, 3, 0, 0, 12, 7))
+	var v ID
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, _ = DecodeInto(v, e)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	x := id(5, 0, 3, 0, 0, 12, 7)
+	y := id(5, 0, 3, 0, 1, 2)
+	for i := 0; i < b.N; i++ {
+		Compare(x, y)
+	}
+}

@@ -1,0 +1,51 @@
+package dewey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode checks that arbitrary bytes never panic the decoder and that
+// anything it accepts round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05})
+	f.Add(Encode(ID{5, 0, 3, 0, 0}))
+	f.Add(Encode(ID{0xFFFFFFFF, 127, 128}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(id)
+		// Canonical encodings round-trip bit-exactly; Decode only accepts
+		// canonical input because every (length-tag, value) range is
+		// disjoint.
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round trip %x -> %v -> %x", data, id, re)
+		}
+	})
+}
+
+// FuzzParse checks the dotted-string parser against its printer.
+func FuzzParse(f *testing.F) {
+	f.Add("5.0.3.0.0")
+	f.Add("")
+	f.Add("1..2")
+	f.Add("4294967295")
+	f.Add("00.1")
+	f.Fuzz(func(t *testing.T, s string) {
+		id, err := Parse(s)
+		if err != nil {
+			return
+		}
+		// Printing and reparsing is stable (String produces the canonical
+		// form, which may differ from a non-canonical input like "01").
+		id2, err := Parse(id.String())
+		if err != nil || !Equal(id, id2) {
+			t.Fatalf("reparse %q -> %v -> %v (%v)", s, id, id2, err)
+		}
+	})
+}

@@ -1,0 +1,282 @@
+package elemrank
+
+import (
+	"fmt"
+	"math"
+)
+
+// Variant selects which formula from the Section 3.1 refinement series to
+// compute. The final formula is the paper's contribution; the earlier ones
+// exist for the ablation experiment (E7 in DESIGN.md).
+type Variant int
+
+const (
+	// VariantFinal is the paper's final four-term formula: separate
+	// navigation probabilities for hyperlinks (d1), forward containment
+	// (d2) and reverse containment (d3), aggregate (un-normalized) reverse
+	// propagation, and a random-jump term scaled by document size.
+	VariantFinal Variant = iota
+	// VariantPageRank naively maps every element to a document and every
+	// edge (hyperlink and containment alike) to a directed hyperlink —
+	// the first strawman of Section 3.1.
+	VariantPageRank
+	// VariantBidirectional adds reverse containment edges but treats all
+	// three edge classes uniformly: e(u)/(Nh+Nc+1) to each neighbor.
+	VariantBidirectional
+	// VariantDiscriminated distinguishes hyperlinks (d1) from containment
+	// (d2, both directions, normalized by Nc+1) but does not yet treat
+	// reverse containment as aggregate.
+	VariantDiscriminated
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantFinal:
+		return "final"
+	case VariantPageRank:
+		return "pagerank"
+	case VariantBidirectional:
+		return "bidirectional"
+	case VariantDiscriminated:
+		return "discriminated"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Params are the ElemRank computation parameters. The defaults are the
+// paper's Section 3.2 experimental settings.
+type Params struct {
+	// D1, D2, D3 are the probabilities of navigating a hyperlink, a
+	// forward containment edge, and a reverse containment edge. For the
+	// single-d variants (PageRank, Bidirectional), D1+D2+D3 is used as d.
+	D1, D2, D3 float64
+	// Epsilon is the convergence threshold on the L1 norm of the score
+	// change between iterations.
+	Epsilon float64
+	// MaxIters bounds the iteration count; 0 means 1000.
+	MaxIters int
+	// Variant selects the formula; zero value is VariantFinal.
+	Variant Variant
+}
+
+// DefaultParams returns the paper's settings: d1=0.35, d2=0.25, d3=0.25,
+// convergence threshold 0.00002.
+func DefaultParams() Params {
+	return Params{D1: 0.35, D2: 0.25, D3: 0.25, Epsilon: 0.00002, MaxIters: 1000}
+}
+
+func (p Params) validate() error {
+	if p.D1 < 0 || p.D2 < 0 || p.D3 < 0 {
+		return fmt.Errorf("elemrank: negative navigation probability")
+	}
+	if s := p.D1 + p.D2 + p.D3; s <= 0 || s >= 1 {
+		return fmt.Errorf("elemrank: d1+d2+d3 = %v must be in (0, 1)", s)
+	}
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("elemrank: epsilon must be positive")
+	}
+	return nil
+}
+
+// Result holds the computed ElemRanks.
+type Result struct {
+	// Scores[g] is the ElemRank of the element with global index g. Scores
+	// form a probability distribution (they sum to 1): the stationary
+	// probability of the Section 3.1 random surfer being at the element.
+	Scores []float64
+	// Iterations is the number of power iterations performed.
+	Iterations int
+	// Converged reports whether the L1 delta fell below Epsilon before
+	// MaxIters.
+	Converged bool
+	// Delta is the final L1 change.
+	Delta float64
+}
+
+// Compute runs the ElemRank power iteration on g.
+func Compute(g *Graph, p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if g.N == 0 {
+		return &Result{Converged: true}, nil
+	}
+	maxIters := p.MaxIters
+	if maxIters == 0 {
+		maxIters = 1000
+	}
+
+	// jump[v] is the random-jump distribution q(v). For the final variant
+	// it is 1/(N_d * N_de(v)) — pick a document uniformly, then an element
+	// within it uniformly — so small documents are not swamped by large
+	// ones. The earlier variants use the uniform 1/N_e.
+	jump := make([]float64, g.N)
+	if p.Variant == VariantFinal {
+		for v := 0; v < g.N; v++ {
+			jump[v] = 1 / (float64(g.Docs) * float64(g.DocSize[v]))
+		}
+	} else {
+		u := 1 / float64(g.N)
+		for v := range jump {
+			jump[v] = u
+		}
+	}
+
+	dNav := p.D1 + p.D2 + p.D3
+	cur := make([]float64, g.N)
+	next := make([]float64, g.N)
+	copy(cur, jump) // start from the jump distribution
+
+	res := &Result{}
+	for iter := 1; iter <= maxIters; iter++ {
+		dangling := pushIteration(g, p, dNav, cur, next)
+		// Dangling mass (elements with no usable out-edges) is re-injected
+		// through the jump distribution, preserving total probability mass.
+		base := 1 - dNav + dNav*dangling
+		delta := 0.0
+		for v := 0; v < g.N; v++ {
+			nv := next[v] + base*jump[v]
+			delta += math.Abs(nv - cur[v])
+			cur[v] = nv
+		}
+		res.Iterations = iter
+		res.Delta = delta
+		if delta < p.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Scores = cur
+	return res, nil
+}
+
+// pushIteration distributes cur along the graph edges into next (which it
+// zeroes first) according to the selected variant, and returns the total
+// dangling probability mass.
+func pushIteration(g *Graph, p Params, dNav float64, cur, next []float64) (dangling float64) {
+	for i := range next {
+		next[i] = 0
+	}
+	switch p.Variant {
+	case VariantPageRank:
+		// All edges directed: hyperlinks and forward containment only.
+		for u := 0; u < g.N; u++ {
+			nOut := g.NumHLinks(int32(u)) + g.NumChildren(int32(u))
+			if nOut == 0 {
+				dangling += cur[u]
+				continue
+			}
+			w := dNav * cur[u] / float64(nOut)
+			for _, v := range g.HLinks(int32(u)) {
+				next[v] += w
+			}
+			for _, v := range g.Children(int32(u)) {
+				next[v] += w
+			}
+		}
+	case VariantBidirectional:
+		// Uniform over hyperlinks, children and parent: e(u)/(Nh+Nc+1).
+		for u := 0; u < g.N; u++ {
+			n := float64(g.NumHLinks(int32(u)) + g.NumChildren(int32(u)))
+			hasParent := g.Parent[u] >= 0
+			if hasParent {
+				n++
+			}
+			if n == 0 {
+				dangling += cur[u]
+				continue
+			}
+			w := dNav * cur[u] / n
+			for _, v := range g.HLinks(int32(u)) {
+				next[v] += w
+			}
+			for _, v := range g.Children(int32(u)) {
+				next[v] += w
+			}
+			if hasParent {
+				next[g.Parent[u]] += w
+			}
+		}
+	case VariantDiscriminated:
+		// d1 over hyperlinks; d2 over containment in both directions,
+		// normalized by Nc+1. Probabilities re-split when a class is absent.
+		for u := 0; u < g.N; u++ {
+			nh := g.NumHLinks(int32(u))
+			nc := g.NumChildren(int32(u))
+			hasParent := g.Parent[u] >= 0
+			contDeg := int(nc)
+			if hasParent {
+				contDeg++
+			}
+			denom := 0.0
+			if nh > 0 {
+				denom += p.D1
+			}
+			if contDeg > 0 {
+				denom += p.D2 + p.D3
+			}
+			if denom == 0 {
+				dangling += cur[u]
+				continue
+			}
+			scale := dNav / denom
+			if nh > 0 {
+				w := scale * p.D1 * cur[u] / float64(nh)
+				for _, v := range g.HLinks(int32(u)) {
+					next[v] += w
+				}
+			}
+			if contDeg > 0 {
+				w := scale * (p.D2 + p.D3) * cur[u] / float64(contDeg)
+				for _, v := range g.Children(int32(u)) {
+					next[v] += w
+				}
+				if hasParent {
+					next[g.Parent[u]] += w
+				}
+			}
+		}
+	default: // VariantFinal
+		// d1 over hyperlinks (split by Nh), d2 over children (split by Nc),
+		// d3 to the parent in full (aggregate reverse propagation). When an
+		// element lacks an edge class, the navigation probability is
+		// proportionally split among the available ones (Section 3.1).
+		for u := 0; u < g.N; u++ {
+			nh := g.NumHLinks(int32(u))
+			nc := g.NumChildren(int32(u))
+			hasParent := g.Parent[u] >= 0
+			denom := 0.0
+			if nh > 0 {
+				denom += p.D1
+			}
+			if nc > 0 {
+				denom += p.D2
+			}
+			if hasParent {
+				denom += p.D3
+			}
+			if denom == 0 {
+				dangling += cur[u]
+				continue
+			}
+			scale := dNav / denom
+			if nh > 0 {
+				w := scale * p.D1 * cur[u] / float64(nh)
+				for _, v := range g.HLinks(int32(u)) {
+					next[v] += w
+				}
+			}
+			if nc > 0 {
+				w := scale * p.D2 * cur[u] / float64(nc)
+				for _, v := range g.Children(int32(u)) {
+					next[v] += w
+				}
+			}
+			if hasParent {
+				next[g.Parent[u]] += scale * p.D3 * cur[u]
+			}
+		}
+	}
+	return dangling
+}

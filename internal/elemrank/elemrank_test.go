@@ -1,0 +1,385 @@
+package elemrank
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xrank/internal/xmldoc"
+)
+
+func buildCollection(t *testing.T, docs map[string]string) *xmldoc.Collection {
+	t.Helper()
+	c := xmldoc.NewCollection()
+	// Deterministic order: sort names.
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		if _, err := c.AddXML(n, strings.NewReader(docs[n]), nil); err != nil {
+			t.Fatalf("AddXML(%s): %v", n, err)
+		}
+	}
+	return c
+}
+
+func computeAll(t *testing.T, c *xmldoc.Collection, v Variant) *Result {
+	t.Helper()
+	g, _ := BuildGraph(c)
+	p := DefaultParams()
+	p.Variant = v
+	res, err := Compute(g, p)
+	if err != nil {
+		t.Fatalf("Compute(%v): %v", v, err)
+	}
+	if !res.Converged {
+		t.Fatalf("Compute(%v) did not converge in %d iters (delta %g)", v, res.Iterations, res.Delta)
+	}
+	return res
+}
+
+func scoreOf(c *xmldoc.Collection, res *Result, e *xmldoc.Element) float64 {
+	return res.Scores[c.GlobalIndex(e)]
+}
+
+const simpleDoc = `<r><a>one</a><b>two</b></r>`
+
+func TestMassConservationAllVariants(t *testing.T) {
+	c := buildCollection(t, map[string]string{
+		"d1": `<w><p id="x"><s>text</s><s>more</s></p><p><cite ref="x">c</cite></p></w>`,
+		"d2": `<w><p><cite xlink="d1#x">external</cite></p></w>`,
+		"d3": simpleDoc,
+	})
+	for _, v := range []Variant{VariantFinal, VariantPageRank, VariantBidirectional, VariantDiscriminated} {
+		res := computeAll(t, c, v)
+		sum := 0.0
+		for _, s := range res.Scores {
+			if s < 0 {
+				t.Errorf("%v: negative score %g", v, s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: scores sum to %g, want 1", v, sum)
+		}
+	}
+}
+
+func TestScoresPositiveFinal(t *testing.T) {
+	c := buildCollection(t, map[string]string{"d": simpleDoc})
+	res := computeAll(t, c, VariantFinal)
+	for g, s := range res.Scores {
+		if s <= 0 {
+			t.Errorf("element %d has non-positive ElemRank %g", g, s)
+		}
+	}
+}
+
+func TestHyperlinkAwareness(t *testing.T) {
+	// Two structurally identical papers; one is cited by many others.
+	// Desired property 3 (Section 2.3.1): widely referenced papers rank
+	// higher.
+	doc := `<proc>
+	  <paper id="pop"><title>popular paper</title></paper>
+	  <paper id="obscure"><title>obscure paper</title></paper>
+	  <paper><cite ref="pop">x</cite></paper>
+	  <paper><cite ref="pop">y</cite></paper>
+	  <paper><cite ref="pop">z</cite></paper>
+	</proc>`
+	c := buildCollection(t, map[string]string{"d": doc})
+	d := c.Docs[0]
+	var pop, obs *xmldoc.Element
+	for _, e := range d.Elements {
+		switch e.XMLID {
+		case "pop":
+			pop = e
+		case "obscure":
+			obs = e
+		}
+	}
+	res := computeAll(t, c, VariantFinal)
+	if scoreOf(c, res, pop) <= scoreOf(c, res, obs) {
+		t.Errorf("cited paper %g should outrank uncited twin %g",
+			scoreOf(c, res, pop), scoreOf(c, res, obs))
+	}
+	// Forward propagation: the popular paper's title outranks the obscure
+	// paper's title.
+	if scoreOf(c, res, pop.Children[0]) <= scoreOf(c, res, obs.Children[0]) {
+		t.Errorf("title of cited paper should outrank title of uncited twin")
+	}
+}
+
+func TestReverseAggregatePropagation(t *testing.T) {
+	// A workshop containing many cited papers should outrank a workshop
+	// containing one. Both workshops have the same number of children so
+	// forward split is equal.
+	doc := `<root>
+	  <workshop id="big">
+	    <paper id="b1">a</paper><paper id="b2">b</paper><paper id="b3">c</paper>
+	  </workshop>
+	  <workshop id="small">
+	    <paper id="s1">a</paper><paper>b</paper><paper>c</paper>
+	  </workshop>
+	  <refs>
+	    <cite ref="b1">1</cite><cite ref="b2">2</cite><cite ref="b3">3</cite>
+	    <cite ref="b1">4</cite><cite ref="b2">5</cite><cite ref="b3">6</cite>
+	    <cite ref="s1">7</cite>
+	  </refs>
+	</root>`
+	c := buildCollection(t, map[string]string{"d": doc})
+	var big, small *xmldoc.Element
+	for _, e := range c.Docs[0].Elements {
+		switch e.XMLID {
+		case "big":
+			big = e
+		case "small":
+			small = e
+		}
+	}
+	res := computeAll(t, c, VariantFinal)
+	if scoreOf(c, res, big) <= scoreOf(c, res, small) {
+		t.Errorf("workshop with many cited papers (%g) should outrank one with few (%g)",
+			scoreOf(c, res, big), scoreOf(c, res, small))
+	}
+}
+
+func TestSectionNotDilutedByReferences(t *testing.T) {
+	// Section 3.1's motivation for discriminating edge classes: adding many
+	// references to a paper must not depress its sections' ranks under the
+	// final formula, but does under the uniform bidirectional formula.
+	// The document always has 20 potential reference targets; only the
+	// refs= IDREFS list on the paper varies, so containment structure is
+	// identical between the few/many cases and only hyperlink fan-out
+	// changes.
+	mk := func(ncites int) string {
+		var b strings.Builder
+		refs := make([]string, ncites)
+		for i := range refs {
+			refs[i] = fmt.Sprintf("t%d", i)
+		}
+		fmt.Fprintf(&b, `<proc><paper id="p" refs="%s"><section>content words</section></paper>`,
+			strings.Join(refs, " "))
+		for i := 0; i < 20; i++ {
+			fmt.Fprintf(&b, `<target id="t%d">tgt</target>`, i)
+		}
+		b.WriteString(`</proc>`)
+		return b.String()
+	}
+	sectionScore := func(t *testing.T, ncites int, v Variant) float64 {
+		c := buildCollection(t, map[string]string{"main": mk(ncites)})
+		var sec *xmldoc.Element
+		for _, e := range c.DocByName("main").Elements {
+			if e.Tag == "section" {
+				sec = e
+			}
+		}
+		res := computeAll(t, c, v)
+		return scoreOf(c, res, sec)
+	}
+	// Under the final formula, hyperlink fan-out must not starve the
+	// section: d2 flows to children regardless of N_h.
+	few := sectionScore(t, 1, VariantFinal)
+	many := sectionScore(t, 20, VariantFinal)
+	if many < 0.7*few {
+		t.Errorf("final formula: 20 cites starved section: %g -> %g", few, many)
+	}
+	// The PageRank strawman splits rank across all out-edges (hyperlinks
+	// and containment alike), so the same change collapses the section's
+	// score — that contrast is the point of the refinement series.
+	fewPR := sectionScore(t, 1, VariantPageRank)
+	manyPR := sectionScore(t, 20, VariantPageRank)
+	if !(many/few > 1.2*manyPR/fewPR) {
+		t.Errorf("final formula should preserve section rank far better than strawman: final %g->%g, strawman %g->%g",
+			few, many, fewPR, manyPR)
+	}
+}
+
+// TestHTMLGeneralizesToPageRank checks the paper's design goal (Section 1):
+// on a two-level collection (HTML documents with hyperlinks), ElemRank
+// reduces exactly to PageRank with d = d1+d2+d3.
+func TestHTMLGeneralizesToPageRank(t *testing.T) {
+	c := xmldoc.NewCollection()
+	pages := map[string][]string{
+		"a": {"b", "c"},
+		"b": {"c"},
+		"c": {"a"},
+		"d": {"c", "a", "b"},
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		var b strings.Builder
+		b.WriteString("<html><body>page " + name)
+		for _, tgt := range pages[name] {
+			fmt.Fprintf(&b, `<a href="%s">link</a>`, tgt)
+		}
+		b.WriteString("</body></html>")
+		if _, err := c.AddHTML(name, strings.NewReader(b.String()), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := BuildGraph(c)
+	p := DefaultParams()
+	res, err := Compute(g, p)
+	if err != nil || !res.Converged {
+		t.Fatalf("Compute: %v converged=%v", err, res.Converged)
+	}
+
+	// Independent straightforward PageRank computation.
+	d := p.D1 + p.D2 + p.D3
+	names := []string{"a", "b", "c", "d"}
+	idx := map[string]int{"a": 0, "b": 1, "c": 2, "d": 3}
+	pr := []float64{0.25, 0.25, 0.25, 0.25}
+	for iter := 0; iter < 200; iter++ {
+		nxt := []float64{0, 0, 0, 0}
+		for _, n := range names {
+			out := pages[n]
+			share := d * pr[idx[n]] / float64(len(out))
+			for _, tgt := range out {
+				nxt[idx[tgt]] += share
+			}
+		}
+		for i := range nxt {
+			nxt[i] += (1 - d) / 4
+		}
+		pr = nxt
+	}
+	for _, n := range names {
+		got := res.Scores[c.GlobalIndex(c.DocByName(n).Root)]
+		if math.Abs(got-pr[idx[n]]) > 1e-4 {
+			t.Errorf("page %s: ElemRank %g != PageRank %g", n, got, pr[idx[n]])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	docs := map[string]string{
+		"d1": `<w><p id="x"><s>a</s></p><p><cite ref="x">c</cite></p></w>`,
+		"d2": simpleDoc,
+	}
+	r1 := computeAll(t, buildCollection(t, docs), VariantFinal)
+	r2 := computeAll(t, buildCollection(t, docs), VariantFinal)
+	for i := range r1.Scores {
+		if r1.Scores[i] != r2.Scores[i] {
+			t.Fatalf("non-deterministic score at %d", i)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	g := &Graph{N: 1, Docs: 1, Parent: []int32{-1}, ChildOff: []int32{0, 0}, HLinkOff: []int32{0, 0}, DocSize: []int32{1}}
+	bad := []Params{
+		{D1: 0.5, D2: 0.5, D3: 0.2, Epsilon: 1e-5},  // sums > 1
+		{D1: -0.1, D2: 0.5, D3: 0.2, Epsilon: 1e-5}, // negative
+		{D1: 0, D2: 0, D3: 0, Epsilon: 1e-5},        // zero navigation
+		{D1: 0.3, D2: 0.3, D3: 0.2, Epsilon: 0},     // no epsilon
+	}
+	for _, p := range bad {
+		if _, err := Compute(g, p); err == nil {
+			t.Errorf("Params %+v should be rejected", p)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res, err := Compute(&Graph{}, DefaultParams())
+	if err != nil || !res.Converged {
+		t.Fatalf("empty graph: %v %v", res, err)
+	}
+}
+
+func TestSingleElementCollection(t *testing.T) {
+	c := buildCollection(t, map[string]string{"d": `<only>word</only>`})
+	res := computeAll(t, c, VariantFinal)
+	if math.Abs(res.Scores[0]-1) > 1e-9 {
+		t.Errorf("sole element should hold all mass, got %g", res.Scores[0])
+	}
+}
+
+// randomTreeXML builds a random small document for property testing.
+func randomTreeXML(r *rand.Rand) string {
+	var b strings.Builder
+	var gen func(depth int)
+	n := 0
+	gen = func(depth int) {
+		n++
+		tag := fmt.Sprintf("t%d", n)
+		fmt.Fprintf(&b, "<%s>w%d", tag, r.Intn(50))
+		if depth < 4 {
+			for i := 0; i < r.Intn(4); i++ {
+				gen(depth + 1)
+			}
+		}
+		fmt.Fprintf(&b, "</%s>", tag)
+	}
+	gen(0)
+	return b.String()
+}
+
+func TestQuickMassConservationRandomTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := xmldoc.NewCollection()
+		nd := 1 + r.Intn(3)
+		for i := 0; i < nd; i++ {
+			if _, err := c.AddXML(fmt.Sprintf("doc%d", i), strings.NewReader(randomTreeXML(r)), nil); err != nil {
+				return false
+			}
+		}
+		g, _ := BuildGraph(c)
+		for _, v := range []Variant{VariantFinal, VariantBidirectional, VariantDiscriminated, VariantPageRank} {
+			p := DefaultParams()
+			p.Variant = v
+			res, err := Compute(g, p)
+			if err != nil || !res.Converged {
+				return false
+			}
+			sum := 0.0
+			for _, s := range res.Scores {
+				if s < -1e-12 {
+					return false
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	c := buildCollection(t, map[string]string{"d": `<r><a>x</a><b><c>y</c></b></r>`})
+	g, stats := BuildGraph(c)
+	if stats.Resolved != 0 {
+		t.Errorf("unexpected links: %+v", stats)
+	}
+	root := int32(c.GlobalIndex(c.Docs[0].Root))
+	if g.NumChildren(root) != 2 {
+		t.Errorf("root children = %d", g.NumChildren(root))
+	}
+	if g.Parent[root] != -1 {
+		t.Errorf("root parent = %d", g.Parent[root])
+	}
+	for _, ch := range g.Children(root) {
+		if g.Parent[ch] != root {
+			t.Errorf("child %d parent = %d, want %d", ch, g.Parent[ch], root)
+		}
+	}
+	if g.NumHLinks(root) != 0 {
+		t.Errorf("root hlinks = %d", g.NumHLinks(root))
+	}
+}

@@ -1,0 +1,218 @@
+// Package index implements XRANK's inverted-list index family (Guo et
+// al., SIGMOD 2003, Section 4): the naive element inverted lists
+// (Naive-ID, Naive-Rank), the Dewey Inverted List (DIL), the Ranked Dewey
+// Inverted List (RDIL) and the Hybrid Dewey Inverted List (HDIL), all
+// disk-resident over the storage substrate.
+//
+// On-disk inverted lists are streams of entries packed into fixed-size
+// pages (entries never span pages), so sequential scans touch consecutive
+// pages — the access pattern that makes DIL cheap — while B+-trees and
+// hash indexes provide the random entry points that RDIL and Naive-Rank
+// rely on.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xrank/internal/dewey"
+)
+
+// Posting is one decoded inverted-list entry: a keyword's occurrences in
+// one element that directly contains it, with the element's ElemRank
+// (Section 4.2.1, Figure 4).
+type Posting struct {
+	// ID is the element's Dewey ID (Dewey-family indexes). nil for naive
+	// entries.
+	ID dewey.ID
+	// Elem is the element's collection-global index (naive-family indexes;
+	// also populated for Dewey entries at build time).
+	Elem int32
+	// Rank is the element's ElemRank.
+	Rank float32
+	// Positions is the posList: document-global token offsets of the
+	// keyword in the element, ascending.
+	Positions []uint32
+}
+
+// Entry wire formats. Every entry starts with a uint16 total length of the
+// body (everything after the length field), so scans can skip entries
+// without decoding them. A length of padEntry marks page padding.
+//
+//	dewey entry body:  u16 idLen, id bytes, f32 rank, uvarint nPos, uvarint pos deltas
+//	naive entry body:  uvarint elemID, f32 rank, uvarint nPos, uvarint pos deltas
+const (
+	entryLenSize = 2
+	padEntry     = 0xFFFF
+)
+
+// MaxPositionsDefault caps the posList length stored per entry. Extremely
+// long posLists (a stopword in a huge HTML page) would otherwise overflow
+// a page; the cap preserves the first occurrences, which is what window
+// proximity needs most. The true total is not needed by any algorithm in
+// the paper.
+const MaxPositionsDefault = 1024
+
+// AppendDeweyEntry appends the encoded Dewey entry to buf.
+func AppendDeweyEntry(buf []byte, p *Posting) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0) // total length patch slot
+	idBytes := dewey.EncodedLen(p.ID)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(idBytes))
+	buf = dewey.Append(buf, p.ID)
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Rank))
+	buf = appendPositions(buf, p.Positions)
+	binary.LittleEndian.PutUint16(buf[start:], uint16(len(buf)-start-entryLenSize))
+	return buf
+}
+
+// AppendDeweyEntryCompressed appends a prefix-compressed Dewey entry: the
+// ID is stored as (number of leading components shared with prev, encoded
+// suffix). Compression chains reset at page boundaries and at the start
+// of each term's list (pass prev = nil), keeping every page
+// self-decodable — which is what lets HDIL treat postings pages as
+// B+-tree leaves even when compressed. Enabled by
+// BuildOptions.CompressDewey; an optional space extension beyond the
+// paper (its Section 4.2.1 space argument, taken one step further).
+//
+// Body layout: u8 lcp, uvarint suffixLen, suffix, f32 rank, posList.
+func AppendDeweyEntryCompressed(buf []byte, prev, id dewey.ID, rank float32, positions []uint32) []byte {
+	lcp := dewey.CommonPrefixLen(prev, id)
+	if lcp > 255 {
+		lcp = 255
+	}
+	start := len(buf)
+	buf = append(buf, 0, 0) // total length patch slot
+	buf = append(buf, byte(lcp))
+	suffix := id[lcp:]
+	buf = binary.AppendUvarint(buf, uint64(dewey.EncodedLen(suffix)))
+	buf = dewey.Append(buf, suffix)
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(rank))
+	buf = appendPositions(buf, positions)
+	binary.LittleEndian.PutUint16(buf[start:], uint16(len(buf)-start-entryLenSize))
+	return buf
+}
+
+// DecodeDeweyEntryCompressed decodes a compressed entry body into p,
+// reconstructing the full ID from prev (the previous entry's ID on the
+// same page, or nil for the first entry of a page or list).
+func DecodeDeweyEntryCompressed(body []byte, prev dewey.ID, p *Posting) error {
+	if len(body) < 2 {
+		return fmt.Errorf("index: compressed dewey entry too short")
+	}
+	lcp := int(body[0])
+	sl, n := binary.Uvarint(body[1:])
+	if n <= 0 {
+		return fmt.Errorf("index: compressed dewey entry suffix length corrupt")
+	}
+	suffixLen := int(sl)
+	body = body[1+n:]
+	if lcp > len(prev) {
+		return fmt.Errorf("index: compressed entry lcp %d exceeds previous ID length %d", lcp, len(prev))
+	}
+	if len(body) < suffixLen+4 {
+		return fmt.Errorf("index: compressed dewey entry truncated")
+	}
+	p.ID = append(p.ID[:0], prev[:lcp]...)
+	var err error
+	p.ID, err = dewey.AppendDecoded(p.ID, body[:suffixLen])
+	if err != nil {
+		return err
+	}
+	body = body[suffixLen:]
+	p.Rank = math.Float32frombits(binary.LittleEndian.Uint32(body))
+	p.Elem = -1
+	return decodePositions(body[4:], p)
+}
+
+// AppendNaiveEntry appends the encoded naive entry to buf.
+func AppendNaiveEntry(buf []byte, p *Posting) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0)
+	buf = binary.AppendUvarint(buf, uint64(p.Elem))
+	buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Rank))
+	buf = appendPositions(buf, p.Positions)
+	binary.LittleEndian.PutUint16(buf[start:], uint16(len(buf)-start-entryLenSize))
+	return buf
+}
+
+func appendPositions(buf []byte, pos []uint32) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(pos)))
+	prev := uint32(0)
+	for i, p := range pos {
+		if i == 0 {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(p-prev))
+		}
+		prev = p
+	}
+	return buf
+}
+
+// DecodeDeweyEntry decodes a Dewey entry body (after the length prefix)
+// into p, reusing p's slices. It returns an error on corruption.
+func DecodeDeweyEntry(body []byte, p *Posting) error {
+	if len(body) < 2 {
+		return fmt.Errorf("index: dewey entry too short")
+	}
+	idLen := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < idLen+4 {
+		return fmt.Errorf("index: dewey entry truncated (idLen %d)", idLen)
+	}
+	var err error
+	p.ID, err = dewey.DecodeInto(p.ID, body[:idLen])
+	if err != nil {
+		return err
+	}
+	body = body[idLen:]
+	p.Rank = math.Float32frombits(binary.LittleEndian.Uint32(body))
+	body = body[4:]
+	p.Elem = -1
+	return decodePositions(body, p)
+}
+
+// DecodeNaiveEntry decodes a naive entry body into p.
+func DecodeNaiveEntry(body []byte, p *Posting) error {
+	elem, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("index: naive entry elem id corrupt")
+	}
+	body = body[n:]
+	if len(body) < 4 {
+		return fmt.Errorf("index: naive entry truncated")
+	}
+	p.Elem = int32(elem)
+	p.ID = p.ID[:0]
+	p.Rank = math.Float32frombits(binary.LittleEndian.Uint32(body))
+	return decodePositions(body[4:], p)
+}
+
+func decodePositions(body []byte, p *Posting) error {
+	nPos, n := binary.Uvarint(body)
+	if n <= 0 {
+		return fmt.Errorf("index: posList count corrupt")
+	}
+	body = body[n:]
+	if cap(p.Positions) < int(nPos) {
+		p.Positions = make([]uint32, 0, nPos)
+	}
+	p.Positions = p.Positions[:0]
+	prev := uint64(0)
+	for i := uint64(0); i < nPos; i++ {
+		d, n := binary.Uvarint(body)
+		if n <= 0 {
+			return fmt.Errorf("index: posList truncated at %d/%d", i, nPos)
+		}
+		body = body[n:]
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		p.Positions = append(p.Positions, uint32(prev))
+	}
+	return nil
+}

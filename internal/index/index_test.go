@@ -1,0 +1,490 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xrank/internal/dewey"
+	"xrank/internal/elemrank"
+	"xrank/internal/xmldoc"
+)
+
+// buildTestIndex parses the given documents, computes ElemRanks, builds
+// all index variants in a temp dir and opens the result.
+func buildTestIndex(t *testing.T, docs map[string]string, opts BuildOptions) (*xmldoc.Collection, []float64, *Index) {
+	t.Helper()
+	c := xmldoc.NewCollection()
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	// Sort names for deterministic doc IDs.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		if _, err := c.AddXML(n, strings.NewReader(docs[n]), nil); err != nil {
+			t.Fatalf("AddXML(%s): %v", n, err)
+		}
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, err := elemrank.Compute(g, elemrank.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Build(c, res.Scores, dir, opts); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return c, res.Scores, ix
+}
+
+// referencePostings computes the expected direct postings per term from
+// the collection: (element, positions) for elements directly containing
+// the term, in document order.
+func referencePostings(c *xmldoc.Collection) map[string][]Posting {
+	ref := make(map[string][]Posting)
+	for _, d := range c.Docs {
+		for _, e := range d.Elements {
+			byTerm := map[string][]uint32{}
+			for _, tok := range e.Tokens {
+				byTerm[tok.Term] = append(byTerm[tok.Term], tok.Pos)
+			}
+			for term, pos := range byTerm {
+				ref[term] = append(ref[term], Posting{
+					ID:        e.DeweyID(),
+					Elem:      int32(c.GlobalIndex(e)),
+					Positions: pos,
+				})
+			}
+		}
+	}
+	return ref
+}
+
+const smallDoc = `<lib>
+  <book id="b1"><title>deep blue sea</title><body><ch>blue whale song</ch><ch>sea and sky</ch></body></book>
+  <book id="b2"><title>red sky</title><body><ch>crimson sky at night</ch></body><cite ref="b1">see blue</cite></book>
+</lib>`
+
+func TestBuildOpenRoundTrip(t *testing.T) {
+	c, _, ix := buildTestIndex(t, map[string]string{"lib": smallDoc}, BuildOptions{})
+	ref := referencePostings(c)
+	if ix.Meta.Terms != len(ref) {
+		t.Errorf("Terms = %d, want %d", ix.Meta.Terms, len(ref))
+	}
+	for term, want := range ref {
+		if !ix.HasTerm(term) {
+			t.Fatalf("missing term %q", term)
+		}
+		cur, ok := ix.DILCursor(term)
+		if !ok {
+			t.Fatalf("no DIL cursor for %q", term)
+		}
+		if cur.Count() != len(want) {
+			t.Fatalf("term %q: count %d, want %d", term, cur.Count(), len(want))
+		}
+		for i := range want {
+			p, ok, err := cur.Next()
+			if err != nil || !ok {
+				t.Fatalf("term %q entry %d: %v %v", term, i, ok, err)
+			}
+			if !dewey.Equal(p.ID, want[i].ID) {
+				t.Errorf("term %q entry %d: ID %v, want %v", term, i, p.ID, want[i].ID)
+			}
+			if len(p.Positions) != len(want[i].Positions) {
+				t.Errorf("term %q entry %d: %d positions, want %d", term, i, len(p.Positions), len(want[i].Positions))
+			} else {
+				for j := range p.Positions {
+					if p.Positions[j] != want[i].Positions[j] {
+						t.Errorf("term %q entry %d pos %d: %d != %d", term, i, j, p.Positions[j], want[i].Positions[j])
+					}
+				}
+			}
+			if p.Rank <= 0 {
+				t.Errorf("term %q entry %d: rank %g", term, i, p.Rank)
+			}
+		}
+		if _, ok, _ := cur.Next(); ok {
+			t.Errorf("term %q: cursor overran", term)
+		}
+		cur.Close()
+	}
+	if _, ok := ix.DILCursor("nonexistentterm"); ok {
+		t.Errorf("cursor for unknown term")
+	}
+}
+
+func TestRDILRankOrdered(t *testing.T) {
+	_, _, ix := buildTestIndex(t, map[string]string{"lib": smallDoc}, BuildOptions{})
+	for _, term := range []string{"sky", "blue", "book"} {
+		cur, ok := ix.RDILRankCursor(term)
+		if !ok {
+			t.Fatalf("no cursor for %q", term)
+		}
+		last := float32(2)
+		for {
+			p, ok, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			if p.Rank > last {
+				t.Errorf("term %q: rank order violated: %g after %g", term, p.Rank, last)
+			}
+			last = p.Rank
+		}
+		cur.Close()
+	}
+}
+
+// bigCorpus generates one document whose lists span multiple pages.
+func bigCorpus(n int) map[string]string {
+	var b strings.Builder
+	b.WriteString("<root>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<item><name>common w%d</name><desc>filler text number %d</desc></item>", i%97, i)
+	}
+	b.WriteString("</root>")
+	return map[string]string{"big": b.String()}
+}
+
+func TestMultiPageListAndProbers(t *testing.T) {
+	c, _, ix := buildTestIndex(t, bigCorpus(3000), BuildOptions{MinRankPrefix: 8, RankFraction: 0.05})
+	ref := referencePostings(c)
+	want := ref["common"]
+	if len(want) != 3000 {
+		t.Fatalf("reference has %d entries", len(want))
+	}
+	cur, _ := ix.DILCursor("common")
+	got := 0
+	for {
+		p, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if !dewey.Equal(p.ID, want[got].ID) {
+			t.Fatalf("entry %d: %v != %v", got, p.ID, want[got].ID)
+		}
+		got++
+	}
+	cur.Close()
+	if got != 3000 {
+		t.Fatalf("scanned %d entries", got)
+	}
+
+	// HDIL rank prefix must be a strict prefix of the list.
+	hc, _ := ix.HDILRankCursor("common")
+	if hc.Count() >= 3000 || hc.Count() < 8 {
+		t.Errorf("HDIL rank prefix = %d entries", hc.Count())
+	}
+	hc.Close()
+
+	// Both probers must agree with the in-memory reference on LCP probes.
+	rp, _ := ix.RDILProber("common")
+	hp, _ := ix.HDILProber("common")
+	refLCP := func(target dewey.ID) int {
+		best := 0
+		for i := range want {
+			if n := dewey.CommonPrefixLen(target, want[i].ID); n > best {
+				best = n
+			}
+		}
+		return best
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		var target dewey.ID
+		switch trial % 4 {
+		case 0: // exact existing ID
+			target = want[r.Intn(len(want))].ID.Clone()
+		case 1: // sibling path
+			target = want[r.Intn(len(want))].ID.Clone()
+			target[len(target)-1] += uint32(r.Intn(3)) + 1
+		case 2: // deeper path
+			target = want[r.Intn(len(want))].ID.Child(uint32(r.Intn(5)))
+		default: // other document
+			target = dewey.ID{uint32(r.Intn(3) + 5), uint32(r.Intn(4))}
+		}
+		wantLCP := refLCP(target)
+		gotR, err := rp.ProbeLCP(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotH, err := hp.ProbeLCP(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotR != wantLCP || gotH != wantLCP {
+			t.Fatalf("ProbeLCP(%v): rdil=%d hdil=%d want=%d", target, gotR, gotH, wantLCP)
+		}
+	}
+
+	// ScanPrefix must agree with reference filtering.
+	for trial := 0; trial < 50; trial++ {
+		base := want[r.Intn(len(want))].ID
+		cut := 1 + r.Intn(len(base))
+		prefix := base[:cut].Clone()
+		var wantIDs []string
+		for i := range want {
+			if prefix.IsPrefixOf(want[i].ID) {
+				wantIDs = append(wantIDs, want[i].ID.String())
+			}
+		}
+		for name, prober := range map[string]DeweyProber{"rdil": rp, "hdil": hp} {
+			var gotIDs []string
+			err := prober.ScanPrefix(prefix, func(p *Posting) error {
+				gotIDs = append(gotIDs, p.ID.String())
+				if len(p.Positions) == 0 {
+					return fmt.Errorf("empty posList")
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s ScanPrefix: %v", name, err)
+			}
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("%s ScanPrefix(%v): %d entries, want %d", name, prefix, len(gotIDs), len(wantIDs))
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("%s ScanPrefix(%v)[%d]: %s != %s", name, prefix, i, gotIDs[i], wantIDs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveClosureCorrectness(t *testing.T) {
+	c, _, ix := buildTestIndex(t, map[string]string{"lib": smallDoc}, BuildOptions{})
+	// An element is in term's naive list iff it contains* the term.
+	for _, term := range []string{"blue", "sky", "crimson"} {
+		wantSet := map[int32]bool{}
+		for _, d := range c.Docs {
+			for _, e := range d.Elements {
+				if xmldoc.ContainsTerm(e, term) {
+					wantSet[int32(c.GlobalIndex(e))] = true
+				}
+			}
+		}
+		cur, ok := ix.NaiveIDCursor(term)
+		if !ok {
+			t.Fatalf("no naive cursor for %q", term)
+		}
+		var gotElems []int32
+		for {
+			p, ok, err := cur.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			gotElems = append(gotElems, p.Elem)
+			if !wantSet[p.Elem] {
+				t.Errorf("term %q: spurious naive entry for elem %d", term, p.Elem)
+			}
+			if p.Rank <= 0 {
+				t.Errorf("term %q elem %d: naive rank %g", term, p.Elem, p.Rank)
+			}
+			if len(p.Positions) == 0 {
+				t.Errorf("term %q elem %d: empty posList", term, p.Elem)
+			}
+		}
+		cur.Close()
+		if len(gotElems) != len(wantSet) {
+			t.Errorf("term %q: %d naive entries, want %d", term, len(gotElems), len(wantSet))
+		}
+		for i := 1; i < len(gotElems); i++ {
+			if gotElems[i] <= gotElems[i-1] {
+				t.Errorf("term %q: naive IDs out of order", term)
+			}
+		}
+	}
+}
+
+func TestNaiveLookup(t *testing.T) {
+	c, _, ix := buildTestIndex(t, bigCorpus(1500), BuildOptions{})
+	// Every element in the closure must be findable via the hash index.
+	term := "common"
+	cur, _ := ix.NaiveIDCursor(term)
+	var all []Posting
+	for {
+		p, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		all = append(all, Posting{Elem: p.Elem, Rank: p.Rank, Positions: append([]uint32(nil), p.Positions...)})
+	}
+	cur.Close()
+	if len(all) < 1500 {
+		t.Fatalf("closure too small: %d", len(all))
+	}
+	var probe Posting
+	for _, want := range all {
+		ok, err := ix.NaiveLookup(term, want.Elem, &probe)
+		if err != nil || !ok {
+			t.Fatalf("NaiveLookup(%d): %v %v", want.Elem, ok, err)
+		}
+		if probe.Rank != want.Rank || len(probe.Positions) != len(want.Positions) {
+			t.Fatalf("NaiveLookup(%d): wrong entry", want.Elem)
+		}
+	}
+	// Misses: element IDs not in the closure.
+	inClosure := map[int32]bool{}
+	for _, p := range all {
+		inClosure[p.Elem] = true
+	}
+	misses := 0
+	for g := 0; g < c.NumElements() && misses < 50; g++ {
+		if !inClosure[int32(g)] {
+			misses++
+			ok, err := ix.NaiveLookup(term, int32(g), &probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatalf("NaiveLookup(%d) found an absent element", g)
+			}
+		}
+	}
+	if ok, err := ix.NaiveLookup("unknownterm", 0, &probe); ok || err != nil {
+		t.Errorf("lookup on unknown term: %v %v", ok, err)
+	}
+}
+
+func TestColdCacheAndStats(t *testing.T) {
+	_, _, ix := buildTestIndex(t, bigCorpus(2000), BuildOptions{})
+	if err := ix.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := ix.DILCursor("common")
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	cur.Close()
+	s1 := ix.IOStats()
+	if s1.Reads == 0 {
+		t.Fatalf("no reads recorded")
+	}
+	if s1.SeqReads < s1.RandReads {
+		t.Errorf("a DIL scan should be mostly sequential: %+v", s1)
+	}
+	// Re-scan warm: all hits, no new device reads.
+	cur, _ = ix.DILCursor("common")
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	cur.Close()
+	s2 := ix.IOStats()
+	if s2.Reads != s1.Reads {
+		t.Errorf("warm re-scan hit the device: %d -> %d", s1.Reads, s2.Reads)
+	}
+	if s2.CacheHits == s1.CacheHits {
+		t.Errorf("warm re-scan produced no cache hits")
+	}
+	if err := ix.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	if s := ix.IOStats(); s.Reads != 0 {
+		t.Errorf("ColdCache did not reset stats: %+v", s)
+	}
+}
+
+func TestSkipNaive(t *testing.T) {
+	c := xmldoc.NewCollection()
+	if _, err := c.AddXML("d", strings.NewReader(smallDoc), nil); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, _ := elemrank.Compute(g, elemrank.DefaultParams())
+	dir := t.TempDir()
+	stats, err := Build(c, res.Scores, dir, BuildOptions{SkipNaive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NaiveIDList != 0 || stats.NaiveRankList != 0 {
+		t.Errorf("SkipNaive built naive lists: %+v", stats)
+	}
+	ix, err := Open(dir, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if _, ok := ix.NaiveIDCursor("blue"); ok {
+		t.Errorf("naive cursor on SkipNaive index")
+	}
+	if c, ok := ix.DILCursor("blue"); !ok {
+		t.Errorf("DIL missing on SkipNaive index")
+	} else {
+		c.Close()
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	c := xmldoc.NewCollection()
+	if _, err := c.AddXML("d", strings.NewReader(smallDoc), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(c, []float64{1, 2, 3}, t.TempDir(), BuildOptions{}); err == nil {
+		t.Errorf("rank/element mismatch should fail")
+	}
+}
+
+func TestSpaceShapeNaiveVsDIL(t *testing.T) {
+	// The Table 1 shape at miniature scale: naive lists replicate
+	// ancestors, so they must be strictly larger than DIL.
+	c := xmldoc.NewCollection()
+	docs := bigCorpus(2000)
+	for n, s := range docs {
+		if _, err := c.AddXML(n, strings.NewReader(s), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, _ := elemrank.Compute(g, elemrank.DefaultParams())
+	stats, err := Build(c, res.Scores, t.TempDir(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NaiveIDList <= stats.DILList {
+		t.Errorf("naive list (%d) should exceed DIL (%d)", stats.NaiveIDList, stats.DILList)
+	}
+	if stats.HDILIndex >= stats.RDILIndex {
+		t.Errorf("HDIL external index (%d) should be smaller than RDIL full trees (%d)", stats.HDILIndex, stats.RDILIndex)
+	}
+	if stats.Meta.NaiveEntries <= stats.Meta.DeweyEntries {
+		t.Errorf("naive entries (%d) should exceed dewey entries (%d)", stats.Meta.NaiveEntries, stats.Meta.DeweyEntries)
+	}
+}

@@ -1,0 +1,243 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"xrank/internal/btree"
+	"xrank/internal/storage"
+)
+
+// Per-variant term metadata. Lexicons are loaded fully into memory at
+// open time, the standard arrangement for inverted-list engines (the
+// paper's size tables count inverted lists and indexes; lexicons are
+// negligible beside them).
+
+// DILMeta locates a term's Dewey-ordered inverted list.
+type DILMeta struct {
+	Loc Loc
+}
+
+// RDILMeta locates a term's rank-ordered inverted list and the root of
+// its Dewey-keyed B+-tree (Section 4.3.1).
+type RDILMeta struct {
+	RankLoc Loc
+	Root    btree.Ref
+}
+
+// HDILMeta describes a term in the hybrid layout (Section 4.4.1): the
+// full Dewey-ordered list (shared with DIL, reused as the B+-tree leaf
+// level), its end position, the short rank-ordered prefix, and the root
+// of the external-leaf B+-tree.
+type HDILMeta struct {
+	DilLoc  Loc
+	EndPage storage.PageID // position just after the last entry
+	EndOff  uint16
+	RankLoc Loc // rank-ordered prefix (RankLoc.Count <= DilLoc.Count)
+	Root    btree.Ref
+}
+
+// NaiveMeta locates a term's naive (ancestor-replicating) inverted list.
+type NaiveMeta struct {
+	Loc Loc
+}
+
+// HashMeta locates a term's static hash table over element IDs
+// (Naive-Rank's random-lookup index).
+type HashMeta struct {
+	Page   storage.PageID
+	Off    uint16 // nonzero only for tables packed into a shared page
+	NSlots uint32
+}
+
+// NaiveRankMeta locates a term's rank-ordered naive list and its hash
+// index.
+type NaiveRankMeta struct {
+	Loc  Loc
+	Hash HashMeta
+}
+
+const lexMagic = 0x584C4558 // "XLEX"
+
+// writeLexicon writes a lexicon file: terms with fixed-format metadata
+// blobs produced by enc.
+func writeLexicon(path string, terms []string, enc func(term string, buf []byte) []byte) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: create lexicon: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriter(f)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], lexMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(terms)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, t := range terms {
+		if len(t) > 0xFFFF {
+			return fmt.Errorf("index: term too long (%d bytes)", len(t))
+		}
+		buf = buf[:0]
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t)))
+		buf = append(buf, t...)
+		meta := enc(t, nil)
+		if len(meta) > 0xFFFF {
+			return fmt.Errorf("index: metadata too long")
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(meta)))
+		buf = append(buf, meta...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readLexicon reads a lexicon file, invoking dec for each (term, meta).
+func readLexicon(path string, dec func(term string, meta []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("index: open lexicon: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("index: lexicon header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != lexMagic {
+		return fmt.Errorf("index: %s is not a lexicon file", path)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	var buf []byte
+	for i := uint32(0); i < n; i++ {
+		var l16 [2]byte
+		if _, err := io.ReadFull(r, l16[:]); err != nil {
+			return fmt.Errorf("index: lexicon term %d: %w", i, err)
+		}
+		tl := int(binary.LittleEndian.Uint16(l16[:]))
+		if cap(buf) < tl {
+			buf = make([]byte, tl)
+		}
+		buf = buf[:tl]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		term := string(buf)
+		if _, err := io.ReadFull(r, l16[:]); err != nil {
+			return err
+		}
+		ml := int(binary.LittleEndian.Uint16(l16[:]))
+		meta := make([]byte, ml)
+		if _, err := io.ReadFull(r, meta); err != nil {
+			return err
+		}
+		if err := dec(term, meta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fixed-size field encoders shared by the meta types.
+
+func appendLoc(buf []byte, l Loc) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.Page))
+	buf = binary.LittleEndian.AppendUint16(buf, l.Off)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Count)
+	buf = binary.LittleEndian.AppendUint32(buf, l.Bytes)
+	return buf
+}
+
+const locSize = 14
+
+func decodeLoc(buf []byte) Loc {
+	return Loc{
+		Page:  storage.PageID(binary.LittleEndian.Uint32(buf[0:])),
+		Off:   binary.LittleEndian.Uint16(buf[4:]),
+		Count: binary.LittleEndian.Uint32(buf[6:]),
+		Bytes: binary.LittleEndian.Uint32(buf[10:]),
+	}
+}
+
+func (m DILMeta) encode(buf []byte) []byte { return appendLoc(buf, m.Loc) }
+
+func decodeDILMeta(buf []byte) (DILMeta, error) {
+	if len(buf) != locSize {
+		return DILMeta{}, fmt.Errorf("index: bad DIL meta size %d", len(buf))
+	}
+	return DILMeta{Loc: decodeLoc(buf)}, nil
+}
+
+func (m RDILMeta) encode(buf []byte) []byte {
+	buf = appendLoc(buf, m.RankLoc)
+	return m.Root.AppendTo(buf)
+}
+
+func decodeRDILMeta(buf []byte) (RDILMeta, error) {
+	if len(buf) != locSize+btree.RefSize {
+		return RDILMeta{}, fmt.Errorf("index: bad RDIL meta size %d", len(buf))
+	}
+	return RDILMeta{RankLoc: decodeLoc(buf), Root: btree.DecodeRef(buf[locSize:])}, nil
+}
+
+func (m HDILMeta) encode(buf []byte) []byte {
+	buf = appendLoc(buf, m.DilLoc)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.EndPage))
+	buf = binary.LittleEndian.AppendUint16(buf, m.EndOff)
+	buf = appendLoc(buf, m.RankLoc)
+	return m.Root.AppendTo(buf)
+}
+
+func decodeHDILMeta(buf []byte) (HDILMeta, error) {
+	if len(buf) != locSize+6+locSize+btree.RefSize {
+		return HDILMeta{}, fmt.Errorf("index: bad HDIL meta size %d", len(buf))
+	}
+	m := HDILMeta{DilLoc: decodeLoc(buf)}
+	buf = buf[locSize:]
+	m.EndPage = storage.PageID(binary.LittleEndian.Uint32(buf))
+	m.EndOff = binary.LittleEndian.Uint16(buf[4:])
+	buf = buf[6:]
+	m.RankLoc = decodeLoc(buf)
+	m.Root = btree.DecodeRef(buf[locSize:])
+	return m, nil
+}
+
+func (m NaiveMeta) encode(buf []byte) []byte { return appendLoc(buf, m.Loc) }
+
+func decodeNaiveMeta(buf []byte) (NaiveMeta, error) {
+	if len(buf) != locSize {
+		return NaiveMeta{}, fmt.Errorf("index: bad naive meta size %d", len(buf))
+	}
+	return NaiveMeta{Loc: decodeLoc(buf)}, nil
+}
+
+func (m NaiveRankMeta) encode(buf []byte) []byte {
+	buf = appendLoc(buf, m.Loc)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Hash.Page))
+	buf = binary.LittleEndian.AppendUint16(buf, m.Hash.Off)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Hash.NSlots)
+	return buf
+}
+
+func decodeNaiveRankMeta(buf []byte) (NaiveRankMeta, error) {
+	if len(buf) != locSize+10 {
+		return NaiveRankMeta{}, fmt.Errorf("index: bad naive-rank meta size %d", len(buf))
+	}
+	m := NaiveRankMeta{Loc: decodeLoc(buf)}
+	buf = buf[locSize:]
+	m.Hash.Page = storage.PageID(binary.LittleEndian.Uint32(buf))
+	m.Hash.Off = binary.LittleEndian.Uint16(buf[4:])
+	m.Hash.NSlots = binary.LittleEndian.Uint32(buf[6:])
+	return m, nil
+}

@@ -1,0 +1,347 @@
+package index
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xrank/internal/dewey"
+	"xrank/internal/storage"
+)
+
+// OpenOptions configure an opened index.
+type OpenOptions struct {
+	// PoolPages is the buffer-pool capacity (in pages) per index file.
+	// Default 128 (1MB per file): large enough for merge working sets,
+	// small enough that "cold cache" experiments stay honest.
+	PoolPages int
+}
+
+// Index is an opened on-disk index directory with one buffer pool per
+// component file.
+type Index struct {
+	Dir  string
+	Meta Meta
+
+	files []*storage.PageFile
+
+	dilPF       *storage.PageFile
+	rdilPF      *storage.PageFile
+	rdilTreePF  *storage.PageFile
+	hdilRankPF  *storage.PageFile
+	hdilTreePF  *storage.PageFile
+	naiveIDPF   *storage.PageFile
+	naiveRankPF *storage.PageFile
+	naiveHashPF *storage.PageFile
+
+	dilPool       *storage.BufferPool
+	rdilPool      *storage.BufferPool
+	rdilTreePool  *storage.BufferPool
+	hdilRankPool  *storage.BufferPool
+	hdilTreePool  *storage.BufferPool
+	naiveIDPool   *storage.BufferPool
+	naiveRankPool *storage.BufferPool
+	naiveHashPool *storage.BufferPool
+
+	dil       map[string]DILMeta
+	rdil      map[string]RDILMeta
+	hdil      map[string]HDILMeta
+	naiveID   map[string]NaiveMeta
+	naiveRank map[string]NaiveRankMeta
+}
+
+// Open opens an index directory produced by Build.
+func Open(dir string, opts OpenOptions) (*Index, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 128
+	}
+	ix := &Index{Dir: dir}
+	mb, err := os.ReadFile(filepath.Join(dir, fileMeta))
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(mb, &ix.Meta); err != nil {
+		return nil, fmt.Errorf("index: bad meta.json: %w", err)
+	}
+
+	open := func(name string) (*storage.PageFile, *storage.BufferPool, error) {
+		pf, err := storage.OpenPageFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		ix.files = append(ix.files, pf)
+		return pf, storage.NewBufferPool(pf, opts.PoolPages), nil
+	}
+	if ix.dilPF, ix.dilPool, err = open(fileDILPost); err != nil {
+		return nil, err
+	}
+	if ix.rdilPF, ix.rdilPool, err = open(fileRDILPost); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if ix.rdilTreePF, ix.rdilTreePool, err = open(fileRDILTree); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if ix.hdilRankPF, ix.hdilRankPool, err = open(fileHDILRank); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if ix.hdilTreePF, ix.hdilTreePool, err = open(fileHDILTree); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if ix.Meta.HasNaive {
+		if ix.naiveIDPF, ix.naiveIDPool, err = open(fileNaiveIDPost); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		if ix.naiveRankPF, ix.naiveRankPool, err = open(fileNaiveRankPost); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		if ix.naiveHashPF, ix.naiveHashPool, err = open(fileNaiveRankHash); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+
+	ix.dil = make(map[string]DILMeta, ix.Meta.Terms)
+	if err := readLexicon(filepath.Join(dir, fileDILLex), func(t string, m []byte) error {
+		dm, err := decodeDILMeta(m)
+		ix.dil[t] = dm
+		return err
+	}); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.rdil = make(map[string]RDILMeta, ix.Meta.Terms)
+	if err := readLexicon(filepath.Join(dir, fileRDILLex), func(t string, m []byte) error {
+		rm, err := decodeRDILMeta(m)
+		ix.rdil[t] = rm
+		return err
+	}); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.hdil = make(map[string]HDILMeta, ix.Meta.Terms)
+	if err := readLexicon(filepath.Join(dir, fileHDILLex), func(t string, m []byte) error {
+		hm, err := decodeHDILMeta(m)
+		ix.hdil[t] = hm
+		return err
+	}); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if ix.Meta.HasNaive {
+		ix.naiveID = make(map[string]NaiveMeta, ix.Meta.Terms)
+		if err := readLexicon(filepath.Join(dir, fileNaiveIDLex), func(t string, m []byte) error {
+			nm, err := decodeNaiveMeta(m)
+			ix.naiveID[t] = nm
+			return err
+		}); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.naiveRank = make(map[string]NaiveRankMeta, ix.Meta.Terms)
+		if err := readLexicon(filepath.Join(dir, fileNaiveRankLex), func(t string, m []byte) error {
+			nm, err := decodeNaiveRankMeta(m)
+			ix.naiveRank[t] = nm
+			return err
+		}); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Close closes all component files.
+func (ix *Index) Close() error {
+	var first error
+	for _, pf := range ix.files {
+		if err := pf.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.files = nil
+	return first
+}
+
+// ColdCache drops every buffer pool and zeroes I/O statistics, simulating
+// the paper's cold-operating-system-cache measurement setup.
+func (ix *Index) ColdCache() error {
+	for _, bp := range []*storage.BufferPool{
+		ix.dilPool, ix.rdilPool, ix.rdilTreePool, ix.hdilRankPool, ix.hdilTreePool,
+		ix.naiveIDPool, ix.naiveRankPool, ix.naiveHashPool,
+	} {
+		if bp == nil {
+			continue
+		}
+		if err := bp.Reset(); err != nil {
+			return err
+		}
+	}
+	for _, pf := range ix.files {
+		pf.ResetStats()
+	}
+	return nil
+}
+
+// IOStats aggregates I/O statistics across all component files.
+func (ix *Index) IOStats() storage.Stats {
+	var s storage.Stats
+	for _, pf := range ix.files {
+		s.Add(pf.Stats())
+	}
+	return s
+}
+
+// HasTerm reports whether term occurs anywhere in the collection.
+func (ix *Index) HasTerm(term string) bool {
+	_, ok := ix.dil[term]
+	return ok
+}
+
+// DILListBytes returns the encoded byte size of the term's DIL list (used
+// for DIL cost estimation in the HDIL adaptive strategy).
+func (ix *Index) DILListBytes(term string) int64 {
+	return int64(ix.dil[term].Loc.Bytes)
+}
+
+// DILCount returns the number of entries in the term's DIL list.
+func (ix *Index) DILCount(term string) int { return int(ix.dil[term].Loc.Count) }
+
+// ListCursor decodes a sequential inverted list (either entry family).
+type ListCursor struct {
+	pc         *postCursor
+	dewey      bool
+	compressed bool
+	post       Posting
+	prev       dewey.ID
+	prevPage   storage.PageID
+}
+
+func (lc *ListCursor) Next() (*Posting, bool, error) {
+	ok, err := lc.pc.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	switch {
+	case lc.dewey && lc.compressed:
+		// Compression chains reset at page boundaries; so does prev.
+		if lc.pc.page != lc.prevPage {
+			lc.prev = lc.prev[:0]
+			lc.prevPage = lc.pc.page
+		}
+		err = DecodeDeweyEntryCompressed(lc.pc.body, lc.prev, &lc.post)
+		lc.prev = append(lc.prev[:0], lc.post.ID...)
+	case lc.dewey:
+		err = DecodeDeweyEntry(lc.pc.body, &lc.post)
+	default:
+		err = DecodeNaiveEntry(lc.pc.body, &lc.post)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return &lc.post, true, nil
+}
+
+// Count returns the total number of entries in the list.
+func (lc *ListCursor) Count() int { return int(lc.pc.loc.Count) }
+
+// Exhausted reports whether the cursor consumed the entire list.
+func (lc *ListCursor) Exhausted() bool { return lc.pc.exhausted() }
+
+// Close releases pinned pages. Safe to call multiple times.
+func (lc *ListCursor) Close() { lc.pc.close() }
+
+func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc) *ListCursor {
+	return &ListCursor{
+		pc:         newPostCursor(pool, loc),
+		dewey:      true,
+		compressed: ix.Meta.CompressDewey,
+		prevPage:   storage.InvalidPage,
+	}
+}
+
+// DILCursor returns a Dewey-ordered scan of the term's DIL list; ok is
+// false for unknown terms.
+func (ix *Index) DILCursor(term string) (*ListCursor, bool) {
+	m, ok := ix.dil[term]
+	if !ok {
+		return nil, false
+	}
+	return ix.deweyCursor(ix.dilPool, m.Loc), true
+}
+
+// RDILRankCursor returns a rank-ordered scan of the term's RDIL list.
+func (ix *Index) RDILRankCursor(term string) (*ListCursor, bool) {
+	m, ok := ix.rdil[term]
+	if !ok {
+		return nil, false
+	}
+	return ix.deweyCursor(ix.rdilPool, m.RankLoc), true
+}
+
+// HDILRankCursor returns the rank-ordered *prefix* scan of the term's
+// HDIL list (shorter than the full list).
+func (ix *Index) HDILRankCursor(term string) (*ListCursor, bool) {
+	m, ok := ix.hdil[term]
+	if !ok {
+		return nil, false
+	}
+	return ix.deweyCursor(ix.hdilRankPool, m.RankLoc), true
+}
+
+// NaiveIDCursor returns an element-ID-ordered scan of the term's naive
+// list.
+func (ix *Index) NaiveIDCursor(term string) (*ListCursor, bool) {
+	m, ok := ix.naiveID[term]
+	if !ok {
+		return nil, false
+	}
+	return &ListCursor{pc: newPostCursor(ix.naiveIDPool, m.Loc), dewey: false}, true
+}
+
+// NaiveRankCursor returns a rank-ordered scan of the term's naive list.
+func (ix *Index) NaiveRankCursor(term string) (*ListCursor, bool) {
+	m, ok := ix.naiveRank[term]
+	if !ok {
+		return nil, false
+	}
+	return &ListCursor{pc: newPostCursor(ix.naiveRankPool, m.Loc), dewey: false}, true
+}
+
+// NaiveLookup probes the term's hash index for an element ID, decoding the
+// found entry (Naive-Rank's random equality lookup).
+func (ix *Index) NaiveLookup(term string, elem int32, p *Posting) (bool, error) {
+	m, ok := ix.naiveRank[term]
+	if !ok {
+		return false, nil
+	}
+	page, off, ok, err := hashLookup(ix.naiveHashPool, m.Hash, elem)
+	if err != nil || !ok {
+		return false, err
+	}
+	fr, err := ix.naiveRankPool.Get(page)
+	if err != nil {
+		return false, err
+	}
+	defer fr.Release()
+	if int(off)+entryLenSize > len(fr.Data) {
+		return false, fmt.Errorf("index: hash points beyond page")
+	}
+	ln := binary.LittleEndian.Uint16(fr.Data[off:])
+	start := int(off) + entryLenSize
+	end := start + int(ln)
+	if ln == padEntry || end > len(fr.Data) {
+		return false, fmt.Errorf("index: hash points at padding")
+	}
+	return true, DecodeNaiveEntry(fr.Data[start:end], p)
+}
+
+// NaiveCount returns the entry count of the term's naive list.
+func (ix *Index) NaiveCount(term string) int { return int(ix.naiveID[term].Loc.Count) }

@@ -1,0 +1,292 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"xrank/internal/btree"
+	"xrank/internal/dewey"
+	"xrank/internal/storage"
+)
+
+// DeweyProber is the Dewey-ordered side of a ranked index: the operations
+// the RDIL query algorithm (Figure 7) needs against each keyword's list.
+// RDIL implements it with a per-term B+-tree whose leaves hold the
+// entries; HDIL implements it with an external-leaf B+-tree over the
+// shared Dewey-ordered postings file.
+type DeweyProber interface {
+	// ProbeLCP returns the length (in Dewey components) of the longest
+	// prefix of target that is an ancestor-or-self of some entry in the
+	// list (Figure 7, getLongestCommonPrefix). Zero means no overlap even
+	// at document granularity.
+	ProbeLCP(target dewey.ID) (int, error)
+	// ScanPrefix invokes fn for each entry whose Dewey ID has the given
+	// prefix, in Dewey order. The *Posting is reused across calls.
+	ScanPrefix(prefix dewey.ID, fn func(p *Posting) error) error
+}
+
+// lcpAgainst returns the component-level common prefix of target and the
+// entry key enc (an encoded Dewey ID).
+func lcpAgainst(target dewey.ID, enc []byte, scratch *dewey.ID) (int, error) {
+	id, err := dewey.DecodeInto(*scratch, enc)
+	if err != nil {
+		return 0, err
+	}
+	*scratch = id
+	return dewey.CommonPrefixLen(target, id), nil
+}
+
+// RDILProber probes one term's RDIL B+-tree.
+type RDILProber struct {
+	tree    *btree.Tree
+	scratch dewey.ID
+	post    Posting
+}
+
+// RDILProber returns the prober for term; ok is false for unknown terms.
+func (ix *Index) RDILProber(term string) (*RDILProber, bool) {
+	m, ok := ix.rdil[term]
+	if !ok {
+		return nil, false
+	}
+	return &RDILProber{tree: btree.NewTree(ix.rdilTreePool, m.Root)}, true
+}
+
+// ProbeLCP implements DeweyProber. The successor (smallest entry >= d) and
+// its predecessor are the only two candidates for the deepest ancestor
+// overlap (Section 4.3.2).
+func (r *RDILProber) ProbeLCP(target dewey.ID) (int, error) {
+	key := dewey.Encode(target)
+	best := 0
+	succ, err := r.tree.Seek(key)
+	if err != nil {
+		return 0, err
+	}
+	if succ.Valid() {
+		n, err := lcpAgainst(target, succ.Key(), &r.scratch)
+		if err != nil {
+			return 0, err
+		}
+		if n > best {
+			best = n
+		}
+	}
+	pred, err := r.tree.SeekBefore(key)
+	if err != nil {
+		return 0, err
+	}
+	if pred.Valid() {
+		n, err := lcpAgainst(target, pred.Key(), &r.scratch)
+		if err != nil {
+			return 0, err
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// ScanPrefix implements DeweyProber via a B+-tree range scan.
+func (r *RDILProber) ScanPrefix(prefix dewey.ID, fn func(p *Posting) error) error {
+	encPrefix := dewey.Encode(prefix)
+	c, err := r.tree.Seek(encPrefix)
+	if err != nil {
+		return err
+	}
+	for c.Valid() && bytes.HasPrefix(c.Key(), encPrefix) {
+		id, err := dewey.DecodeInto(r.post.ID, c.Key())
+		if err != nil {
+			return err
+		}
+		r.post.ID = id
+		if err := decodeTreeValue(c.Value(), &r.post); err != nil {
+			return err
+		}
+		if err := fn(&r.post); err != nil {
+			return err
+		}
+		if err := c.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HDILProber probes one term's external-leaf B+-tree, whose leaf level is
+// the term's slice of the shared Dewey-ordered postings file
+// (Section 4.4.1).
+type HDILProber struct {
+	ix      *Index
+	meta    HDILMeta
+	tree    *btree.Tree
+	scratch dewey.ID
+	post    Posting
+	prev    dewey.ID // per-page compression chain during scans
+}
+
+// HDILProber returns the prober for term; ok is false for unknown terms.
+func (ix *Index) HDILProber(term string) (*HDILProber, bool) {
+	m, ok := ix.hdil[term]
+	if !ok {
+		return nil, false
+	}
+	return &HDILProber{ix: ix, meta: m, tree: btree.NewTree(ix.hdilTreePool, m.Root)}, true
+}
+
+// pageVisit receives each decoded entry during a leaf-page scan. The
+// Posting is reused across calls; clone anything retained.
+type pageVisit func(p *Posting) (stop bool, err error)
+
+// scanLeafPage walks the term's entries within one postings page, calling
+// visit with each decoded entry. Entries outside the term's byte range
+// are never visited because the range is contiguous: the scan starts at
+// the term's start offset on its first page and stops at the end offset
+// on its last page. Prefix-compression chains reset per page (and the
+// term's first entry is self-contained), so a mid-list page scan always
+// decodes correctly.
+func (h *HDILProber) scanLeafPage(page storage.PageID, visit pageVisit) (stopped bool, err error) {
+	if page > h.meta.EndPage {
+		return false, nil
+	}
+	fr, err := h.ix.dilPool.Get(page)
+	if err != nil {
+		return false, err
+	}
+	defer fr.Release()
+	off := 0
+	if page == h.meta.DilLoc.Page {
+		off = int(h.meta.DilLoc.Off)
+	}
+	end := storage.PageSize
+	if page == h.meta.EndPage {
+		end = int(h.meta.EndOff)
+	}
+	compressed := h.ix.Meta.CompressDewey
+	h.prev = h.prev[:0]
+	for off+entryLenSize <= end {
+		ln := binary.LittleEndian.Uint16(fr.Data[off:])
+		if ln == padEntry {
+			break
+		}
+		start := off + entryLenSize
+		stop := start + int(ln)
+		if stop > storage.PageSize {
+			return false, fmt.Errorf("index: corrupt entry at page %d off %d", page, off)
+		}
+		if stop > end {
+			break
+		}
+		body := fr.Data[start:stop]
+		if compressed {
+			err = DecodeDeweyEntryCompressed(body, h.prev, &h.post)
+			h.prev = append(h.prev[:0], h.post.ID...)
+		} else {
+			err = DecodeDeweyEntry(body, &h.post)
+		}
+		if err != nil {
+			return false, fmt.Errorf("index: entry at page %d off %d: %w", page, off, err)
+		}
+		stopScan, err := visit(&h.post)
+		if err != nil || stopScan {
+			return stopScan, err
+		}
+		off = stop
+	}
+	return false, nil
+}
+
+// ProbeLCP implements DeweyProber: find the leaf page via the external
+// B+-tree, then locate the predecessor/successor of target within the
+// term's entries on that page (and, for the successor, possibly the next
+// page).
+func (h *HDILProber) ProbeLCP(target dewey.ID) (int, error) {
+	if h.meta.DilLoc.Count == 0 {
+		return 0, nil
+	}
+	page, ok, err := h.tree.FindLeafPage(dewey.Encode(target))
+	if err != nil || !ok {
+		return 0, err
+	}
+	var pred, succ dewey.ID
+	havePred, haveSucc := false, false
+	_, err = h.scanLeafPage(page, func(p *Posting) (bool, error) {
+		if dewey.Compare(p.ID, target) < 0 {
+			pred = append(pred[:0], p.ID...)
+			havePred = true
+			return false, nil
+		}
+		succ = append(succ[:0], p.ID...)
+		haveSucc = true
+		return true, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !haveSucc {
+		// All of this page's entries precede target; the successor, if
+		// any, is the first term entry on a following page.
+		for next := page + 1; next <= h.meta.EndPage && !haveSucc; next++ {
+			_, err = h.scanLeafPage(next, func(p *Posting) (bool, error) {
+				succ = append(succ[:0], p.ID...)
+				haveSucc = true
+				return true, nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	best := 0
+	if havePred {
+		if n := dewey.CommonPrefixLen(target, pred); n > best {
+			best = n
+		}
+	}
+	if haveSucc {
+		if n := dewey.CommonPrefixLen(target, succ); n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// ScanPrefix implements DeweyProber by locating the first entry with the
+// prefix and scanning forward across the term's postings pages.
+func (h *HDILProber) ScanPrefix(prefix dewey.ID, fn func(p *Posting) error) error {
+	if h.meta.DilLoc.Count == 0 {
+		return nil
+	}
+	page, ok, err := h.tree.FindLeafPage(dewey.Encode(prefix))
+	if err != nil || !ok {
+		return err
+	}
+	done := false
+	for ; page <= h.meta.EndPage && !done; page++ {
+		started := false
+		_, err := h.scanLeafPage(page, func(p *Posting) (bool, error) {
+			if !started && dewey.Compare(p.ID, prefix) < 0 {
+				return false, nil // still before the prefix range
+			}
+			started = true
+			if !prefix.IsPrefixOf(p.ID) {
+				done = true
+				return true, nil
+			}
+			return false, fn(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalCount returns the full list length (not just the rank prefix).
+func (h *HDILProber) TotalCount() int { return int(h.meta.DilLoc.Count) }
+
+var (
+	_ DeweyProber = (*RDILProber)(nil)
+	_ DeweyProber = (*HDILProber)(nil)
+)

@@ -1,0 +1,90 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"xrank/internal/dewey"
+	"xrank/internal/index"
+)
+
+// normalizeKeywords deduplicates the query keywords (conjunctive
+// semantics make duplicates redundant) while preserving order.
+func normalizeKeywords(keywords []string) ([]string, error) {
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("query: empty keyword list")
+	}
+	seen := make(map[string]bool, len(keywords))
+	out := keywords[:0:0]
+	for _, k := range keywords {
+		if k == "" {
+			return nil, fmt.Errorf("query: empty keyword")
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// tfidfBase builds the per-occurrence rank function for ScoreTFIDF: a
+// sublinear term-frequency weight times the keyword's inverse element
+// frequency. df is the per-keyword list length (elements directly
+// containing the keyword); n is the collection element count.
+func tfidfBase(n int, dfs []int) func(stream int, p *index.Posting) float64 {
+	idf := make([]float64, len(dfs))
+	for i, df := range dfs {
+		if df > 0 {
+			idf[i] = math.Log(1 + float64(n)/float64(df))
+		}
+	}
+	return func(stream int, p *index.Posting) float64 {
+		return (1 + math.Log(1+float64(len(p.Positions)))) * idf[stream]
+	}
+}
+
+// DIL evaluates the query with the Dewey Inverted List algorithm
+// (Figure 5): a single sequential pass over every keyword's Dewey-ordered
+// inverted list, merging on the Dewey stack. It returns the top-m results.
+func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, err
+	}
+	streams := make([]postingStream, len(keywords))
+	dfs := make([]int, len(keywords))
+	for i, kw := range keywords {
+		cur, ok := ix.DILCursor(kw)
+		if !ok {
+			// A keyword absent from the corpus empties the conjunction.
+			for j := 0; j < i; j++ {
+				streams[j].(*cursorStream).cur.Close()
+			}
+			return nil, nil
+		}
+		dfs[i] = cur.Count()
+		cs, err := newCursorStream(cur)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = cs
+	}
+	h := newResultHeap(opts.TopM)
+	m := newMerger(streams, opts)
+	if opts.Scoring == ScoreTFIDF {
+		m.base = tfidfBase(ix.Meta.NumElements, dfs)
+	}
+	if err := m.run(func(id dewey.ID, score float64) {
+		h.offer(Result{ID: id, Score: score})
+	}); err != nil {
+		return nil, err
+	}
+	return h.sorted(), nil
+}

@@ -1,0 +1,92 @@
+package query
+
+import (
+	"xrank/internal/dewey"
+	"xrank/internal/index"
+)
+
+// Disjunctive evaluates the query under disjunctive keyword semantics
+// (Section 2.2: "elements that contain at least one of the query keywords
+// are returned"), combined with XRANK's most-specific-result principle:
+// the returned elements are the ones *directly* containing a keyword —
+// their ancestors contain the keywords only through them and are
+// suppressed exactly as in the conjunctive case.
+//
+// The score is the weighted sum of the per-keyword ranks of the keywords
+// present, times the proximity over those keywords. A single sequential
+// merge of the Dewey-ordered lists suffices: entries for the same element
+// are adjacent across lists.
+func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, err
+	}
+	n := len(keywords)
+	streams := make([]*cursorStream, 0, n)
+	weights := make([]float64, 0, n)
+	dfs := make([]int, 0, n)
+	for i, kw := range keywords {
+		cur, ok := ix.DILCursor(kw)
+		if !ok {
+			continue // absent keywords simply contribute nothing
+		}
+		dfs = append(dfs, cur.Count())
+		cs, err := newCursorStream(cur)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, cs)
+		weights = append(weights, opts.weight(i))
+	}
+	if len(streams) == 0 {
+		return nil, nil
+	}
+	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
+	if opts.Scoring == ScoreTFIDF {
+		base = tfidfBase(ix.Meta.NumElements, dfs)
+	}
+
+	h := newResultHeap(opts.TopM)
+	prox := make([][]uint32, 0, len(streams))
+	for {
+		// Smallest head ID across the still-live streams.
+		var minID dewey.ID
+		for _, s := range streams {
+			p, ok := s.head()
+			if !ok {
+				continue
+			}
+			if minID == nil || dewey.Compare(p.ID, minID) < 0 {
+				minID = p.ID
+			}
+		}
+		if minID == nil {
+			break
+		}
+		minID = minID.Clone() // heads are invalidated by advance below
+		score := 0.0
+		prox = prox[:0]
+		for si, s := range streams {
+			p, ok := s.head()
+			if !ok || !dewey.Equal(p.ID, minID) {
+				continue
+			}
+			score += weights[si] * base(si, p)
+			prox = append(prox, append([]uint32(nil), p.Positions...))
+			if err := s.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if opts.UseProximity && len(prox) > 1 {
+			score *= Proximity(prox)
+		}
+		h.offer(Result{ID: minID, Score: score})
+	}
+	return h.sorted(), nil
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xrank/internal/index"
+	"xrank/internal/storage"
+)
+
+// HDILTrace reports what the adaptive strategy did, for experiments and
+// debugging.
+type HDILTrace struct {
+	// SwitchedToDIL is true when the estimator (or rank-prefix exhaustion)
+	// abandoned the ranked strategy.
+	SwitchedToDIL bool
+	// SwitchReason explains the switch ("estimate", "prefix-exhausted"),
+	// empty if no switch happened.
+	SwitchReason string
+	// RankedEntriesRead counts entries consumed before stopping/switching.
+	RankedEntriesRead int
+}
+
+// estimateCheckInterval is how many consumed entries pass between
+// re-estimations of RDIL's remaining time (Section 4.4.2 "periodically
+// monitor its performance").
+const estimateCheckInterval = 8
+
+// HDIL evaluates the query with the hybrid strategy of Section 4.4: start
+// with the RDIL algorithm over the short rank-ordered prefix lists, and
+// periodically compare the estimated remaining time (m-r)*t/r against the
+// a-priori DIL estimate; switch to DIL when RDIL looks slower (or when a
+// rank prefix runs out). Cost is measured with the simulated disk model
+// over the index's I/O statistics, matching the paper's cold-cache
+// setting.
+func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel) ([]Result, *HDILTrace, error) {
+	trace := &HDILTrace{}
+	if err := opts.fill(); err != nil {
+		return nil, trace, err
+	}
+	if opts.Agg != AggMax {
+		return nil, trace, fmt.Errorf("query: HDIL requires AggMax for a sound stopping threshold")
+	}
+	if opts.Scoring == ScoreTFIDF {
+		return nil, trace, fmt.Errorf("query: HDIL's ranked lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, trace, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, trace, err
+	}
+	if len(keywords) == 1 {
+		cur, ok := ix.HDILRankCursor(keywords[0])
+		if !ok {
+			return nil, trace, nil
+		}
+		if cur.Count() >= opts.TopM {
+			res, err := singleKeywordTopM(cur, opts)
+			return res, trace, err
+		}
+		// Rank prefix shorter than m: fall back to the full list via DIL.
+		cur.Close()
+		trace.SwitchedToDIL = true
+		trace.SwitchReason = "prefix-exhausted"
+		res, err := DIL(ix, keywords, opts)
+		return res, trace, err
+	}
+
+	sources := make([]*rankedSource, len(keywords))
+	dilPages := int64(0)
+	for i, kw := range keywords {
+		cur, okc := ix.HDILRankCursor(kw)
+		prober, okp := ix.HDILProber(kw)
+		if !okc || !okp {
+			for j := 0; j < i; j++ {
+				sources[j].stream.cur.Close()
+			}
+			return nil, trace, nil
+		}
+		cs, err := newCursorStream(cur)
+		if err != nil {
+			return nil, trace, err
+		}
+		sources[i] = &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)}
+		dilPages += ix.DILListBytes(kw)/storage.PageSize + 1
+	}
+	// A-priori DIL cost: a sequential scan of every keyword's full list
+	// (Section 4.4.2: "the expected time for DIL is relatively easy to
+	// compute a priori ... it mainly depends on ... the size of each query
+	// keyword inverted list").
+	dilEstimate := time.Duration(dilPages) * cm.SeqRead
+
+	// Early termination leaves cursors mid-list with pages pinned.
+	defer func() {
+		for _, s := range sources {
+			s.stream.cur.Close()
+		}
+	}()
+	startStats := ix.IOStats()
+	ta := newTAState(opts, sources)
+	switchToDIL := func(reason string) ([]Result, *HDILTrace, error) {
+		trace.SwitchedToDIL = true
+		trace.SwitchReason = reason
+		trace.RankedEntriesRead = ta.entriesRead
+		res, err := DIL(ix, keywords, opts)
+		return res, trace, err
+	}
+
+	for !ta.done() {
+		for i := range sources {
+			ok, err := ta.step(i)
+			if err != nil {
+				return nil, trace, err
+			}
+			if !ok {
+				// The rank-ordered prefix ran out before the threshold was
+				// met; the full ranked list does not exist in HDIL, so DIL
+				// must finish the query.
+				return switchToDIL("prefix-exhausted")
+			}
+			if ta.done() {
+				break
+			}
+		}
+		if ta.done() {
+			break
+		}
+		if ta.entriesRead%estimateCheckInterval == 0 && ta.entriesRead > 0 {
+			t := cm.SimulatedTime(ix.IOStats().Sub(startStats))
+			r := ta.resultsAboveThreshold()
+			var estRemaining time.Duration
+			if r == 0 {
+				estRemaining = math.MaxInt64 // no progress signal yet
+			} else {
+				estRemaining = t * time.Duration(opts.TopM-r) / time.Duration(r)
+			}
+			if estRemaining > dilEstimate && ta.entriesRead >= 2*estimateCheckInterval {
+				return switchToDIL("estimate")
+			}
+		}
+	}
+	trace.RankedEntriesRead = ta.entriesRead
+	return ta.heap.sorted(), trace, nil
+}

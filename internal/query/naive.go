@@ -1,0 +1,247 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"xrank/internal/index"
+)
+
+// NaiveID evaluates the query against the naive element-granularity
+// inverted lists ordered by element ID (Section 4.1 / 5.1, "Naive-ID"): a
+// plain n-way equality merge join. Because naive lists replicate every
+// ancestor, the result set contains every element that contains* all
+// keywords — including the spurious ancestors the Dewey algorithms
+// suppress — and ranking ignores result specificity (no decay).
+func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if !ix.Meta.HasNaive {
+		return nil, fmt.Errorf("query: index was built without the naive baselines (SkipNaive)")
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, err
+	}
+	n := len(keywords)
+	curs := make([]*index.ListCursor, n)
+	heads := make([]*index.Posting, n)
+	dfs := make([]int, n)
+	for i, kw := range keywords {
+		cur, ok := ix.NaiveIDCursor(kw)
+		if !ok {
+			for j := 0; j < i; j++ {
+				curs[j].Close()
+			}
+			return nil, nil
+		}
+		curs[i] = cur
+		defer cur.Close()
+		dfs[i] = cur.Count()
+		p, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		heads[i] = p
+	}
+	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
+	if opts.Scoring == ScoreTFIDF {
+		base = tfidfBase(ix.Meta.NumElements, dfs)
+	}
+	h := newResultHeap(opts.TopM)
+	prox := make([][]uint32, n)
+	for {
+		// Find the largest head; advance all lists to it (equality merge).
+		maxElem := heads[0].Elem
+		for i := 1; i < n; i++ {
+			if heads[i].Elem > maxElem {
+				maxElem = heads[i].Elem
+			}
+		}
+		allEqual := true
+		for i := 0; i < n; i++ {
+			for heads[i].Elem < maxElem {
+				p, ok, err := curs[i].Next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return h.sorted(), nil
+				}
+				heads[i] = p
+			}
+			if heads[i].Elem != maxElem {
+				allEqual = false
+			}
+		}
+		if !allEqual {
+			continue
+		}
+		// Match: every list holds an entry for maxElem.
+		score := 0.0
+		for i := 0; i < n; i++ {
+			score += opts.weight(i) * base(i, heads[i])
+			prox[i] = heads[i].Positions
+		}
+		if opts.UseProximity && n > 1 {
+			score *= Proximity(prox)
+		}
+		h.offer(Result{ID: elemResultID(maxElem), Score: score})
+		// Advance all lists past the match.
+		for i := 0; i < n; i++ {
+			p, ok, err := curs[i].Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return h.sorted(), nil
+			}
+			heads[i] = p
+		}
+	}
+}
+
+// elemResultID encodes a naive result (a global element index) as a
+// single-component pseudo Dewey ID so both families share the Result
+// type; callers translate it back with ElemFromResultID.
+func elemResultID(elem int32) []uint32 { return []uint32{uint32(elem)} }
+
+// ElemFromResultID recovers the global element index from a naive result.
+func ElemFromResultID(r Result) (int32, error) {
+	if len(r.ID) != 1 {
+		return 0, fmt.Errorf("query: result %v is not a naive element result", r.ID)
+	}
+	return int32(r.ID[0]), nil
+}
+
+// NaiveRank evaluates the query against the rank-ordered naive lists with
+// the Threshold Algorithm, using each keyword's hash index for the random
+// equality lookups (Section 5.1, "Naive-Rank"). Requires AggMax.
+func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if !ix.Meta.HasNaive {
+		return nil, fmt.Errorf("query: index was built without the naive baselines (SkipNaive)")
+	}
+	if opts.Agg != AggMax {
+		return nil, fmt.Errorf("query: NaiveRank requires AggMax for a sound stopping threshold")
+	}
+	if opts.Scoring == ScoreTFIDF {
+		return nil, fmt.Errorf("query: Naive-Rank lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, err
+	}
+	n := len(keywords)
+	curs := make([]*index.ListCursor, n)
+	for i, kw := range keywords {
+		cur, ok := ix.NaiveRankCursor(kw)
+		if !ok {
+			for j := 0; j < i; j++ {
+				curs[j].Close()
+			}
+			return nil, nil
+		}
+		curs[i] = cur
+		defer cur.Close()
+	}
+	if n == 1 {
+		out := make([]Result, 0, opts.TopM)
+		for len(out) < opts.TopM {
+			p, ok, err := curs[0].Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out = append(out, Result{ID: elemResultID(p.Elem), Score: opts.weight(0) * float64(p.Rank)})
+		}
+		SortResults(out)
+		return out, nil
+	}
+
+	h := newResultHeap(opts.TopM)
+	seen := make(map[int32]bool)
+	lastRank := make([]float64, n)
+	for i := range lastRank {
+		lastRank[i] = math.Inf(1)
+	}
+	prox := make([][]uint32, n)
+	lookup := make([]index.Posting, n)
+	threshold := func() float64 {
+		t := 0.0
+		for i, r := range lastRank {
+			t += opts.weight(i) * r
+		}
+		return t
+	}
+	for {
+		progressed := false
+		for i := 0; i < n; i++ {
+			p, ok, err := curs[i].Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// One list fully consumed: standard TA terminates (every
+				// remaining candidate was already seen via this list).
+				return h.sorted(), nil
+			}
+			progressed = true
+			lastRank[i] = float64(p.Rank)
+			if seen[p.Elem] {
+				continue
+			}
+			seen[p.Elem] = true
+			score := opts.weight(i) * float64(p.Rank)
+			prox[i] = p.Positions
+			found := true
+			for j := 0; j < n && found; j++ {
+				if j == i {
+					continue
+				}
+				ok, err := ix.NaiveLookup(keywords[j], p.Elem, &lookup[j])
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					found = false
+					break
+				}
+				score += opts.weight(j) * float64(lookup[j].Rank)
+				prox[j] = lookup[j].Positions
+			}
+			if found {
+				if opts.UseProximity {
+					score *= Proximity(prox)
+				}
+				h.offer(Result{ID: elemResultID(p.Elem), Score: score})
+			}
+			if k := h.kthScore(); k >= 0 && k >= threshold() {
+				return h.sorted(), nil
+			}
+		}
+		if !progressed {
+			return h.sorted(), nil
+		}
+	}
+}
+
+// NaiveResultString renders a naive result for diagnostics.
+func NaiveResultString(r Result) string {
+	return "elem#" + strconv.FormatInt(int64(r.ID[0]), 10)
+}

@@ -1,0 +1,247 @@
+// Package query implements XRANK's keyword query processors (Guo et al.,
+// SIGMOD 2003, Section 4): the single-pass DIL Dewey-stack merge
+// (Figure 5), the RDIL threshold algorithm with B+-tree probing
+// (Figure 7), the adaptive HDIL strategy (Section 4.4.2), and the two
+// naive baselines (Section 4.1 / 5.1), together with the ranking
+// functions of Section 2.3.
+package query
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"xrank/internal/dewey"
+)
+
+// Agg selects the aggregation function f over multiple relevant
+// occurrences of one keyword (Section 2.3.2.1). The default is max.
+type Agg int
+
+const (
+	// AggMax takes the best occurrence. It keeps the overall rank monotone
+	// in the per-entry ElemRanks, which the RDIL/Naive-Rank threshold
+	// bound relies on.
+	AggMax Agg = iota
+	// AggSum adds occurrences. Supported by DIL and Naive-ID (full-scan
+	// algorithms); the threshold algorithms reject it because their
+	// stopping rule would no longer guarantee the top-m.
+	AggSum
+)
+
+func (a Agg) combine(x, y float64) float64 {
+	if a == AggSum {
+		return x + y
+	}
+	if y > x {
+		return y
+	}
+	return x
+}
+
+// Scoring selects how an occurrence's base rank is computed.
+type Scoring int
+
+const (
+	// ScoreElemRank uses the stored ElemRank of the directly containing
+	// element (the paper's ranking, Section 2.3.2).
+	ScoreElemRank Scoring = iota
+	// ScoreTFIDF replaces ElemRank with a tf-idf weight computed from the
+	// entry's posList length and the keyword's document frequency — the
+	// "other ranking functions (e.g., tf-idf)" extension the paper lists
+	// as future work (Section 7). Because the rank-ordered lists are
+	// sorted by ElemRank, only the full-scan processors (DIL, Naive-ID)
+	// support it.
+	ScoreTFIDF
+)
+
+// Options configure query evaluation.
+type Options struct {
+	// TopM is the number of results to return (m in the paper). Default 10.
+	TopM int
+	// Decay scales a keyword's rank down per containment level between the
+	// occurrence and the result element (Section 2.3.2.1), in (0, 1].
+	// Default 0.75.
+	Decay float64
+	// Agg is the occurrence aggregation function f. Default AggMax.
+	Agg Agg
+	// UseProximity multiplies the overall rank by the smallest-window
+	// keyword proximity (Section 2.3.2.2). When false the proximity factor
+	// is the constant 1, the paper's recommendation for highly structured
+	// data.
+	UseProximity bool
+	// Weights optionally assigns per-keyword weights (Section 2.3.2.2:
+	// "users may also wish to assign different weights to different
+	// keywords"). When non-nil its length must equal the number of
+	// distinct keywords; nil means all 1.
+	Weights []float64
+	// Scoring selects the base rank function. Default ScoreElemRank.
+	Scoring Scoring
+}
+
+// DefaultOptions returns the defaults described on Options.
+func DefaultOptions() Options {
+	return Options{TopM: 10, Decay: 0.75, Agg: AggMax, UseProximity: true}
+}
+
+func (o *Options) fill() error {
+	if o.TopM <= 0 {
+		o.TopM = 10
+	}
+	if o.Decay == 0 {
+		o.Decay = 0.75
+	}
+	if o.Decay < 0 || o.Decay > 1 {
+		return fmt.Errorf("query: decay %v outside (0, 1]", o.Decay)
+	}
+	for _, w := range o.Weights {
+		if w < 0 {
+			return fmt.Errorf("query: negative keyword weight %v", w)
+		}
+	}
+	return nil
+}
+
+// weight returns the weight of keyword i.
+func (o *Options) weight(i int) float64 {
+	if o.Weights == nil {
+		return 1
+	}
+	return o.Weights[i]
+}
+
+// checkWeights validates Weights against the deduplicated keyword count.
+func (o *Options) checkWeights(n int) error {
+	if o.Weights != nil && len(o.Weights) != n {
+		return fmt.Errorf("query: %d weights for %d distinct keywords", len(o.Weights), n)
+	}
+	return nil
+}
+
+// Result is one ranked query result.
+type Result struct {
+	// ID identifies the result element.
+	ID dewey.ID
+	// Score is the overall rank R(v, Q) of Section 2.3.2.2.
+	Score float64
+}
+
+// SortResults orders results by descending score, ties broken by Dewey ID
+// for determinism.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return dewey.Compare(rs[i].ID, rs[j].ID) < 0
+	})
+}
+
+// resultHeap keeps the top-m results seen so far (a min-heap on score so
+// the weakest kept result is at the root).
+type resultHeap struct {
+	items []Result
+	m     int
+}
+
+func newResultHeap(m int) *resultHeap { return &resultHeap{m: m} }
+
+func (h *resultHeap) Len() int { return len(h.items) }
+func (h *resultHeap) Less(i, j int) bool {
+	if h.items[i].Score != h.items[j].Score {
+		return h.items[i].Score < h.items[j].Score
+	}
+	// Among equal scores evict the larger ID, keeping results stable.
+	return dewey.Compare(h.items[i].ID, h.items[j].ID) > 0
+}
+func (h *resultHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *resultHeap) Push(x interface{}) { h.items = append(h.items, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// offer inserts a result, evicting the weakest if the heap is full.
+func (h *resultHeap) offer(r Result) {
+	if len(h.items) < h.m {
+		heap.Push(h, r)
+		return
+	}
+	if h.items[0].Score < r.Score ||
+		(h.items[0].Score == r.Score && dewey.Compare(h.items[0].ID, r.ID) > 0) {
+		h.items[0] = r
+		heap.Fix(h, 0)
+	}
+}
+
+// kthScore returns the m-th best score so far, or -1 if fewer than m
+// results are held (so any positive threshold keeps the scan going).
+func (h *resultHeap) kthScore() float64 {
+	if len(h.items) < h.m {
+		return -1
+	}
+	return h.items[0].Score
+}
+
+// sorted drains the heap into descending-score order.
+func (h *resultHeap) sorted() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	SortResults(out)
+	return out
+}
+
+// Proximity computes the keyword proximity p(v, k1..kn): n divided by the
+// size of the smallest text window containing at least one relevant
+// occurrence of every keyword. It is 1 when the keywords are adjacent and
+// tends to 0 as they spread apart; 0 if some keyword has no occurrence.
+// Each perKeyword[i] must be ascending (posLists are stored ascending).
+func Proximity(perKeyword [][]uint32) float64 {
+	n := len(perKeyword)
+	if n == 0 {
+		return 0
+	}
+	for _, ps := range perKeyword {
+		if len(ps) == 0 {
+			return 0
+		}
+	}
+	if n == 1 {
+		return 1
+	}
+	// Classic smallest-window sweep: repeatedly advance the keyword whose
+	// current position is smallest; every state covers all keywords, so
+	// the window max-min+1 is a candidate.
+	idx := make([]int, n)
+	best := ^uint32(0)
+	for {
+		lo, hi := uint32(^uint32(0)), uint32(0)
+		loK := 0
+		for k := 0; k < n; k++ {
+			p := perKeyword[k][idx[k]]
+			if p < lo {
+				lo, loK = p, k
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		if w := hi - lo + 1; w < best {
+			best = w
+		}
+		idx[loK]++
+		if idx[loK] >= len(perKeyword[loK]) {
+			break
+		}
+	}
+	if best < uint32(n) {
+		// Overlapping positions (the same token counted for two keywords
+		// cannot happen, but duplicate positions across keywords can if a
+		// token matches both) — clamp so proximity stays <= 1.
+		best = uint32(n)
+	}
+	return float64(n) / float64(best)
+}

@@ -1,0 +1,253 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"xrank/internal/dewey"
+	"xrank/internal/index"
+)
+
+// rankedSource abstracts "a rank-ordered entry stream plus a Dewey-ordered
+// probe structure" for one keyword — RDIL's per-term B+-tree'd list, or
+// HDIL's rank prefix over the shared Dewey file. The threshold loop below
+// is written against this so RDIL and HDIL share it.
+type rankedSource struct {
+	stream *cursorStream
+	prober index.DeweyProber
+	// lastRank is the rank of the most recently consumed entry; +Inf until
+	// the first entry is read, so the threshold cannot trigger early.
+	lastRank float64
+}
+
+// taState runs the threshold-algorithm loop of Figure 7 over n ranked
+// sources.
+type taState struct {
+	opts    Options
+	sources []*rankedSource
+	heap    *resultHeap
+	seen    map[string]bool
+	// aboveThreshold counts results currently at or above the threshold —
+	// the r of the HDIL estimator (Section 4.4.2).
+	entriesRead int
+	exhausted   bool // some source ran out of ranked entries
+}
+
+func newTAState(opts Options, sources []*rankedSource) *taState {
+	return &taState{
+		opts:    opts,
+		sources: sources,
+		heap:    newResultHeap(opts.TopM),
+		seen:    make(map[string]bool),
+	}
+}
+
+// threshold is the weighted sum of the last ElemRanks consumed per list
+// (Figure 7 line 27). Decay and proximity are at most 1, so this
+// overestimates any undiscovered result's score.
+func (ta *taState) threshold() float64 {
+	t := 0.0
+	for i, s := range ta.sources {
+		t += ta.opts.weight(i) * s.lastRank
+	}
+	return t
+}
+
+// done reports whether the top-m is guaranteed complete (line 28).
+func (ta *taState) done() bool {
+	k := ta.heap.kthScore()
+	return k >= 0 && k >= ta.threshold()
+}
+
+// resultsAboveThreshold counts held results scoring at or above the
+// current threshold (the r of the HDIL time estimator).
+func (ta *taState) resultsAboveThreshold() int {
+	t := ta.threshold()
+	n := 0
+	for _, r := range ta.heap.items {
+		if r.Score >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// step consumes one entry from source i and evaluates its deepest common
+// ancestor across all keywords (Figure 7 lines 10-25). It returns false
+// when that source is exhausted.
+func (ta *taState) step(i int) (bool, error) {
+	src := ta.sources[i]
+	p, ok := src.stream.head()
+	if !ok {
+		ta.exhausted = true
+		return false, nil
+	}
+	src.lastRank = float64(p.Rank)
+	ta.entriesRead++
+	// If this entry's own element was already evaluated as a deepest
+	// common ancestor, probing is redundant: the lcp derived from an ID
+	// that is itself a known lcp is that ID (all lists have entries under
+	// it, and no prefix of it is longer). On correlated keywords this
+	// skips the probes for every list after the first.
+	ownKey := string(dewey.Encode(p.ID))
+	if ta.seen[ownKey] {
+		return true, src.stream.advance()
+	}
+	// Find the longest prefix of p.ID containing all query keywords
+	// (lines 11-16).
+	lcp := p.ID.Clone()
+	for j := range ta.sources {
+		if j == i {
+			continue
+		}
+		n, err := ta.sources[j].prober.ProbeLCP(lcp)
+		if err != nil {
+			return false, err
+		}
+		lcp = lcp[:n]
+		if len(lcp) == 0 {
+			break
+		}
+	}
+	if err := src.stream.advance(); err != nil {
+		return false, err
+	}
+	if len(lcp) == 0 {
+		return true, nil
+	}
+	key := string(dewey.Encode(lcp))
+	if ta.seen[key] {
+		return true, nil
+	}
+	ta.seen[key] = true
+	score, isResult, err := ta.evaluate(lcp)
+	if err != nil {
+		return false, err
+	}
+	if isResult {
+		ta.heap.offer(Result{ID: lcp, Score: score})
+	}
+	return true, nil
+}
+
+// evaluate collects the postings below lcp from every keyword's Dewey
+// structure and determines whether lcp itself is a result — excluding
+// sub-elements that already contain all keywords (Figure 7 lines 17-24) —
+// and its overall rank. This reuses the Dewey-stack merge: run it over the
+// in-memory posting sets under lcp and keep the emission whose ID is lcp.
+func (ta *taState) evaluate(lcp dewey.ID) (float64, bool, error) {
+	streams := make([]postingStream, len(ta.sources))
+	for j, src := range ta.sources {
+		var posts []index.Posting
+		if err := src.prober.ScanPrefix(lcp, func(p *index.Posting) error {
+			posts = append(posts, index.Posting{
+				ID:        p.ID.Clone(),
+				Rank:      p.Rank,
+				Positions: append([]uint32(nil), p.Positions...),
+			})
+			return nil
+		}); err != nil {
+			return 0, false, err
+		}
+		if len(posts) == 0 {
+			// Probes guaranteed entries under lcp for every list; an empty
+			// scan means lcp was only the *probe* lcp for another list.
+			return 0, false, nil
+		}
+		streams[j] = &sliceStream{posts: posts}
+	}
+	var score float64
+	found := false
+	m := newMerger(streams, ta.opts)
+	err := m.run(func(id dewey.ID, s float64) {
+		if dewey.Equal(id, lcp) {
+			score, found = s, true
+		}
+	})
+	return score, found, err
+}
+
+// singleKeywordTopM implements the n=1 special case: the first m entries
+// of the rank-ordered list are exactly the top-m results (Section 4.3).
+func singleKeywordTopM(cur *index.ListCursor, opts Options) ([]Result, error) {
+	defer cur.Close()
+	w := opts.weight(0)
+	out := make([]Result, 0, opts.TopM)
+	for len(out) < opts.TopM {
+		p, ok, err := cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, Result{ID: p.ID.Clone(), Score: w * float64(p.Rank)})
+	}
+	SortResults(out)
+	return out, nil
+}
+
+// RDIL evaluates the query with the Ranked Dewey Inverted List algorithm
+// (Figure 7): rank-ordered lists consumed round-robin, B+-tree probes to
+// find deepest common ancestors, and the threshold-algorithm stopping
+// rule. Requires AggMax (the threshold bound does not hold for AggSum).
+func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if opts.Agg != AggMax {
+		return nil, fmt.Errorf("query: RDIL requires AggMax for a sound stopping threshold")
+	}
+	if opts.Scoring == ScoreTFIDF {
+		return nil, fmt.Errorf("query: RDIL lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
+	}
+	keywords, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if err := opts.checkWeights(len(keywords)); err != nil {
+		return nil, err
+	}
+	if len(keywords) == 1 {
+		cur, ok := ix.RDILRankCursor(keywords[0])
+		if !ok {
+			return nil, nil
+		}
+		return singleKeywordTopM(cur, opts)
+	}
+	sources := make([]*rankedSource, len(keywords))
+	for i, kw := range keywords {
+		cur, okc := ix.RDILRankCursor(kw)
+		prober, okp := ix.RDILProber(kw)
+		if !okc || !okp {
+			for j := 0; j < i; j++ {
+				sources[j].stream.cur.Close()
+			}
+			return nil, nil
+		}
+		cs, err := newCursorStream(cur)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)}
+	}
+	// Early termination leaves cursors mid-list with pages pinned.
+	defer func() {
+		for _, s := range sources {
+			s.stream.cur.Close()
+		}
+	}()
+	ta := newTAState(opts, sources)
+	for !ta.exhausted && !ta.done() {
+		for i := range sources {
+			ok, err := ta.step(i)
+			if err != nil {
+				return nil, err
+			}
+			if !ok || ta.done() {
+				break
+			}
+		}
+	}
+	return ta.heap.sorted(), nil
+}

@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a pinned page in the buffer pool. The Data slice is valid until
+// Release is called; callers must not retain it afterwards and must not
+// mutate it unless they own the page.
+type Frame struct {
+	ID   PageID
+	Data []byte
+
+	pool *BufferPool
+	pins int
+	elem *list.Element // position in the LRU list when unpinned
+}
+
+// Release unpins the frame, making it eligible for eviction once no other
+// pins remain. Release is idempotent per pin: call it exactly once per Get.
+func (fr *Frame) Release() {
+	fr.pool.release(fr)
+}
+
+// BufferPool caches pages of a PageFile with LRU replacement and pin
+// counting. A pinned page is never evicted; queries pin the pages they are
+// actively merging (a DIL scan page, the B+-tree path of an RDIL probe)
+// and release them as the cursor moves on.
+type BufferPool struct {
+	mu       sync.Mutex
+	pf       *PageFile
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // of *Frame; front = most recently used
+	hits     int64
+}
+
+// NewBufferPool wraps pf with a pool of the given page capacity
+// (minimum 1).
+func NewBufferPool(pf *PageFile, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pf:       pf,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Get returns a pinned frame for page id, reading it from the file on a
+// miss. The caller must Release the frame.
+func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits++
+		bp.pf.mu.Lock()
+		bp.pf.stats.CacheHits++
+		bp.pf.mu.Unlock()
+		fr.pins++
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		bp.mu.Unlock()
+		return fr, nil
+	}
+	// Miss: evict if full, then read outside the lock would race on the
+	// frame map; the pool is not performance-critical enough in this
+	// system to justify a lock-free design, so read under the lock.
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			bp.mu.Unlock()
+			return nil, err
+		}
+	}
+	fr := &Frame{ID: id, Data: make([]byte, PageSize), pool: bp, pins: 1}
+	if err := bp.pf.ReadPage(id, fr.Data); err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.frames[id] = fr
+	bp.mu.Unlock()
+	return fr, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	back := bp.lru.Back()
+	if back == nil {
+		return fmt.Errorf("storage: buffer pool of %d pages exhausted (all pinned)", bp.capacity)
+	}
+	fr := back.Value.(*Frame)
+	bp.lru.Remove(back)
+	delete(bp.frames, fr.ID)
+	return nil
+}
+
+func (bp *BufferPool) release(fr *Frame) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr.pins <= 0 {
+		panic("storage: Release of unpinned frame")
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(fr)
+	}
+}
+
+// Hits returns the number of pool hits since creation or the last Reset.
+func (bp *BufferPool) Hits() int64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits
+}
+
+// Reset empties the pool, simulating a cold cache (Section 5.1: "results
+// were obtained using a cold operating system cache"). It fails if any
+// page is still pinned.
+func (bp *BufferPool) Reset() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: Reset with page %d still pinned", id)
+		}
+	}
+	bp.frames = make(map[PageID]*Frame, bp.capacity)
+	bp.lru.Init()
+	bp.hits = 0
+	return nil
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }

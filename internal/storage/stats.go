@@ -1,0 +1,106 @@
+package storage
+
+import "time"
+
+// Stats counts page-level I/O, classifying reads as sequential or random.
+// The distinction drives the cost model: DIL scans inverted lists
+// sequentially while RDIL performs random B+-tree probes, and that
+// difference — not CPU time — is what separates them on the paper's
+// cold-cache hardware.
+//
+// Sequentiality is detected per stream, the way operating-system
+// readahead does: the tracker remembers the heads of the most recent
+// maxStreams access streams, and a read that extends any of them counts
+// as sequential. A k-keyword DIL merge interleaves k scans of different
+// file regions; each scan is still sequential on disk.
+type Stats struct {
+	Reads     int64 // total page reads reaching the device
+	SeqReads  int64 // reads extending one of the recent access streams
+	RandReads int64 // all other reads
+	Writes    int64 // page writes
+	CacheHits int64 // reads absorbed by a buffer pool (no device access)
+
+	heads   [maxStreams]PageID
+	headAge [maxStreams]int64
+	nHeads  int
+	clock   int64
+}
+
+// maxStreams is how many concurrent sequential streams the classifier
+// tracks (Linux readahead handles dozens; queries here need one per
+// keyword list).
+const maxStreams = 8
+
+func (s *Stats) recordRead(id PageID) {
+	s.Reads++
+	s.clock++
+	for i := 0; i < s.nHeads; i++ {
+		if id == s.heads[i]+1 || id == s.heads[i] {
+			s.SeqReads++
+			s.heads[i] = id
+			s.headAge[i] = s.clock
+			return
+		}
+	}
+	s.RandReads++
+	// Start a new stream, evicting the least recently extended head.
+	slot := s.nHeads
+	if s.nHeads < maxStreams {
+		s.nHeads++
+	} else {
+		slot = 0
+		for i := 1; i < maxStreams; i++ {
+			if s.headAge[i] < s.headAge[slot] {
+				slot = i
+			}
+		}
+	}
+	s.heads[slot] = id
+	s.headAge[slot] = s.clock
+}
+
+// Add accumulates other into s (cache-position tracking is not merged).
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.SeqReads += other.SeqReads
+	s.RandReads += other.RandReads
+	s.Writes += other.Writes
+	s.CacheHits += other.CacheHits
+}
+
+// Sub returns s minus other, for measuring an interval between snapshots.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Reads:     s.Reads - other.Reads,
+		SeqReads:  s.SeqReads - other.SeqReads,
+		RandReads: s.RandReads - other.RandReads,
+		Writes:    s.Writes - other.Writes,
+		CacheHits: s.CacheHits - other.CacheHits,
+	}
+}
+
+// CostModel converts I/O counts into simulated elapsed time on a reference
+// disk. The defaults approximate the paper's 2003-era hardware: an 8ms
+// average positioning time for a random page and ~50MB/s sequential
+// transfer (≈0.16ms per 8KB page).
+type CostModel struct {
+	RandRead time.Duration // cost of one random page read
+	SeqRead  time.Duration // cost of one sequential page read
+	CacheHit time.Duration // cost of a buffer-pool hit (CPU only)
+}
+
+// DefaultCostModel returns the reference-disk model described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RandRead: 8 * time.Millisecond,
+		SeqRead:  160 * time.Microsecond,
+		CacheHit: 2 * time.Microsecond,
+	}
+}
+
+// SimulatedTime converts the stats into simulated elapsed time under m.
+func (m CostModel) SimulatedTime(s Stats) time.Duration {
+	return time.Duration(s.RandReads)*m.RandRead +
+		time.Duration(s.SeqReads)*m.SeqRead +
+		time.Duration(s.CacheHits)*m.CacheHit
+}

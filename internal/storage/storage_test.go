@@ -1,0 +1,334 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestFile(t *testing.T) *PageFile {
+	t.Helper()
+	pf, err := CreatePageFile(filepath.Join(t.TempDir(), "test.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func pageFilled(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestPageFileAppendReadWrite(t *testing.T) {
+	pf := newTestFile(t)
+	id0, err := pf.AppendPage(pageFilled(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := pf.AppendPage(pageFilled(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 != 0 || id1 != 1 || pf.NumPages() != 2 {
+		t.Fatalf("ids %d %d, pages %d", id0, id1, pf.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if err := pf.ReadPage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, pageFilled(2)) {
+		t.Errorf("page 1 contents wrong")
+	}
+	if err := pf.WritePage(id0, pageFilled(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.ReadPage(id0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Errorf("overwrite not visible")
+	}
+	if pf.Size() != 2*PageSize {
+		t.Errorf("Size = %d", pf.Size())
+	}
+}
+
+func TestPageFileBoundsAndSizes(t *testing.T) {
+	pf := newTestFile(t)
+	if _, err := pf.AppendPage(make([]byte, 10)); err == nil {
+		t.Errorf("short append should fail")
+	}
+	if err := pf.ReadPage(0, make([]byte, PageSize)); err == nil {
+		t.Errorf("read beyond end should fail")
+	}
+	if err := pf.WritePage(5, pageFilled(0)); err == nil {
+		t.Errorf("write beyond end should fail")
+	}
+	if _, err := pf.AppendPage(pageFilled(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.ReadPage(0, make([]byte, 16)); err == nil {
+		t.Errorf("short read buffer should fail")
+	}
+}
+
+func TestPageFileReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pages")
+	pf, err := CreatePageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.AppendPage(pageFilled(7))
+	pf.AppendPage(pageFilled(8))
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	re, err := OpenPageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 2 {
+		t.Fatalf("reopened pages = %d", re.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	if err := re.ReadPage(1, buf); err != nil || buf[0] != 8 {
+		t.Errorf("reopened read: %v, byte %d", err, buf[0])
+	}
+	if _, err := OpenPageFile(filepath.Join(dir, "missing")); err == nil {
+		t.Errorf("open of missing file should fail")
+	}
+}
+
+func TestStatsSeqRandClassification(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 5; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	pf.ResetStats()
+	buf := make([]byte, PageSize)
+	// 0,1,2 = first random then two sequential; 4 = random; 0 = random.
+	for _, id := range []PageID{0, 1, 2, 4, 0} {
+		if err := pf.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := pf.Stats()
+	if s.Reads != 5 || s.SeqReads != 2 || s.RandReads != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestStatsInterleavedStreamsAreSequential(t *testing.T) {
+	// A k-way merge reads k regions in lockstep; per-stream readahead
+	// tracking must classify all but the first touch of each region as
+	// sequential (this is what keeps the DIL cost model honest).
+	pf := newTestFile(t)
+	for i := 0; i < 40; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	pf.ResetStats()
+	buf := make([]byte, PageSize)
+	for i := 0; i < 10; i++ {
+		pf.ReadPage(PageID(i), buf)    // stream A: 0,1,2,...
+		pf.ReadPage(PageID(20+i), buf) // stream B: 20,21,22,...
+	}
+	s := pf.Stats()
+	if s.RandReads != 2 || s.SeqReads != 18 {
+		t.Errorf("interleaved streams: %+v, want 2 random + 18 sequential", s)
+	}
+	// Re-reading the same page (a rescan of a pinned region) is also
+	// sequential, not a seek.
+	pf.ResetStats()
+	pf.ReadPage(5, buf)
+	pf.ReadPage(5, buf)
+	if s := pf.Stats(); s.SeqReads != 1 || s.RandReads != 1 {
+		t.Errorf("same-page re-read: %+v", s)
+	}
+}
+
+func TestStatsStreamEviction(t *testing.T) {
+	// More concurrent streams than the tracker holds: the oldest stream is
+	// forgotten and its next read counts as random again.
+	pf := newTestFile(t)
+	for i := 0; i < 128; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	pf.ResetStats()
+	buf := make([]byte, PageSize)
+	// Open maxStreams+1 streams, then extend the first.
+	for s := 0; s <= maxStreams; s++ {
+		pf.ReadPage(PageID(s*10), buf)
+	}
+	pf.ReadPage(PageID(0*10+1), buf) // stream 0 was evicted
+	st := pf.Stats()
+	if st.SeqReads != 0 || st.RandReads != int64(maxStreams+2) {
+		t.Errorf("eviction: %+v", st)
+	}
+}
+
+func TestStatsSubAdd(t *testing.T) {
+	a := Stats{Reads: 10, SeqReads: 4, RandReads: 6, Writes: 2, CacheHits: 1}
+	b := Stats{Reads: 3, SeqReads: 1, RandReads: 2, Writes: 1}
+	d := a.Sub(b)
+	if d.Reads != 7 || d.SeqReads != 3 || d.RandReads != 4 || d.Writes != 1 || d.CacheHits != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	var acc Stats
+	acc.Add(a)
+	acc.Add(b)
+	if acc.Reads != 13 {
+		t.Errorf("Add = %+v", acc)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{RandRead: 10 * time.Millisecond, SeqRead: time.Millisecond, CacheHit: 0}
+	s := Stats{RandReads: 2, SeqReads: 5}
+	if got := m.SimulatedTime(s); got != 25*time.Millisecond {
+		t.Errorf("SimulatedTime = %v", got)
+	}
+	// A scan-heavy workload must be cheaper than an equally sized
+	// probe-heavy one under the default model.
+	def := DefaultCostModel()
+	scan := Stats{SeqReads: 100, RandReads: 1}
+	probe := Stats{RandReads: 101}
+	if def.SimulatedTime(scan) >= def.SimulatedTime(probe) {
+		t.Errorf("sequential scan should be cheaper than random probes")
+	}
+}
+
+func TestBufferPoolHitAndEvict(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 10; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	pf.ResetStats()
+	bp := NewBufferPool(pf, 2)
+
+	f0, err := bp.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Data[0] != 0 {
+		t.Errorf("frame data wrong")
+	}
+	f0.Release()
+	// Second Get of page 0 must hit.
+	f0b, _ := bp.Get(0)
+	f0b.Release()
+	if bp.Hits() != 1 {
+		t.Errorf("hits = %d", bp.Hits())
+	}
+	if pf.Stats().Reads != 1 {
+		t.Errorf("device reads = %d, want 1", pf.Stats().Reads)
+	}
+	// Fill beyond capacity; page 0 (LRU) must be evicted.
+	g1, _ := bp.Get(1)
+	g1.Release()
+	g2, _ := bp.Get(2)
+	g2.Release()
+	f0c, _ := bp.Get(0)
+	f0c.Release()
+	if pf.Stats().Reads != 4 { // 0, 1, 2, 0-again
+		t.Errorf("device reads = %d, want 4 (page 0 should have been evicted)", pf.Stats().Reads)
+	}
+	if pf.Stats().CacheHits != 1 {
+		t.Errorf("cache hits on stats = %d", pf.Stats().CacheHits)
+	}
+}
+
+func TestBufferPoolPinPreventsEviction(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 4; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	bp := NewBufferPool(pf, 2)
+	a, _ := bp.Get(0) // pinned
+	b, _ := bp.Get(1) // pinned
+	if _, err := bp.Get(2); err == nil {
+		t.Errorf("Get with all frames pinned should fail")
+	}
+	b.Release()
+	c, err := bp.Get(2) // evicts 1, keeps pinned 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 0 || c.Data[0] != 2 {
+		t.Errorf("pinned frame corrupted")
+	}
+	a.Release()
+	c.Release()
+}
+
+func TestBufferPoolReset(t *testing.T) {
+	pf := newTestFile(t)
+	pf.AppendPage(pageFilled(1))
+	bp := NewBufferPool(pf, 4)
+	fr, _ := bp.Get(0)
+	if err := bp.Reset(); err == nil {
+		t.Errorf("Reset with pinned page should fail")
+	}
+	fr.Release()
+	if err := bp.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	pf.ResetStats()
+	fr2, _ := bp.Get(0)
+	fr2.Release()
+	if pf.Stats().Reads != 1 {
+		t.Errorf("after Reset, Get should reach the device")
+	}
+}
+
+func TestBufferPoolDoubleReleasePanics(t *testing.T) {
+	pf := newTestFile(t)
+	pf.AppendPage(pageFilled(1))
+	bp := NewBufferPool(pf, 2)
+	fr, _ := bp.Get(0)
+	fr.Release()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("double release should panic")
+		}
+	}()
+	fr.Release()
+}
+
+func TestBufferPoolConcurrentAccess(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 32; i++ {
+		pf.AppendPage(pageFilled(byte(i)))
+	}
+	bp := NewBufferPool(pf, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := PageID((i*7 + w) % 32)
+				fr, err := bp.Get(id)
+				if err != nil {
+					t.Errorf("Get(%d): %v", id, err)
+					return
+				}
+				if fr.Data[0] != byte(id) {
+					t.Errorf("page %d data corrupted: %d", id, fr.Data[0])
+				}
+				fr.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

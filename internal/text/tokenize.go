@@ -1,0 +1,52 @@
+// Package text provides the lexical substrate for XRANK: tokenization of
+// element text, term vocabularies, and Zipf-distributed synthetic text
+// generation with controllable keyword correlation (used to drive the
+// paper's high-/low-correlation query performance experiments, Figures 10
+// and 11).
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters, digits and apostrophes; everything else separates tokens. This
+// mirrors the simple lexer of classic inverted-list engines (Salton [29]).
+func Tokenize(s string) []string {
+	var out []string
+	AppendTokens(&out, s)
+	return out
+}
+
+// AppendTokens appends the tokens of s to *dst, avoiding per-call slice
+// allocation in parsing loops.
+func AppendTokens(dst *[]string, s string) {
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			*dst = append(*dst, strings.ToLower(s[start:end]))
+			start = -1
+		}
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' {
+			if start < 0 {
+				start = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(len(s))
+}
+
+// NormalizeTerm lowercases a query keyword using the same rules as
+// Tokenize, so queries and index agree on term form.
+func NormalizeTerm(s string) string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[0]
+}

@@ -1,0 +1,47 @@
+package text
+
+import "sort"
+
+// Vocabulary interns terms to dense integer IDs. Index builders use it to
+// key per-term postings without hashing strings repeatedly.
+type Vocabulary struct {
+	ids   map[string]uint32
+	terms []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]uint32)}
+}
+
+// Intern returns the ID for term, assigning the next free ID on first use.
+func (v *Vocabulary) Intern(term string) uint32 {
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := uint32(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the ID for term and whether it is known.
+func (v *Vocabulary) Lookup(term string) (uint32, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the term with the given ID; it panics on an unknown ID,
+// which always indicates a programming error.
+func (v *Vocabulary) Term(id uint32) string { return v.terms[id] }
+
+// Len returns the number of distinct terms.
+func (v *Vocabulary) Len() int { return len(v.terms) }
+
+// Terms returns all interned terms sorted lexicographically (a copy).
+func (v *Vocabulary) Terms() []string {
+	out := make([]string, len(v.terms))
+	copy(out, v.terms)
+	sort.Strings(out)
+	return out
+}

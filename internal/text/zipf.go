@@ -1,0 +1,102 @@
+package text
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SyntheticVocab generates deterministic pseudo-words ("w0", "w1", ...) for
+// synthetic corpora, plus optional seeded "marker" words that generators
+// use to plant known answers for quality experiments.
+func SyntheticVocab(n int) []string {
+	words := make([]string, n)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	return words
+}
+
+// Zipf samples word indexes with the classic rank-frequency skew of natural
+// text: the i-th most frequent word has probability proportional to
+// 1/(i+1)^s. It wraps math/rand.Zipf with corpus-generation defaults.
+type Zipf struct {
+	z     *rand.Zipf
+	words []string
+}
+
+// NewZipf builds a sampler over words with exponent s (s>1; 1.2 is a good
+// natural-text default) driven by r.
+func NewZipf(r *rand.Rand, words []string, s float64) *Zipf {
+	if len(words) == 0 {
+		panic("text: empty vocabulary")
+	}
+	return &Zipf{
+		z:     rand.NewZipf(r, s, 1, uint64(len(words)-1)),
+		words: words,
+	}
+}
+
+// Next returns the next sampled word.
+func (z *Zipf) Next() string { return z.words[z.z.Uint64()] }
+
+// Sentence appends n sampled words to dst and returns it.
+func (z *Zipf) Sentence(dst []string, n int) []string {
+	for i := 0; i < n; i++ {
+		dst = append(dst, z.Next())
+	}
+	return dst
+}
+
+// CorrelatedPlanter plants pairs (or larger groups) of marker keywords into
+// generated text with controlled co-occurrence, so experiments can sample
+// keyword sets with known high or low correlation (Section 5.4: "the
+// correlation between the keywords" is a primary performance factor).
+//
+// Markers come in groups. A high-correlation group's words are always
+// planted together in the same element's text; a low-correlation group's
+// words are individually frequent but planted into disjoint elements, so
+// they rarely (never, within the planted occurrences) co-occur.
+type CorrelatedPlanter struct {
+	r *rand.Rand
+	// HighGroups[i] is a set of keywords planted together.
+	HighGroups [][]string
+	// LowGroups[i] is a set of keywords planted apart.
+	LowGroups [][]string
+	// Rate is the probability that a given text block receives a planting.
+	Rate float64
+	low  int // round-robin cursor over low-group members
+}
+
+// NewCorrelatedPlanter builds a planter with nGroups high- and low-
+// correlation groups of the given width (keywords per group).
+func NewCorrelatedPlanter(r *rand.Rand, nGroups, width int, rate float64) *CorrelatedPlanter {
+	p := &CorrelatedPlanter{r: r, Rate: rate}
+	for g := 0; g < nGroups; g++ {
+		var hi, lo []string
+		for w := 0; w < width; w++ {
+			hi = append(hi, fmt.Sprintf("hicorr%dk%d", g, w))
+			lo = append(lo, fmt.Sprintf("locorr%dk%d", g, w))
+		}
+		p.HighGroups = append(p.HighGroups, hi)
+		p.LowGroups = append(p.LowGroups, lo)
+	}
+	return p
+}
+
+// Plant possibly appends marker keywords to a text block's words. High
+// groups are appended whole; low groups contribute a single member chosen
+// round-robin, so each member is common but members never co-occur.
+func (p *CorrelatedPlanter) Plant(words []string) []string {
+	if p.r.Float64() >= p.Rate {
+		return words
+	}
+	if p.r.Intn(2) == 0 && len(p.HighGroups) > 0 {
+		g := p.HighGroups[p.r.Intn(len(p.HighGroups))]
+		words = append(words, g...)
+	} else if len(p.LowGroups) > 0 {
+		g := p.LowGroups[p.r.Intn(len(p.LowGroups))]
+		words = append(words, g[p.low%len(g)])
+		p.low++
+	}
+	return words
+}

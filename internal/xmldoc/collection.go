@@ -1,0 +1,157 @@
+package xmldoc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Collection is a set of hyperlinked XML/HTML documents — the graph
+// G = (N, CE, HE) of Section 2.1. Containment edges are implicit in the
+// element trees; hyperlink edges are materialized by ResolveLinks.
+type Collection struct {
+	Docs   []*Document
+	byName map[string]*Document
+	total  int
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{byName: make(map[string]*Document)}
+}
+
+// AddXML parses an XML document from r and adds it under the given
+// collection-unique name. The document ID is assigned sequentially.
+func (c *Collection) AddXML(name string, r io.Reader, opts *ParseOptions) (*Document, error) {
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("xmldoc: duplicate document name %q", name)
+	}
+	doc, err := ParseXML(uint32(len(c.Docs)), name, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(doc)
+	return doc, nil
+}
+
+// AddHTML parses an HTML document from r and adds it under the given name.
+func (c *Collection) AddHTML(name string, r io.Reader, opts *ParseOptions) (*Document, error) {
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("xmldoc: duplicate document name %q", name)
+	}
+	doc, err := ParseHTML(uint32(len(c.Docs)), name, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(doc)
+	return doc, nil
+}
+
+func (c *Collection) attach(doc *Document) {
+	doc.Base = c.total
+	c.total += len(doc.Elements)
+	c.Docs = append(c.Docs, doc)
+	c.byName[doc.Name] = doc
+}
+
+// DocByName returns the document with the given name, or nil.
+func (c *Collection) DocByName(name string) *Document { return c.byName[name] }
+
+// NumDocs returns N_d, the number of documents.
+func (c *Collection) NumDocs() int { return len(c.Docs) }
+
+// NumElements returns N_e, the total number of element nodes across all
+// documents.
+func (c *Collection) NumElements() int { return c.total }
+
+// GlobalIndex returns the collection-wide dense index of element e.
+func (c *Collection) GlobalIndex(e *Element) int { return e.Doc.Base + int(e.Index) }
+
+// ElementByGlobalIndex is the inverse of GlobalIndex. Documents are
+// attached in Base order, so the owning document is found by binary
+// search.
+func (c *Collection) ElementByGlobalIndex(g int) *Element {
+	if g < 0 || g >= c.total {
+		return nil
+	}
+	lo, hi := 0, len(c.Docs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if c.Docs[mid].Base <= g {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	d := c.Docs[lo]
+	return d.Elements[g-d.Base]
+}
+
+// LinkStats summarizes hyperlink resolution.
+type LinkStats struct {
+	Resolved  int // hyperlink edges added to HE
+	Dangling  int // references whose target does not exist
+	SelfLinks int // references resolving to the referencing element itself (dropped)
+}
+
+// ResolveLinks resolves every Ref in the collection into hyperlink edges
+// and returns the adjacency list indexed by global element index:
+// out[g] lists the global indexes of elements hyperlinked from element g.
+//
+// IDREF targets are element IDs in the same document. XLink targets take
+// the form "docname" (the target document's root) or "docname#id" (an
+// identified element in that document). Dangling references are counted
+// and dropped, like dead links on the web.
+func (c *Collection) ResolveLinks() ([][]int32, LinkStats) {
+	var stats LinkStats
+	// Per-document id -> element maps, built lazily.
+	idMaps := make([]map[string]*Element, len(c.Docs))
+	idMap := func(d *Document) map[string]*Element {
+		if idMaps[d.ID] == nil {
+			m := make(map[string]*Element)
+			for _, e := range d.Elements {
+				if e.XMLID != "" {
+					m[e.XMLID] = e
+				}
+			}
+			idMaps[d.ID] = m
+		}
+		return idMaps[d.ID]
+	}
+
+	out := make([][]int32, c.total)
+	for _, d := range c.Docs {
+		for _, e := range d.Elements {
+			for _, ref := range e.Refs {
+				var target *Element
+				switch ref.Kind {
+				case RefIDREF:
+					target = idMap(d)[ref.Target]
+				case RefXLink:
+					docName, frag, hasFrag := strings.Cut(ref.Target, "#")
+					td := c.byName[docName]
+					if td == nil {
+						break
+					}
+					if hasFrag && frag != "" {
+						target = idMap(td)[frag]
+					} else {
+						target = td.Root
+					}
+				}
+				if target == nil {
+					stats.Dangling++
+					continue
+				}
+				if target == e {
+					stats.SelfLinks++
+					continue
+				}
+				g := c.GlobalIndex(e)
+				out[g] = append(out[g], int32(c.GlobalIndex(target)))
+				stats.Resolved++
+			}
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,64 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseXML checks that arbitrary input never panics the parser and
+// that accepted documents satisfy the model invariants.
+func FuzzParseXML(f *testing.F) {
+	f.Add("<a><b ref='x'>hi</b></a>")
+	f.Add(figure1)
+	f.Add("<a>")
+	f.Add("text only")
+	f.Add(`<a id="1" xlink="d#f" refs="a b"><c name="n"/></a>`)
+	f.Fuzz(func(t *testing.T, s string) {
+		doc, err := ParseXML(3, "fuzz", strings.NewReader(s), nil)
+		if err != nil {
+			return
+		}
+		if doc.Root == nil {
+			t.Fatal("accepted document without root")
+		}
+		// Invariants: pre-order indexes, parent/child consistency, Dewey
+		// round trips.
+		for i, e := range doc.Elements {
+			if int(e.Index) != i {
+				t.Fatalf("element %d has Index %d", i, e.Index)
+			}
+			if doc.ElementAt(e.DeweyID()) != e {
+				t.Fatalf("Dewey round trip failed at element %d", i)
+			}
+			for j, c := range e.Children {
+				if c.Parent != e || int(c.Ord) != j {
+					t.Fatalf("child linkage broken at element %d child %d", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseHTML checks the tolerant HTML scanner never panics and always
+// produces a single-element document.
+func FuzzParseHTML(f *testing.F) {
+	f.Add("<html><body>hi<a href='x'>l</a></body></html>")
+	f.Add("<script>var x = '<'</script>ok")
+	f.Add("<<<>>>")
+	f.Add("<a href=")
+	f.Add("<style>")
+	f.Fuzz(func(t *testing.T, s string) {
+		doc, err := ParseHTML(0, "fuzz", strings.NewReader(s), nil)
+		if err != nil {
+			t.Fatalf("HTML parser must not fail: %v", err)
+		}
+		if doc.Root == nil || len(doc.Elements) != 1 {
+			t.Fatalf("HTML doc shape wrong: %d elements", len(doc.Elements))
+		}
+		for i, tok := range doc.Root.Tokens {
+			if tok.Term == "" {
+				t.Fatalf("empty token at %d", i)
+			}
+		}
+	})
+}

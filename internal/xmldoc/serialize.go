@@ -1,0 +1,85 @@
+package xmldoc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteXML serializes the subtree rooted at e back to XML, for displaying
+// result fragments. Attribute pseudo-elements are rendered back as
+// attributes. One approximation is inherent to the data model: an
+// element's direct character data is stored concatenated, so text that
+// originally interleaved with child elements is emitted before them.
+// maxDepth bounds the rendered depth (0 = unlimited); deeper content is
+// elided with an ellipsis comment.
+func WriteXML(w io.Writer, e *Element, maxDepth int) error {
+	return writeXML(w, e, maxDepth, 0)
+}
+
+func writeXML(w io.Writer, e *Element, maxDepth, depth int) error {
+	if e.Kind == KindHTMLRoot {
+		// HTML documents keep no structure; emit the text.
+		_, err := fmt.Fprintf(w, "<html>%s</html>", escapeText(e.Text))
+		return err
+	}
+	var attrs, children []*Element
+	for _, c := range e.Children {
+		if c.Kind == KindAttr {
+			attrs = append(attrs, c)
+		} else {
+			children = append(children, c)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "<%s", e.Tag); err != nil {
+		return err
+	}
+	if e.XMLID != "" {
+		if _, err := fmt.Fprintf(w, " id=%q", e.XMLID); err != nil {
+			return err
+		}
+	}
+	for _, a := range attrs {
+		if _, err := fmt.Fprintf(w, " %s=%q", a.Tag, a.Text); err != nil {
+			return err
+		}
+	}
+	for _, r := range e.Refs {
+		name := "ref"
+		if r.Kind == RefXLink {
+			name = "xlink"
+		}
+		if _, err := fmt.Fprintf(w, " %s=%q", name, r.Target); err != nil {
+			return err
+		}
+	}
+	if e.Text == "" && len(children) == 0 {
+		_, err := io.WriteString(w, "/>")
+		return err
+	}
+	if _, err := io.WriteString(w, ">"); err != nil {
+		return err
+	}
+	if e.Text != "" {
+		if _, err := io.WriteString(w, escapeText(e.Text)); err != nil {
+			return err
+		}
+	}
+	if maxDepth > 0 && depth+1 >= maxDepth && len(children) > 0 {
+		if _, err := io.WriteString(w, "<!-- … -->"); err != nil {
+			return err
+		}
+	} else {
+		for _, c := range children {
+			if err := writeXML(w, c, maxDepth, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", e.Tag)
+	return err
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }

@@ -1,0 +1,67 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	src := `<paper id="1" kind="full"><title>A &amp; B</title><body><sec>text</sec><sec/></body><cite ref="2">x</cite></paper>`
+	doc, err := ParseXML(0, "d", strings.NewReader(src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteXML(&b, doc.Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`<paper id="1" kind="full">`, "<title>A &amp; B</title>",
+		"<sec>text</sec>", "<sec/>", `<cite ref="2">x</cite>`, "</paper>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized output missing %q:\n%s", want, out)
+		}
+	}
+	// The serialized form must reparse to an isomorphic tree.
+	doc2, err := ParseXML(0, "d2", strings.NewReader(out), nil)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if len(doc2.Elements) != len(doc.Elements) {
+		t.Errorf("reparse element count %d != %d", len(doc2.Elements), len(doc.Elements))
+	}
+}
+
+func TestWriteXMLDepthLimit(t *testing.T) {
+	doc, err := ParseXML(0, "d", strings.NewReader("<a><b><c><d>deep</d></c></b></a>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteXML(&b, doc.Root, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "<c>") {
+		t.Errorf("depth limit not applied: %s", out)
+	}
+	if !strings.Contains(out, "…") {
+		t.Errorf("ellipsis marker missing: %s", out)
+	}
+}
+
+func TestWriteXMLHTMLRoot(t *testing.T) {
+	doc, err := ParseHTML(0, "p", strings.NewReader("<html><body>hi <b>there</b></body></html>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteXML(&b, doc.Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hi there") {
+		t.Errorf("html serialization: %s", b.String())
+	}
+}

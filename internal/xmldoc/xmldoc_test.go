@@ -1,0 +1,384 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+
+	"xrank/internal/dewey"
+)
+
+// figure1 reconstructs the paper's Figure 1 example document.
+const figure1 = `<workshop date="28 July 2000">
+  <title>XML and IR: A SIGIR 2000 Workshop</title>
+  <editors>David Carmel, Yoelle Maarek, Aya Soffer</editors>
+  <proceedings>
+    <paper id="1">
+      <title>XQL and Proximal Nodes</title>
+      <author>Ricardo Baeza-Yates</author>
+      <author>Gonzalo Navarro</author>
+      <abstract>We consider the recently proposed language XQL</abstract>
+      <body>
+        <section name="Introduction">Searching on structured text is more important</section>
+        <section name="Implementing XML Operations">
+          <subsection name="Path Expressions">At first sight, the XQL query language looks</subsection>
+        </section>
+        <cite ref="2">Querying XML in Xyleme</cite>
+        <cite xlink="webdoc#xmlql">A Query Language for XML</cite>
+      </body>
+    </paper>
+    <paper id="2">
+      <title>Querying XML in Xyleme</title>
+    </paper>
+  </proceedings>
+</workshop>`
+
+func parseFig1(t *testing.T) *Document {
+	t.Helper()
+	doc, err := ParseXML(5, "sigir2000", strings.NewReader(figure1), nil)
+	if err != nil {
+		t.Fatalf("ParseXML: %v", err)
+	}
+	return doc
+}
+
+func findByTag(d *Document, tag string) []*Element {
+	var out []*Element
+	for _, e := range d.Elements {
+		if e.Tag == tag {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestParseFigure1Structure(t *testing.T) {
+	doc := parseFig1(t)
+	if doc.Root == nil || doc.Root.Tag != "workshop" {
+		t.Fatalf("root = %v", doc.Root)
+	}
+	// Attribute "date" materializes as the first sub-element of workshop.
+	if len(doc.Root.Children) != 4 {
+		t.Fatalf("workshop children = %d, want 4 (date attr, title, editors, proceedings)", len(doc.Root.Children))
+	}
+	date := doc.Root.Children[0]
+	if date.Kind != KindAttr || date.Tag != "date" {
+		t.Errorf("first child = %v %q, want attr date", date.Kind, date.Tag)
+	}
+	if date.Text != "28 July 2000" {
+		t.Errorf("date text = %q", date.Text)
+	}
+	papers := findByTag(doc, "paper")
+	if len(papers) != 2 {
+		t.Fatalf("papers = %d", len(papers))
+	}
+	if papers[0].XMLID != "1" || papers[1].XMLID != "2" {
+		t.Errorf("paper ids = %q, %q", papers[0].XMLID, papers[1].XMLID)
+	}
+	subs := findByTag(doc, "subsection")
+	if len(subs) != 1 {
+		t.Fatalf("subsections = %d", len(subs))
+	}
+	if !ContainsTerm(subs[0], "xql") || !ContainsTerm(subs[0], "language") {
+		t.Errorf("subsection should contain the 'XQL language' keywords")
+	}
+}
+
+func TestDeweyIDsAndElementAt(t *testing.T) {
+	doc := parseFig1(t)
+	if got := doc.Root.DeweyID(); !dewey.Equal(got, dewey.ID{5}) {
+		t.Errorf("root DeweyID = %v", got)
+	}
+	title := doc.Root.Children[1]
+	if got := title.DeweyID(); !dewey.Equal(got, dewey.ID{5, 1}) {
+		t.Errorf("title DeweyID = %v, want 5.1", got)
+	}
+	for _, e := range doc.Elements {
+		id := e.DeweyID()
+		if got := doc.ElementAt(id); got != e {
+			t.Fatalf("ElementAt(%v) = %v, want %s", id, got, Path(e))
+		}
+		if id[0] != 5 {
+			t.Fatalf("doc component = %d", id[0])
+		}
+	}
+	if doc.ElementAt(dewey.ID{5, 99}) != nil {
+		t.Errorf("ElementAt of nonexistent path should be nil")
+	}
+	if doc.ElementAt(dewey.ID{6}) != nil {
+		t.Errorf("ElementAt of wrong doc should be nil")
+	}
+	if doc.ElementAt(nil) != nil {
+		t.Errorf("ElementAt(nil) should be nil")
+	}
+}
+
+func TestTokenPositionsIncreaseInDocumentOrder(t *testing.T) {
+	doc := parseFig1(t)
+	last := int64(-1)
+	count := 0
+	Walk(doc.Root, func(e *Element) bool {
+		for _, tok := range e.Tokens {
+			// Positions within one element's direct tokens increase, and an
+			// element that starts after another element's direct tokens in
+			// document order gets later positions. (Interleaving of a
+			// parent's trailing text with child text means we only check
+			// the per-element first position is after the parent's tag
+			// token.)
+			if tok.Term == "" {
+				t.Fatalf("empty token term in %s", Path(e))
+			}
+			count++
+		}
+		if len(e.Tokens) > 0 {
+			first := int64(e.Tokens[0].Pos)
+			if first <= last && e.Kind == KindElement {
+				t.Fatalf("element %s first pos %d not after previous element start %d", Path(e), first, last)
+			}
+			last = first
+		}
+		return true
+	})
+	if uint32(count) != doc.NumTokens {
+		t.Errorf("NumTokens = %d, counted %d", doc.NumTokens, count)
+	}
+}
+
+func TestTagNamesAreValues(t *testing.T) {
+	doc := parseFig1(t)
+	// The 'author gray' anecdote depends on tag names being indexed.
+	authors := findByTag(doc, "author")
+	if len(authors) != 2 {
+		t.Fatalf("authors = %d", len(authors))
+	}
+	if !ContainsTerm(authors[0], "author") {
+		t.Errorf("tag name should be a value of the element")
+	}
+	// And it can be disabled.
+	doc2, err := ParseXML(0, "x", strings.NewReader("<a><b>hi</b></a>"), &ParseOptions{KeepText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ContainsTerm(doc2.Root, "b") {
+		t.Errorf("IndexTagNames=false should not index tag names")
+	}
+	if !ContainsTerm(doc2.Root, "hi") {
+		t.Errorf("text should still be indexed")
+	}
+}
+
+func TestRefsRecorded(t *testing.T) {
+	doc := parseFig1(t)
+	cites := findByTag(doc, "cite")
+	if len(cites) != 2 {
+		t.Fatalf("cites = %d", len(cites))
+	}
+	if len(cites[0].Refs) != 1 || cites[0].Refs[0].Kind != RefIDREF || cites[0].Refs[0].Target != "2" {
+		t.Errorf("cite[0].Refs = %v", cites[0].Refs)
+	}
+	if len(cites[1].Refs) != 1 || cites[1].Refs[0].Kind != RefXLink || cites[1].Refs[0].Target != "webdoc#xmlql" {
+		t.Errorf("cite[1].Refs = %v", cites[1].Refs)
+	}
+	// Link attributes must not become value sub-elements.
+	for _, c := range cites {
+		for _, ch := range c.Children {
+			if ch.Kind == KindAttr {
+				t.Errorf("link attr materialized as sub-element: %v", ch.Tag)
+			}
+		}
+	}
+}
+
+func TestCollectionResolveLinks(t *testing.T) {
+	c := NewCollection()
+	d1, err := c.AddXML("sigir2000", strings.NewReader(figure1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webXML := `<paper id="xmlql"><title>A Query Language for XML</title><cite xlink="sigir2000">workshop link</cite><cite xlink="nowhere#x">dead</cite></paper>`
+	d2, err := c.AddXML("webdoc", strings.NewReader(webXML), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d", c.NumDocs())
+	}
+	if c.NumElements() != len(d1.Elements)+len(d2.Elements) {
+		t.Fatalf("NumElements = %d", c.NumElements())
+	}
+	out, stats := c.ResolveLinks()
+	if stats.Dangling != 1 {
+		t.Errorf("dangling = %d, want 1 (nowhere#x)", stats.Dangling)
+	}
+	// IDREF: first cite in d1 -> paper id=2 in d1.
+	cites := findByTag(d1, "cite")
+	papers := findByTag(d1, "paper")
+	g := c.GlobalIndex(cites[0])
+	want := int32(c.GlobalIndex(papers[1]))
+	if len(out[g]) != 1 || out[g][0] != want {
+		t.Errorf("IDREF edge = %v, want [%d]", out[g], want)
+	}
+	// XLink with fragment: second cite in d1 -> root of d2 (id "xmlql").
+	g2 := c.GlobalIndex(cites[1])
+	want2 := int32(c.GlobalIndex(d2.Root))
+	if len(out[g2]) != 1 || out[g2][0] != want2 {
+		t.Errorf("XLink edge = %v, want [%d]", out[g2], want2)
+	}
+	// XLink without fragment: d2's first cite -> d1 root.
+	cites2 := findByTag(d2, "cite")
+	g3 := c.GlobalIndex(cites2[0])
+	want3 := int32(c.GlobalIndex(d1.Root))
+	if len(out[g3]) != 1 || out[g3][0] != want3 {
+		t.Errorf("XLink-to-doc edge = %v, want [%d]", out[g3], want3)
+	}
+	if stats.Resolved != 3 {
+		t.Errorf("resolved = %d, want 3", stats.Resolved)
+	}
+	// Round trip global indexes.
+	for _, d := range c.Docs {
+		for _, e := range d.Elements {
+			if c.ElementByGlobalIndex(c.GlobalIndex(e)) != e {
+				t.Fatalf("global index round trip failed for %s", Path(e))
+			}
+		}
+	}
+}
+
+func TestCollectionDuplicateName(t *testing.T) {
+	c := NewCollection()
+	if _, err := c.AddXML("a", strings.NewReader("<x>one</x>"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddXML("a", strings.NewReader("<x>two</x>"), nil); err == nil {
+		t.Errorf("duplicate name should fail")
+	}
+	if _, err := c.AddHTML("a", strings.NewReader("<p>x</p>"), nil); err == nil {
+		t.Errorf("duplicate name should fail for HTML too")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>", // multiple roots
+		"no markup at all",
+	} {
+		if _, err := ParseXML(0, "bad", strings.NewReader(bad), nil); err == nil {
+			t.Errorf("ParseXML(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("<a>", 20) + "x" + strings.Repeat("</a>", 20)
+	if _, err := ParseXML(0, "deep", strings.NewReader(deep), &ParseOptions{MaxDepth: 10}); err == nil {
+		t.Errorf("depth limit should trigger")
+	}
+	if _, err := ParseXML(0, "deep", strings.NewReader(deep), &ParseOptions{MaxDepth: 30}); err != nil {
+		t.Errorf("depth within limit should parse: %v", err)
+	}
+}
+
+func TestParseHTML(t *testing.T) {
+	html := `<html><head><title>My Page</title>
+<script>var x = "ignored tokens";</script>
+<style>.c { color: red }</style></head>
+<body><h1>Hello World</h1>
+<p>Some <b>bold</b> text.</p>
+<a href="other.html">link text</a>
+<a href="#frag">intra-page fragment anchor</a>
+<a href='single.html'>single quoted</a>
+</body></html>`
+	doc, err := ParseHTML(3, "page", strings.NewReader(html), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Kind != KindHTMLRoot {
+		t.Errorf("root kind = %v", doc.Root.Kind)
+	}
+	if len(doc.Elements) != 1 {
+		t.Errorf("HTML doc should have exactly one element, got %d", len(doc.Elements))
+	}
+	if !ContainsTerm(doc.Root, "hello") || !ContainsTerm(doc.Root, "bold") {
+		t.Errorf("text not extracted")
+	}
+	if ContainsTerm(doc.Root, "ignored") || ContainsTerm(doc.Root, "color") {
+		t.Errorf("script/style content leaked into tokens")
+	}
+	var targets []string
+	for _, r := range doc.Root.Refs {
+		targets = append(targets, r.Target)
+	}
+	if len(targets) != 2 || targets[0] != "other.html" || targets[1] != "single.html" {
+		t.Errorf("hrefs = %v", targets)
+	}
+	if !strings.Contains(doc.Root.Text, "Hello World") {
+		t.Errorf("Text = %q", doc.Root.Text)
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	doc := parseFig1(t)
+	n := 0
+	Walk(doc.Root, func(e *Element) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Walk visited %d, want early stop at 3", n)
+	}
+	if !Walk(nil, func(*Element) bool { return false }) {
+		t.Errorf("Walk(nil) should be true")
+	}
+}
+
+func TestPathAndAncestor(t *testing.T) {
+	doc := parseFig1(t)
+	sub := findByTag(doc, "subsection")[0]
+	p := Path(sub)
+	if p != "workshop/proceedings/paper/body/section/subsection" {
+		t.Errorf("Path = %q", p)
+	}
+	if !IsAncestorOrSelf(doc.Root, sub) || !IsAncestorOrSelf(sub, sub) {
+		t.Errorf("ancestor-or-self failed")
+	}
+	title := doc.Root.Children[1]
+	if IsAncestorOrSelf(title, sub) {
+		t.Errorf("title is not ancestor of subsection")
+	}
+}
+
+func TestDirectTerms(t *testing.T) {
+	doc := parseFig1(t)
+	eds := findByTag(doc, "editors")[0]
+	terms := DirectTerms(eds)
+	for _, w := range []string{"editors", "david", "carmel", "soffer"} {
+		if !terms[w] {
+			t.Errorf("editors should directly contain %q; has %v", w, terms)
+		}
+	}
+	if terms["xql"] {
+		t.Errorf("editors should not contain xql")
+	}
+}
+
+func TestAttrValueForms(t *testing.T) {
+	cases := []struct {
+		attrs, name, want string
+		ok                bool
+	}{
+		{`href="a.html"`, "href", "a.html", true},
+		{`href='a.html'`, "href", "a.html", true},
+		{`href=a.html class=x`, "href", "a.html", true},
+		{`class="x" href = "b.html"`, "href", "b.html", true},
+		{`xhref="no"`, "href", "", false},
+		{`class="x"`, "href", "", false},
+		{`data-href="no" href="yes"`, "href", "yes", true},
+	}
+	for _, c := range cases {
+		got, ok := attrValue(c.attrs, c.name)
+		if ok != c.ok || got != c.want {
+			t.Errorf("attrValue(%q, %q) = %q,%v want %q,%v", c.attrs, c.name, got, ok, c.want, c.ok)
+		}
+	}
+}

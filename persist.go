@@ -1,0 +1,138 @@
+package xrank
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"xrank/internal/index"
+)
+
+// Engine persistence. Build writes, next to the index files:
+//
+//	engine.json — config + document manifest
+//	ranks.bin   — float64 ElemRanks by global element index
+//	docs/       — the raw source documents
+//
+// OpenEngine reloads all three; parsing is deterministic, so the rebuilt
+// in-memory collection has identical Dewey IDs and global indexes.
+
+type engineManifest struct {
+	Config Config     `json:"config"`
+	Docs   []docEntry `json:"docs"`
+}
+
+func (e *Engine) persist(dir string) error {
+	docsDir := filepath.Join(dir, "docs")
+	if err := os.MkdirAll(docsDir, 0o755); err != nil {
+		return err
+	}
+	for i := range e.docs {
+		d := &e.docs[i]
+		ext := ".xml"
+		if d.HTML {
+			ext = ".html"
+		}
+		d.File = fmt.Sprintf("%06d%s", i, ext)
+		if err := os.WriteFile(filepath.Join(docsDir, d.File), d.raw, 0o644); err != nil {
+			return err
+		}
+		d.raw = nil // the store owns the bytes now
+	}
+
+	if err := e.persistManifest(dir); err != nil {
+		return err
+	}
+
+	rf, err := os.Create(filepath.Join(dir, "ranks.bin"))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(e.ranks))
+	for i, r := range e.ranks {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(r))
+	}
+	if _, err := rf.Write(buf); err != nil {
+		rf.Close()
+		return err
+	}
+	return rf.Close()
+}
+
+// persistManifest writes (or rewrites, after DeleteDoc) engine.json.
+func (e *Engine) persistManifest(dir string) error {
+	mf, err := os.Create(filepath.Join(dir, "engine.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(engineManifest{Config: e.cfg, Docs: e.docs}); err != nil {
+		mf.Close()
+		return err
+	}
+	return mf.Close()
+}
+
+// OpenEngine reopens an engine previously built with IndexDir set (or a
+// still-existing temporary directory). The source documents are reparsed
+// from the directory's document store.
+func OpenEngine(dir string) (*Engine, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "engine.json"))
+	if err != nil {
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
+	}
+	var man engineManifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("xrank: bad engine.json: %w", err)
+	}
+	man.Config.IndexDir = dir
+	e := NewEngine(&man.Config)
+	for _, d := range man.Docs {
+		f, err := os.Open(filepath.Join(dir, "docs", d.File))
+		if err != nil {
+			return nil, err
+		}
+		if d.HTML {
+			_, err = e.col.AddHTML(d.Name, f, nil)
+		} else {
+			_, err = e.col.AddXML(d.Name, f, nil)
+		}
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.docs = man.Docs
+	for _, d := range man.Docs {
+		if d.Deleted {
+			if e.deleted == nil {
+				e.deleted = make(map[uint32]bool)
+			}
+			e.deleted[e.col.DocByName(d.Name).ID] = true
+		}
+	}
+
+	rb, err := os.ReadFile(filepath.Join(dir, "ranks.bin"))
+	if err != nil {
+		return nil, err
+	}
+	if len(rb) != 8*e.col.NumElements() {
+		return nil, fmt.Errorf("xrank: ranks.bin holds %d bytes for %d elements", len(rb), e.col.NumElements())
+	}
+	e.ranks = make([]float64, e.col.NumElements())
+	for i := range e.ranks {
+		e.ranks[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb[i*8:]))
+	}
+
+	ix, err := index.Open(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	e.ix = ix
+	e.built = true
+	return e, nil
+}

@@ -1,0 +1,364 @@
+package xrank
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"xrank/internal/dewey"
+	"xrank/internal/query"
+	"xrank/internal/storage"
+	"xrank/internal/xmldoc"
+)
+
+// Algorithm selects the query processing strategy.
+type Algorithm int
+
+const (
+	// AlgoHDIL is the paper's recommended default: the adaptive hybrid.
+	AlgoHDIL Algorithm = iota
+	// AlgoDIL is the single-pass Dewey-stack merge (Figure 5).
+	AlgoDIL
+	// AlgoRDIL is the rank-ordered threshold algorithm (Figure 7).
+	AlgoRDIL
+	// AlgoNaiveID is the element-granularity baseline merged by ID.
+	AlgoNaiveID
+	// AlgoNaiveRank is the element-granularity baseline with TA + hash.
+	AlgoNaiveRank
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoHDIL:
+		return "HDIL"
+	case AlgoDIL:
+		return "DIL"
+	case AlgoRDIL:
+		return "RDIL"
+	case AlgoNaiveID:
+		return "Naive-ID"
+	case AlgoNaiveRank:
+		return "Naive-Rank"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SearchOptions tune one query.
+type SearchOptions struct {
+	// TopM is the desired number of results (default 10).
+	TopM int
+	// Algorithm selects the processor (default AlgoHDIL).
+	Algorithm Algorithm
+	// ColdCache empties the buffer pools before the query, mimicking the
+	// paper's measurement protocol.
+	ColdCache bool
+
+	// Decay overrides the engine's per-level rank decay for this query
+	// (0 keeps the engine default). Decay is a query-time parameter: the
+	// index stores undecayed per-entry ElemRanks.
+	Decay float64
+	// ProximityOff disables the keyword proximity factor for this query.
+	ProximityOff bool
+	// SumAggregation uses f=sum instead of f=max over multiple keyword
+	// occurrences (Section 2.3.2.1). Only the full-scan algorithms (DIL,
+	// Naive-ID) support it; the threshold algorithms reject it.
+	SumAggregation bool
+	// Disjunctive switches to disjunctive keyword semantics (Section 2.2):
+	// elements directly containing at least one keyword, scored by the
+	// keywords present. Evaluated with a DIL-style merge; Algorithm is
+	// ignored.
+	Disjunctive bool
+	// Weights assigns per-keyword weights (Section 2.3.2.2), aligned with
+	// the distinct keywords of the query in order of first appearance.
+	Weights []float64
+	// TFIDF scores occurrences by tf-idf instead of ElemRank — the
+	// "other ranking functions" extension of Section 7. Supported by
+	// AlgoDIL and AlgoNaiveID (and disjunctive queries) only.
+	TFIDF bool
+}
+
+// SearchResult is one ranked result.
+type SearchResult struct {
+	// DeweyID is the dotted Dewey ID of the result element.
+	DeweyID string
+	// Score is the overall rank R(v, Q).
+	Score float64
+	// Doc is the owning document's name.
+	Doc string
+	// Path is the tag path from the document root, e.g.
+	// "workshop/proceedings/paper/title".
+	Path string
+	// Tag is the element's tag name.
+	Tag string
+	// Snippet is up to ~160 characters of the element's text content.
+	Snippet string
+}
+
+// QueryStats reports the cost of one query.
+type QueryStats struct {
+	Algorithm     Algorithm
+	Keywords      []string
+	WallTime      time.Duration
+	IO            storage.Stats
+	SimulatedTime time.Duration // under the default cost model
+	SwitchedToDIL bool          // HDIL only
+}
+
+// Search runs a free-text conjunctive keyword query with default options
+// and returns the top 10 results.
+func (e *Engine) Search(q string) ([]SearchResult, error) {
+	res, _, err := e.SearchDetailed(q, SearchOptions{})
+	return res, err
+}
+
+// SearchTop runs the query returning the top-m results.
+func (e *Engine) SearchTop(q string, m int) ([]SearchResult, error) {
+	res, _, err := e.SearchDetailed(q, SearchOptions{TopM: m})
+	return res, err
+}
+
+// SearchDetailed runs the query with explicit options and returns cost
+// statistics alongside the results.
+func (e *Engine) SearchDetailed(q string, opts SearchOptions) ([]SearchResult, *QueryStats, error) {
+	if e.ix == nil {
+		return nil, nil, fmt.Errorf("xrank: engine not built")
+	}
+	keywords := tokenizeQuery(q)
+	if len(keywords) == 0 {
+		return nil, nil, fmt.Errorf("xrank: query %q contains no keywords", q)
+	}
+	if opts.TopM <= 0 {
+		opts.TopM = 10
+	}
+	if opts.ColdCache {
+		if err := e.ix.ColdCache(); err != nil {
+			return nil, nil, err
+		}
+	}
+	qopts := e.queryOptions(opts.TopM)
+	if opts.Decay != 0 {
+		qopts.Decay = opts.Decay
+	}
+	if opts.ProximityOff {
+		qopts.UseProximity = false
+	}
+	if opts.SumAggregation {
+		qopts.Agg = query.AggSum
+	}
+	qopts.Weights = opts.Weights
+	if opts.TFIDF {
+		qopts.Scoring = query.ScoreTFIDF
+	}
+	if len(e.cfg.AnswerTags) > 0 || e.hasTombstones() {
+		// Over-fetch so that answer-node collapsing and tombstone
+		// filtering still fill topM.
+		qopts.TopM = opts.TopM * 4
+	}
+
+	stats := &QueryStats{Algorithm: opts.Algorithm, Keywords: keywords}
+	before := e.ix.IOStats()
+	start := time.Now()
+
+	var (
+		rs  []query.Result
+		err error
+	)
+	if opts.Disjunctive {
+		rs, err = query.Disjunctive(e.ix, keywords, qopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.WallTime = time.Since(start)
+		stats.IO = e.ix.IOStats().Sub(before)
+		stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
+		out, err := e.materialize(rs, false, opts.TopM)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, stats, nil
+	}
+	switch opts.Algorithm {
+	case AlgoDIL:
+		rs, err = query.DIL(e.ix, keywords, qopts)
+	case AlgoRDIL:
+		rs, err = query.RDIL(e.ix, keywords, qopts)
+	case AlgoHDIL:
+		var trace *query.HDILTrace
+		rs, trace, err = query.HDIL(e.ix, keywords, qopts, storage.DefaultCostModel())
+		if trace != nil {
+			stats.SwitchedToDIL = trace.SwitchedToDIL
+		}
+	case AlgoNaiveID:
+		rs, err = query.NaiveID(e.ix, keywords, qopts)
+	case AlgoNaiveRank:
+		rs, err = query.NaiveRank(e.ix, keywords, qopts)
+	default:
+		err = fmt.Errorf("xrank: unknown algorithm %d", opts.Algorithm)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.WallTime = time.Since(start)
+	stats.IO = e.ix.IOStats().Sub(before)
+	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
+
+	naive := opts.Algorithm == AlgoNaiveID || opts.Algorithm == AlgoNaiveRank
+	out, err := e.materialize(rs, naive, opts.TopM)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// materialize converts internal results to SearchResults, applying answer
+// node mapping and deduplication.
+func (e *Engine) materialize(rs []query.Result, naive bool, topM int) ([]SearchResult, error) {
+	out := make([]SearchResult, 0, len(rs))
+	seen := make(map[string]bool)
+	for _, r := range rs {
+		var el *xmldoc.Element
+		if naive {
+			g, err := query.ElemFromResultID(r)
+			if err != nil {
+				return nil, err
+			}
+			el = e.col.ElementByGlobalIndex(int(g))
+		} else {
+			el = e.elementAtID(r.ID)
+		}
+		if el == nil {
+			return nil, fmt.Errorf("xrank: result %v does not resolve to an element", r.ID)
+		}
+		if e.isDeleted(el.Doc.ID) {
+			continue // tombstoned document (Section 4.5)
+		}
+		if len(e.cfg.AnswerTags) > 0 {
+			el = e.answerNodeFor(el)
+			if el == nil {
+				continue
+			}
+		}
+		id := el.DeweyID().String()
+		if seen[id] {
+			continue // several raw results collapsed to one answer node
+		}
+		seen[id] = true
+		out = append(out, SearchResult{
+			DeweyID: id,
+			Score:   r.Score,
+			Doc:     el.Doc.Name,
+			Path:    xmldoc.Path(el),
+			Tag:     el.Tag,
+			Snippet: snippet(el),
+		})
+		if len(out) == topM {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) hasTombstones() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.deleted) > 0
+}
+
+func (e *Engine) isDeleted(docID uint32) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.deleted[docID]
+}
+
+// answerNodeFor maps an element to its nearest ancestor-or-self answer
+// node (Section 2.2). HTML roots always qualify.
+func (e *Engine) answerNodeFor(el *xmldoc.Element) *xmldoc.Element {
+	for p := el; p != nil; p = p.Parent {
+		if p.Kind == xmldoc.KindHTMLRoot {
+			return p
+		}
+		for _, t := range e.cfg.AnswerTags {
+			if p.Tag == t {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// snippet extracts up to ~160 characters of text from the element's
+// subtree for display.
+func snippet(el *xmldoc.Element) string {
+	var b strings.Builder
+	xmldoc.Walk(el, func(x *xmldoc.Element) bool {
+		if x.Text != "" {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(x.Text)
+		}
+		return b.Len() < 160
+	})
+	s := b.String()
+	if len(s) > 160 {
+		s = s[:160] + "…"
+	}
+	return s
+}
+
+// Ancestors returns the chain of elements from the given result element up
+// to its document root (nearest first), supporting the paper's "navigate
+// up for context" interaction (Section 2.2).
+func (e *Engine) Ancestors(deweyID string) ([]SearchResult, error) {
+	el, err := e.elementAt(deweyID)
+	if err != nil {
+		return nil, err
+	}
+	var out []SearchResult
+	for p := el.Parent; p != nil; p = p.Parent {
+		out = append(out, SearchResult{
+			DeweyID: p.DeweyID().String(),
+			Doc:     p.Doc.Name,
+			Path:    xmldoc.Path(p),
+			Tag:     p.Tag,
+			Snippet: snippet(p),
+		})
+	}
+	return out, nil
+}
+
+// Fragment serializes a result element (identified by its dotted Dewey
+// ID) back to an XML fragment, up to maxDepth levels deep (0 = all).
+// Text that originally interleaved with child elements is emitted before
+// them; see xmldoc.WriteXML.
+func (e *Engine) Fragment(deweyID string, maxDepth int) (string, error) {
+	el, err := e.elementAt(deweyID)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := xmldoc.WriteXML(&b, el, maxDepth); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func (e *Engine) elementAt(deweyID string) (*xmldoc.Element, error) {
+	id, err := dewey.Parse(deweyID)
+	if err != nil {
+		return nil, err
+	}
+	el := e.elementAtID(id)
+	if el == nil {
+		return nil, fmt.Errorf("xrank: no element %s", deweyID)
+	}
+	return el, nil
+}
+
+func (e *Engine) elementAtID(id dewey.ID) *xmldoc.Element {
+	if len(id) == 0 || int(id[0]) >= len(e.col.Docs) {
+		return nil
+	}
+	return e.col.Docs[id[0]].ElementAt(id)
+}

@@ -1,0 +1,120 @@
+package xrank
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Document-granularity updates (Section 4.5). The paper handles adding
+// and deleting whole documents "exactly like in traditional inverted
+// lists": deletions take effect immediately through document-ID
+// tombstones (the first Dewey component identifies the document), and
+// additions are folded in by rebuilding the indexes from the document
+// store — the classic batch/merge regime. Element-granularity insertion
+// (sparse Dewey renumbering, Tatarinov et al. [32]) is future work in the
+// paper as well.
+
+// DeleteDoc tombstones a document: its elements disappear from all query
+// results immediately, without touching the index files. The tombstone is
+// persisted in the engine manifest. Space is reclaimed at the next
+// Update/rebuild.
+func (e *Engine) DeleteDoc(name string) error {
+	if !e.built {
+		return fmt.Errorf("xrank: DeleteDoc before Build")
+	}
+	d := e.col.DocByName(name)
+	if d == nil {
+		return fmt.Errorf("xrank: no document %q", name)
+	}
+	for i := range e.docs {
+		if e.docs[i].Name == name {
+			if e.docs[i].Deleted {
+				return fmt.Errorf("xrank: document %q already deleted", name)
+			}
+			e.docs[i].Deleted = true
+			e.mu.Lock()
+			if e.deleted == nil {
+				e.deleted = make(map[uint32]bool)
+			}
+			e.deleted[d.ID] = true
+			e.mu.Unlock()
+			return e.persistManifest(e.cfg.IndexDir)
+		}
+	}
+	return fmt.Errorf("xrank: document %q missing from manifest", name)
+}
+
+// DeletedDocs returns the names of tombstoned documents.
+func (e *Engine) DeletedDocs() []string {
+	var out []string
+	for _, d := range e.docs {
+		if d.Deleted {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Update builds a new engine in dir containing this engine's live
+// (non-tombstoned) documents plus the given additions, reading the
+// existing documents from the document store. The receiver remains usable
+// and unchanged. add maps new document names to their content; names
+// ending in .html are parsed as HTML.
+func (e *Engine) Update(dir string, add map[string]io.Reader) (*Engine, error) {
+	if !e.built {
+		return nil, fmt.Errorf("xrank: Update before Build")
+	}
+	if dir == e.cfg.IndexDir {
+		return nil, fmt.Errorf("xrank: Update target must differ from the current index directory")
+	}
+	cfg := e.cfg
+	cfg.IndexDir = dir
+	ne := NewEngine(&cfg)
+	for _, d := range e.docs {
+		if d.Deleted {
+			continue
+		}
+		f, err := os.Open(filepath.Join(e.cfg.IndexDir, "docs", d.File))
+		if err != nil {
+			return nil, fmt.Errorf("xrank: document store: %w", err)
+		}
+		if d.HTML {
+			err = ne.AddHTML(d.Name, f)
+		} else {
+			err = ne.AddXML(d.Name, f)
+		}
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Sort added names for deterministic document IDs.
+	names := make([]string, 0, len(add))
+	for n := range add {
+		names = append(names, n)
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		var err error
+		if filepath.Ext(n) == ".html" || filepath.Ext(n) == ".htm" {
+			err = ne.AddHTML(n, add[n])
+		} else {
+			err = ne.AddXML(n, add[n])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := ne.Build(); err != nil {
+		return nil, err
+	}
+	return ne, nil
+}

@@ -1,0 +1,339 @@
+// Package xrank implements ranked keyword search over hyperlinked XML and
+// HTML documents, reproducing the XRANK system of Guo, Shao, Botev and
+// Shanmugasundaram (SIGMOD 2003).
+//
+// XRANK answers conjunctive keyword queries with the most specific XML
+// elements that contain all keywords, ranked by ElemRank — a PageRank
+// generalization computed at element granularity over hyperlink and
+// containment edges — scaled by result specificity and two-dimensional
+// keyword proximity. On a two-level corpus (HTML pages with links) it
+// degenerates exactly to a PageRank-style HTML search engine, so mixed
+// XML/HTML collections work in one framework.
+//
+// Basic use:
+//
+//	e := xrank.NewEngine(nil)
+//	e.AddXML("proceedings", xmlReader)
+//	info, err := e.Build()
+//	results, err := e.Search("xql language")
+//
+// The engine persists its indexes (and the source documents) in the
+// configured directory; xrank.OpenEngine reopens it later.
+package xrank
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"xrank/internal/elemrank"
+	"xrank/internal/index"
+	"xrank/internal/query"
+	"xrank/internal/storage"
+	"xrank/internal/text"
+	"xrank/internal/xmldoc"
+)
+
+// Config tunes an Engine. The zero value (or nil) selects the paper's
+// experimental settings.
+type Config struct {
+	// IndexDir is where the index files and document store live. Empty
+	// means a fresh temporary directory (removed on Close).
+	IndexDir string
+
+	// D1, D2 and D3 are the ElemRank navigation probabilities for
+	// hyperlinks, forward containment and reverse containment
+	// (Section 3.2 defaults: 0.35, 0.25, 0.25). All zero selects the
+	// defaults.
+	D1, D2, D3 float64
+	// Epsilon is the ElemRank convergence threshold (default 0.00002).
+	Epsilon float64
+	// ElemRankVariant selects the formula from the Section 3.1 refinement
+	// series, for ablation studies: "final" (default), "pagerank",
+	// "bidirectional" or "discriminated".
+	ElemRankVariant string
+
+	// Decay is the per-level rank decay for result specificity
+	// (Section 2.3.2.1), in (0,1]. Default 0.75.
+	Decay float64
+	// DisableProximity makes the keyword proximity factor constantly 1,
+	// the paper's recommendation for highly structured datasets.
+	DisableProximity bool
+
+	// RankFraction and MaxPositions are index layout knobs; see
+	// the DESIGN document. Zero selects defaults (0.10, 1024).
+	RankFraction float64
+	MaxPositions int
+	// SkipNaive omits the naive baseline indexes (smaller, faster builds).
+	SkipNaive bool
+	// CompressDewey prefix-compresses Dewey IDs inside the postings (an
+	// extension beyond the paper): each entry stores only the suffix
+	// relative to its page-local predecessor. Identical query results,
+	// smaller lists.
+	CompressDewey bool
+	// PoolPages is the per-file buffer pool capacity in pages (default 128).
+	PoolPages int
+
+	// AnswerTags optionally restricts results to elements with these tags
+	// (the pre-defined answer nodes of Section 2.2). Each raw result is
+	// mapped to its nearest ancestor-or-self answer node; HTML documents'
+	// roots are always answer nodes. Empty means every element is an
+	// answer node.
+	AnswerTags []string
+}
+
+func (c *Config) fill() {
+	if c.D1 == 0 && c.D2 == 0 && c.D3 == 0 {
+		c.D1, c.D2, c.D3 = 0.35, 0.25, 0.25
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.00002
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.75
+	}
+}
+
+// Engine is an XRANK search engine over one document collection.
+type Engine struct {
+	cfg     Config
+	col     *xmldoc.Collection
+	ranks   []float64
+	ix      *index.Index
+	tempDir bool
+	built   bool
+	docs    []docEntry // document store manifest
+
+	// mu guards deleted. Queries may run concurrently; DeleteDoc may run
+	// concurrently with them.
+	mu sync.RWMutex
+	// deleted holds tombstoned document IDs; their elements are filtered
+	// from results at query time (Section 4.5).
+	deleted map[uint32]bool
+}
+
+type docEntry struct {
+	Name    string `json:"name"`
+	File    string `json:"file"`
+	HTML    bool   `json:"html"`
+	Deleted bool   `json:"deleted,omitempty"`
+
+	raw []byte `json:"-"` // pending document-store bytes (until Build)
+}
+
+// BuildInfo summarizes a Build: the ElemRank computation and the on-disk
+// index component sizes (the Table 1 measurements).
+type BuildInfo struct {
+	NumDocs            int
+	NumElements        int
+	Terms              int
+	ElemRankIterations int
+	ElemRankConverged  bool
+	ElemRankTime       time.Duration
+	IndexBuildTime     time.Duration
+	Sizes              index.BuildStats
+	DanglingLinks      int
+	ResolvedLinks      int
+}
+
+// NewEngine creates an empty engine. A nil cfg selects all defaults.
+func NewEngine(cfg *Config) *Engine {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	return &Engine{cfg: c, col: xmldoc.NewCollection()}
+}
+
+// AddXML parses and adds an XML document under a collection-unique name
+// (the name is the target of XLink references). Must precede Build.
+func (e *Engine) AddXML(name string, r io.Reader) error {
+	return e.add(name, r, false)
+}
+
+// AddHTML parses and adds an HTML document. HTML pages are modeled as a
+// single element (presentation structure dropped), so they behave like
+// classic web search documents.
+func (e *Engine) AddHTML(name string, r io.Reader) error {
+	return e.add(name, r, true)
+}
+
+// AddFile adds a document from disk, deciding XML vs HTML by extension
+// (.html/.htm are HTML). The file's base name becomes the document name.
+func (e *Engine) AddFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ext := filepath.Ext(path)
+	name := filepath.Base(path)
+	if ext == ".html" || ext == ".htm" {
+		return e.AddHTML(name, f)
+	}
+	return e.AddXML(name, f)
+}
+
+func (e *Engine) add(name string, r io.Reader, html bool) error {
+	if e.built {
+		return fmt.Errorf("xrank: collection is sealed after Build (document-granularity updates require a rebuild; see Section 4.5)")
+	}
+	// Tee the raw bytes into the document store so the engine can be
+	// reopened later.
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("xrank: read %s: %w", name, err)
+	}
+	if html {
+		_, err = e.col.AddHTML(name, bytesReader(raw), nil)
+	} else {
+		_, err = e.col.AddXML(name, bytesReader(raw), nil)
+	}
+	if err != nil {
+		return err
+	}
+	e.docs = append(e.docs, docEntry{Name: name, HTML: html, raw: raw})
+	return nil
+}
+
+// Build computes ElemRanks and constructs all disk indexes. The collection
+// is sealed afterwards.
+func (e *Engine) Build() (*BuildInfo, error) {
+	if e.built {
+		return nil, fmt.Errorf("xrank: already built")
+	}
+	if e.col.NumDocs() == 0 {
+		return nil, fmt.Errorf("xrank: no documents added")
+	}
+	dir := e.cfg.IndexDir
+	if dir == "" {
+		td, err := os.MkdirTemp("", "xrank-*")
+		if err != nil {
+			return nil, err
+		}
+		dir, e.cfg.IndexDir, e.tempDir = td, td, true
+	}
+
+	info := &BuildInfo{NumDocs: e.col.NumDocs(), NumElements: e.col.NumElements()}
+
+	g, linkStats := elemrank.BuildGraph(e.col)
+	info.DanglingLinks = linkStats.Dangling
+	info.ResolvedLinks = linkStats.Resolved
+	p := elemrank.DefaultParams()
+	p.D1, p.D2, p.D3, p.Epsilon = e.cfg.D1, e.cfg.D2, e.cfg.D3, e.cfg.Epsilon
+	switch e.cfg.ElemRankVariant {
+	case "", "final":
+		p.Variant = elemrank.VariantFinal
+	case "pagerank":
+		p.Variant = elemrank.VariantPageRank
+	case "bidirectional":
+		p.Variant = elemrank.VariantBidirectional
+	case "discriminated":
+		p.Variant = elemrank.VariantDiscriminated
+	default:
+		return nil, fmt.Errorf("xrank: unknown ElemRank variant %q", e.cfg.ElemRankVariant)
+	}
+	t0 := time.Now()
+	res, err := elemrank.Compute(g, p)
+	if err != nil {
+		return nil, err
+	}
+	info.ElemRankTime = time.Since(t0)
+	info.ElemRankIterations = res.Iterations
+	info.ElemRankConverged = res.Converged
+	e.ranks = res.Scores
+
+	t1 := time.Now()
+	stats, err := index.Build(e.col, e.ranks, dir, index.BuildOptions{
+		RankFraction:  e.cfg.RankFraction,
+		MaxPositions:  e.cfg.MaxPositions,
+		SkipNaive:     e.cfg.SkipNaive,
+		CompressDewey: e.cfg.CompressDewey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	info.IndexBuildTime = time.Since(t1)
+	info.Sizes = *stats
+	info.Terms = stats.Meta.Terms
+
+	if err := e.persist(dir); err != nil {
+		return nil, err
+	}
+	ix, err := index.Open(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	e.ix = ix
+	e.built = true
+	return info, nil
+}
+
+// Close releases the index files (and removes the index directory if it
+// was a temporary one).
+func (e *Engine) Close() error {
+	var err error
+	if e.ix != nil {
+		err = e.ix.Close()
+		e.ix = nil
+	}
+	if e.tempDir {
+		os.RemoveAll(e.cfg.IndexDir)
+	}
+	return err
+}
+
+// ColdCache drops all index buffer pools and I/O counters, simulating the
+// paper's cold-operating-system-cache measurement protocol.
+func (e *Engine) ColdCache() error {
+	if e.ix == nil {
+		return fmt.Errorf("xrank: not built")
+	}
+	return e.ix.ColdCache()
+}
+
+// IOStats returns cumulative page-level I/O statistics since the last
+// ColdCache.
+func (e *Engine) IOStats() storage.Stats {
+	if e.ix == nil {
+		return storage.Stats{}
+	}
+	return e.ix.IOStats()
+}
+
+// Collection and index accessors for the benchmark harness and tests.
+
+// NumDocs returns the number of documents.
+func (e *Engine) NumDocs() int { return e.col.NumDocs() }
+
+// NumElements returns the number of element nodes.
+func (e *Engine) NumElements() int { return e.col.NumElements() }
+
+// ElemRank returns the computed ElemRank of the element identified by the
+// dotted Dewey ID (e.g. "0.2.1"), or an error if it does not exist.
+func (e *Engine) ElemRank(deweyID string) (float64, error) {
+	el, err := e.elementAt(deweyID)
+	if err != nil {
+		return 0, err
+	}
+	return e.ranks[e.col.GlobalIndex(el)], nil
+}
+
+// queryOptions converts engine config to query options.
+func (e *Engine) queryOptions(topM int) query.Options {
+	o := query.DefaultOptions()
+	o.TopM = topM
+	o.Decay = e.cfg.Decay
+	o.UseProximity = !e.cfg.DisableProximity
+	return o
+}
+
+// tokenizeQuery splits a free-text query into normalized keywords.
+func tokenizeQuery(q string) []string { return text.Tokenize(q) }
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
