@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"xrank"
 )
@@ -57,17 +60,44 @@ func newMux(e *xrank.Engine) *http.ServeMux {
 			}
 			algo = a
 		}
-		results, stats, err := e.SearchDetailed(q, xrank.SearchOptions{TopM: m, Algorithm: algo})
+		// The request context flows into the query: a client that
+		// disconnects or a timeout_ms that expires cancels the merge at
+		// its next page access instead of burning I/O on a dead request.
+		ctx := r.Context()
+		if ts := r.URL.Query().Get("timeout_ms"); ts != "" {
+			v, err := strconv.Atoi(ts)
+			if err != nil || v < 1 {
+				http.Error(w, `bad "timeout_ms" parameter`, http.StatusBadRequest)
+				return
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
+			defer cancel()
+		}
+		var budget int64
+		if bs := r.URL.Query().Get("budget"); bs != "" {
+			v, err := strconv.ParseInt(bs, 10, 64)
+			if err != nil || v < 1 {
+				http.Error(w, `bad "budget" parameter`, http.StatusBadRequest)
+				return
+			}
+			budget = v
+		}
+		results, stats, err := e.SearchContext(ctx, q, xrank.SearchOptions{
+			TopM: m, Algorithm: algo, MaxPageReads: budget,
+		})
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), searchErrorStatus(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]interface{}{
-			"query":     q,
-			"algorithm": stats.Algorithm.String(),
-			"wall_us":   stats.WallTime.Microseconds(),
-			"results":   results,
+			"query":      q,
+			"algorithm":  stats.Algorithm.String(),
+			"wall_us":    stats.WallTime.Microseconds(),
+			"io_reads":   stats.IO.Reads,
+			"cache_hits": stats.IO.CacheHits,
+			"results":    results,
 		})
 	})
 	mux.HandleFunc("/api/ancestors", func(w http.ResponseWriter, r *http.Request) {
@@ -104,6 +134,20 @@ func newMux(e *xrank.Engine) *http.ServeMux {
 		}
 	})
 	return mux
+}
+
+// searchErrorStatus maps a query failure to an HTTP status: timeouts to
+// 504, client disconnects and exhausted budgets to 503 (the server chose
+// to shed the work), everything else to 500.
+func searchErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, xrank.ErrBudgetExceeded):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 var page = template.Must(template.New("page").Parse(`<!doctype html>

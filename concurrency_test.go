@@ -1,10 +1,14 @@
 package xrank
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestConcurrentSearches exercises the engine under parallel queries (run
@@ -68,5 +72,202 @@ func TestConcurrentSearches(t *testing.T) {
 		if r.Doc == "doc7" {
 			t.Errorf("tombstoned doc7 still in results")
 		}
+	}
+}
+
+// buildConcurrencyCorpus builds an engine over docs documents of recs
+// records each, all sharing a small vocabulary so every query's inverted
+// lists span multiple pages.
+func buildConcurrencyCorpus(t *testing.T, docs, recs int) *Engine {
+	t.Helper()
+	e := NewEngine(nil)
+	for d := 0; d < docs; d++ {
+		var b strings.Builder
+		b.WriteString("<proc>")
+		for i := 0; i < recs; i++ {
+			fmt.Fprintf(&b, "<rec><t>alpha beta filler%d gamma shared topic w%d</t></rec>", i%31, i%13)
+		}
+		b.WriteString("</proc>")
+		if err := e.AddXML(fmt.Sprintf("doc%d", d), strings.NewReader(b.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestConcurrentSearchContextAttribution runs many SearchContext queries
+// in parallel (run with -race) and checks that each query's QueryStats.IO
+// is attributed to exactly that query: its page-access total (device
+// reads + buffer-pool hits) equals the total the same query performs
+// solo, its read classification is internally consistent, and the
+// engine-global counters equal the sum of the per-query ones.
+func TestConcurrentSearchContextAttribution(t *testing.T) {
+	e := buildConcurrencyCorpus(t, 8, 60)
+
+	type combo struct {
+		q    string
+		algo Algorithm
+	}
+	combos := []combo{
+		{"alpha beta", AlgoDIL},
+		{"shared topic", AlgoDIL},
+		{"alpha gamma", AlgoRDIL},
+		{"beta topic", AlgoRDIL},
+		{"alpha beta", AlgoNaiveID},
+		{"gamma shared", AlgoDIL},
+	}
+	// Solo baselines: the page-access sequence of DIL/RDIL/Naive-ID is
+	// deterministic, so accesses (reads + hits) are independent of cache
+	// state and of concurrency — only the read/hit split may move.
+	type baseline struct {
+		accesses int64
+		ids      []string
+	}
+	base := make(map[string]baseline)
+	for _, c := range combos {
+		rs, stats, err := e.SearchContext(context.Background(), c.q, SearchOptions{TopM: 5, Algorithm: c.algo})
+		if err != nil {
+			t.Fatalf("solo %v %q: %v", c.algo, c.q, err)
+		}
+		ids := make([]string, len(rs))
+		for i, r := range rs {
+			ids[i] = r.DeweyID
+		}
+		base[c.q+"/"+c.algo.String()] = baseline{accesses: stats.IO.Reads + stats.IO.CacheHits, ids: ids}
+		if stats.IO.Reads+stats.IO.CacheHits == 0 {
+			t.Fatalf("solo %v %q touched no pages", c.algo, c.q)
+		}
+	}
+
+	before := e.IOStats()
+	var totalReads, totalHits int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	const goroutines, iters = 8, 12
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var reads, hits int64
+			for i := 0; i < iters; i++ {
+				c := combos[(g*5+i)%len(combos)]
+				rs, stats, err := e.SearchContext(context.Background(), c.q, SearchOptions{TopM: 5, Algorithm: c.algo})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v %q: %w", g, c.algo, c.q, err)
+					return
+				}
+				b := base[c.q+"/"+c.algo.String()]
+				if got := stats.IO.Reads + stats.IO.CacheHits; got != b.accesses {
+					errs <- fmt.Errorf("goroutine %d: %v %q touched %d pages concurrently, %d solo (cross-query bleed)",
+						g, c.algo, c.q, got, b.accesses)
+					return
+				}
+				if stats.IO.Reads != stats.IO.SeqReads+stats.IO.RandReads {
+					errs <- fmt.Errorf("goroutine %d: inconsistent classification %+v", g, stats.IO)
+					return
+				}
+				if len(rs) != len(b.ids) {
+					errs <- fmt.Errorf("goroutine %d: %v %q returned %d results, want %d", g, c.algo, c.q, len(rs), len(b.ids))
+					return
+				}
+				for j := range rs {
+					if rs[j].DeweyID != b.ids[j] {
+						errs <- fmt.Errorf("goroutine %d: %v %q result %d = %s, want %s", g, c.algo, c.q, j, rs[j].DeweyID, b.ids[j])
+						return
+					}
+				}
+				reads += stats.IO.Reads
+				hits += stats.IO.CacheHits
+			}
+			atomic.AddInt64(&totalReads, reads)
+			atomic.AddInt64(&totalHits, hits)
+		}(g)
+	}
+	// A ninth, cancelled query must return promptly with a context error
+	// while the others keep running undisturbed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _, err := e.SearchContext(ctx, "alpha beta", SearchOptions{TopM: 5, Algorithm: AlgoDIL})
+		if !errors.Is(err, context.Canceled) {
+			errs <- fmt.Errorf("pre-cancelled query err = %v, want context.Canceled", err)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	diff := e.IOStats().Sub(before)
+	if diff.Reads != totalReads || diff.CacheHits != totalHits {
+		t.Errorf("global counters (%d reads, %d hits) != sum of per-query stats (%d reads, %d hits)",
+			diff.Reads, diff.CacheHits, totalReads, totalHits)
+	}
+}
+
+// countdownCtx is a context whose deadline "expires" after a fixed number
+// of Err checks, making mid-merge expiry deterministic for tests. Only
+// Err is consulted by the execution context, so Done never closing is
+// irrelevant here.
+type countdownCtx struct {
+	context.Context
+	remaining int64
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt64(&c.remaining, -1) < 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// TestSearchContextCancellation checks that a deadline-expired context
+// aborts a DIL merge with context.DeadlineExceeded — both before the
+// first page access and, via a countdown context, in the middle of a
+// large merge.
+func TestSearchContextCancellation(t *testing.T) {
+	e := buildConcurrencyCorpus(t, 12, 600)
+	opts := SearchOptions{TopM: 10, Algorithm: AlgoDIL, ColdCache: true}
+
+	// The merge must be large enough that 10 accesses are mid-merge.
+	_, stats, err := e.SearchContext(context.Background(), "alpha beta gamma", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accesses := stats.IO.Reads + stats.IO.CacheHits
+	if accesses <= 20 {
+		t.Fatalf("corpus too small for a mid-merge test: %d page accesses", accesses)
+	}
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	if _, _, err := e.SearchContext(expired, "alpha beta gamma", opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline err = %v, want context.DeadlineExceeded", err)
+	}
+
+	mid := &countdownCtx{Context: context.Background(), remaining: 10}
+	if _, _, err := e.SearchContext(mid, "alpha beta gamma", opts); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("mid-merge expiry err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSearchContextBudget checks that exceeding MaxPageReads aborts the
+// query with ErrBudgetExceeded, and that a sufficient budget does not.
+func TestSearchContextBudget(t *testing.T) {
+	e := buildConcurrencyCorpus(t, 6, 120)
+	opts := SearchOptions{TopM: 10, Algorithm: AlgoDIL, ColdCache: true, MaxPageReads: 2}
+	_, _, err := e.SearchContext(context.Background(), "alpha beta gamma", opts)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("tiny budget err = %v, want ErrBudgetExceeded", err)
+	}
+	opts.MaxPageReads = 1 << 20
+	if _, _, err := e.SearchContext(context.Background(), "alpha beta gamma", opts); err != nil {
+		t.Fatalf("ample budget err = %v", err)
 	}
 }

@@ -11,11 +11,19 @@ import (
 type Tree struct {
 	pool *storage.BufferPool
 	root Ref
+	ec   *storage.ExecContext
 }
 
 // NewTree opens the tree rooted at root.
 func NewTree(pool *storage.BufferPool, root Ref) *Tree {
-	return &Tree{pool: pool, root: root}
+	return NewTreeExec(pool, root, nil)
+}
+
+// NewTreeExec opens the tree rooted at root with a per-query execution
+// context: every node fetch is attributed to ec and honours its
+// cancellation and budget. A nil ec is NewTree.
+func NewTreeExec(pool *storage.BufferPool, root Ref, ec *storage.ExecContext) *Tree {
+	return &Tree{pool: pool, root: root, ec: ec}
 }
 
 // Root returns the root Ref (for persisting in a lexicon).
@@ -25,7 +33,7 @@ func (t *Tree) Root() Ref { return t.root }
 // out of the buffer-pool frame so the frame can be released immediately;
 // nodes are small and queries touch O(height) of them per probe.
 func (t *Tree) readNode(ref Ref) (parsedNode, error) {
-	fr, err := t.pool.Get(ref.Page)
+	fr, err := t.pool.GetExec(t.ec, ref.Page)
 	if err != nil {
 		return parsedNode{}, err
 	}

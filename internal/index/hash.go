@@ -120,8 +120,9 @@ func (hb *hashBuilder) flushShared() error {
 func (hb *hashBuilder) flush() error { return hb.flushShared() }
 
 // hashLookup probes the table for elem, returning the location of its
-// entry in the postings file.
-func hashLookup(pool *storage.BufferPool, meta HashMeta, elem int32) (page storage.PageID, off uint16, ok bool, err error) {
+// entry in the postings file. Slot-page fetches are attributed to ec
+// (nil for no per-query accounting).
+func hashLookup(ec *storage.ExecContext, pool *storage.BufferPool, meta HashMeta, elem int32) (page storage.PageID, off uint16, ok bool, err error) {
 	if meta.NSlots == 0 {
 		return 0, 0, false, nil
 	}
@@ -136,7 +137,7 @@ func hashLookup(pool *storage.BufferPool, meta HashMeta, elem int32) (page stora
 			slotPage = meta.Page
 			slotOff = uint32(meta.Off) + s*hashSlotSize
 		}
-		fr, err := pool.Get(slotPage)
+		fr, err := pool.GetExec(ec, slotPage)
 		if err != nil {
 			return 0, 0, false, err
 		}

@@ -47,7 +47,7 @@ func buildAndProbe(t *testing.T, n int) {
 		t.Fatalf("nothing written")
 	}
 	for _, want := range entries {
-		page, off, ok, err := hashLookup(pool, meta, want.elem)
+		page, off, ok, err := hashLookup(nil, pool, meta, want.elem)
 		if err != nil || !ok {
 			t.Fatalf("n=%d lookup(%d): %v %v", n, want.elem, ok, err)
 		}
@@ -58,7 +58,7 @@ func buildAndProbe(t *testing.T, n int) {
 	// Misses.
 	for i := 0; i < 100; i++ {
 		e := int32(n*20 + i)
-		_, _, ok, err := hashLookup(pool, meta, e)
+		_, _, ok, err := hashLookup(nil, pool, meta, e)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +103,7 @@ func TestHashManySmallTablesSharePages(t *testing.T) {
 		t.Errorf("150 tiny hash tables used %d pages; packing broken", np)
 	}
 	for _, tb := range tables {
-		page, off, ok, err := hashLookup(pool, tb.meta, tb.e.elem)
+		page, off, ok, err := hashLookup(nil, pool, tb.meta, tb.e.elem)
 		if err != nil || !ok || page != tb.e.page || off != tb.e.off {
 			t.Fatalf("shared-page lookup(%d) = (%d,%d,%v,%v)", tb.e.elem, page, off, ok, err)
 		}
@@ -119,11 +119,11 @@ func TestHashEmptyTable(t *testing.T) {
 	if err := hb.flush(); err != nil {
 		t.Fatal(err)
 	}
-	_, _, ok, err := hashLookup(pool, HashMeta{}, 5)
+	_, _, ok, err := hashLookup(nil, pool, HashMeta{}, 5)
 	if err != nil || ok {
 		t.Errorf("zero-slot lookup: %v %v", ok, err)
 	}
-	_, _, ok, err = hashLookup(pool, meta, 5)
+	_, _, ok, err = hashLookup(nil, pool, meta, 5)
 	if err != nil || ok {
 		t.Errorf("empty-table lookup: %v %v", ok, err)
 	}
@@ -165,7 +165,7 @@ func TestPostWriterPaddingBoundaries(t *testing.T) {
 	if err := w.flush(); err != nil {
 		t.Fatal(err)
 	}
-	c := newPostCursor(pool, loc)
+	c := newPostCursor(pool, loc, nil)
 	for i, n := range sizes {
 		ok, err := c.next()
 		if err != nil || !ok {

@@ -172,6 +172,13 @@ func (ix *Index) Close() error {
 
 // ColdCache drops every buffer pool and zeroes I/O statistics, simulating
 // the paper's cold-operating-system-cache measurement setup.
+//
+// ColdCache is engine-global, not per-query: it empties pools shared by
+// every in-flight query and resets the global counters. It is a
+// single-tenant measurement knob — concurrent queries see their pools
+// vanish mid-merge (correct but slow) and the global counters lose the
+// prefix of their I/O. Per-query measurement under concurrency uses
+// storage.ExecContext instead, which is unaffected by ColdCache.
 func (ix *Index) ColdCache() error {
 	for _, bp := range []*storage.BufferPool{
 		ix.dilPool, ix.rdilPool, ix.rdilTreePool, ix.hdilRankPool, ix.hdilTreePool,
@@ -190,7 +197,12 @@ func (ix *Index) ColdCache() error {
 	return nil
 }
 
-// IOStats aggregates I/O statistics across all component files.
+// IOStats aggregates I/O statistics across all component files. These are
+// the engine-global counters: they sum the traffic of every query since
+// the last ColdCache. Diffing two snapshots around a query is only
+// meaningful when the index serves one query at a time; concurrent
+// queries attribute their I/O through a per-query storage.ExecContext
+// passed to the *Exec cursor and prober constructors.
 func (ix *Index) IOStats() storage.Stats {
 	var s storage.Stats
 	for _, pf := range ix.files {
@@ -258,9 +270,9 @@ func (lc *ListCursor) Exhausted() bool { return lc.pc.exhausted() }
 // Close releases pinned pages. Safe to call multiple times.
 func (lc *ListCursor) Close() { lc.pc.close() }
 
-func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc) *ListCursor {
+func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc, ec *storage.ExecContext) *ListCursor {
 	return &ListCursor{
-		pc:         newPostCursor(pool, loc),
+		pc:         newPostCursor(pool, loc, ec),
 		dewey:      true,
 		compressed: ix.Meta.CompressDewey,
 		prevPage:   storage.InvalidPage,
@@ -270,63 +282,98 @@ func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc) *ListCursor {
 // DILCursor returns a Dewey-ordered scan of the term's DIL list; ok is
 // false for unknown terms.
 func (ix *Index) DILCursor(term string) (*ListCursor, bool) {
+	return ix.DILCursorExec(nil, term)
+}
+
+// DILCursorExec is DILCursor under a per-query execution context: every
+// page the scan touches is attributed to ec and honours its cancellation,
+// deadline and read budget. A nil ec is DILCursor.
+func (ix *Index) DILCursorExec(ec *storage.ExecContext, term string) (*ListCursor, bool) {
 	m, ok := ix.dil[term]
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.dilPool, m.Loc), true
+	return ix.deweyCursor(ix.dilPool, m.Loc, ec), true
 }
 
 // RDILRankCursor returns a rank-ordered scan of the term's RDIL list.
 func (ix *Index) RDILRankCursor(term string) (*ListCursor, bool) {
+	return ix.RDILRankCursorExec(nil, term)
+}
+
+// RDILRankCursorExec is RDILRankCursor under a per-query execution
+// context.
+func (ix *Index) RDILRankCursorExec(ec *storage.ExecContext, term string) (*ListCursor, bool) {
 	m, ok := ix.rdil[term]
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.rdilPool, m.RankLoc), true
+	return ix.deweyCursor(ix.rdilPool, m.RankLoc, ec), true
 }
 
 // HDILRankCursor returns the rank-ordered *prefix* scan of the term's
 // HDIL list (shorter than the full list).
 func (ix *Index) HDILRankCursor(term string) (*ListCursor, bool) {
+	return ix.HDILRankCursorExec(nil, term)
+}
+
+// HDILRankCursorExec is HDILRankCursor under a per-query execution
+// context.
+func (ix *Index) HDILRankCursorExec(ec *storage.ExecContext, term string) (*ListCursor, bool) {
 	m, ok := ix.hdil[term]
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.hdilRankPool, m.RankLoc), true
+	return ix.deweyCursor(ix.hdilRankPool, m.RankLoc, ec), true
 }
 
 // NaiveIDCursor returns an element-ID-ordered scan of the term's naive
 // list.
 func (ix *Index) NaiveIDCursor(term string) (*ListCursor, bool) {
+	return ix.NaiveIDCursorExec(nil, term)
+}
+
+// NaiveIDCursorExec is NaiveIDCursor under a per-query execution context.
+func (ix *Index) NaiveIDCursorExec(ec *storage.ExecContext, term string) (*ListCursor, bool) {
 	m, ok := ix.naiveID[term]
 	if !ok {
 		return nil, false
 	}
-	return &ListCursor{pc: newPostCursor(ix.naiveIDPool, m.Loc), dewey: false}, true
+	return &ListCursor{pc: newPostCursor(ix.naiveIDPool, m.Loc, ec), dewey: false}, true
 }
 
 // NaiveRankCursor returns a rank-ordered scan of the term's naive list.
 func (ix *Index) NaiveRankCursor(term string) (*ListCursor, bool) {
+	return ix.NaiveRankCursorExec(nil, term)
+}
+
+// NaiveRankCursorExec is NaiveRankCursor under a per-query execution
+// context.
+func (ix *Index) NaiveRankCursorExec(ec *storage.ExecContext, term string) (*ListCursor, bool) {
 	m, ok := ix.naiveRank[term]
 	if !ok {
 		return nil, false
 	}
-	return &ListCursor{pc: newPostCursor(ix.naiveRankPool, m.Loc), dewey: false}, true
+	return &ListCursor{pc: newPostCursor(ix.naiveRankPool, m.Loc, ec), dewey: false}, true
 }
 
 // NaiveLookup probes the term's hash index for an element ID, decoding the
 // found entry (Naive-Rank's random equality lookup).
 func (ix *Index) NaiveLookup(term string, elem int32, p *Posting) (bool, error) {
+	return ix.NaiveLookupExec(nil, term, elem, p)
+}
+
+// NaiveLookupExec is NaiveLookup under a per-query execution context.
+func (ix *Index) NaiveLookupExec(ec *storage.ExecContext, term string, elem int32, p *Posting) (bool, error) {
 	m, ok := ix.naiveRank[term]
 	if !ok {
 		return false, nil
 	}
-	page, off, ok, err := hashLookup(ix.naiveHashPool, m.Hash, elem)
+	page, off, ok, err := hashLookup(ec, ix.naiveHashPool, m.Hash, elem)
 	if err != nil || !ok {
 		return false, err
 	}
-	fr, err := ix.naiveRankPool.Get(page)
+	fr, err := ix.naiveRankPool.GetExec(ec, page)
 	if err != nil {
 		return false, err
 	}

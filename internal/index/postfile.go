@@ -85,6 +85,7 @@ func (w *postWriter) flush() error { return w.pad() }
 type postCursor struct {
 	pool *storage.BufferPool
 	loc  Loc
+	ec   *storage.ExecContext // per-query attribution/cancellation; may be nil
 
 	frame *storage.Frame
 	page  storage.PageID
@@ -93,8 +94,8 @@ type postCursor struct {
 	body  []byte // current entry body (aliases the pinned frame)
 }
 
-func newPostCursor(pool *storage.BufferPool, loc Loc) *postCursor {
-	return &postCursor{pool: pool, loc: loc, page: loc.Page, off: int(loc.Off)}
+func newPostCursor(pool *storage.BufferPool, loc Loc, ec *storage.ExecContext) *postCursor {
+	return &postCursor{pool: pool, loc: loc, ec: ec, page: loc.Page, off: int(loc.Off)}
 }
 
 // next advances to the next entry, returning false at the end of the list.
@@ -107,7 +108,7 @@ func (c *postCursor) next() (bool, error) {
 	}
 	for {
 		if c.frame == nil {
-			fr, err := c.pool.Get(c.page)
+			fr, err := c.pool.GetExec(c.ec, c.page)
 			if err != nil {
 				return false, err
 			}

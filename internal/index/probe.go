@@ -46,11 +46,18 @@ type RDILProber struct {
 
 // RDILProber returns the prober for term; ok is false for unknown terms.
 func (ix *Index) RDILProber(term string) (*RDILProber, bool) {
+	return ix.RDILProberExec(nil, term)
+}
+
+// RDILProberExec is RDILProber under a per-query execution context: every
+// B+-tree node the probes touch is attributed to ec and honours its
+// cancellation, deadline and read budget. A nil ec is RDILProber.
+func (ix *Index) RDILProberExec(ec *storage.ExecContext, term string) (*RDILProber, bool) {
 	m, ok := ix.rdil[term]
 	if !ok {
 		return nil, false
 	}
-	return &RDILProber{tree: btree.NewTree(ix.rdilTreePool, m.Root)}, true
+	return &RDILProber{tree: btree.NewTreeExec(ix.rdilTreePool, m.Root, ec)}, true
 }
 
 // ProbeLCP implements DeweyProber. The successor (smallest entry >= d) and
@@ -121,6 +128,7 @@ type HDILProber struct {
 	ix      *Index
 	meta    HDILMeta
 	tree    *btree.Tree
+	ec      *storage.ExecContext
 	scratch dewey.ID
 	post    Posting
 	prev    dewey.ID // per-page compression chain during scans
@@ -128,11 +136,18 @@ type HDILProber struct {
 
 // HDILProber returns the prober for term; ok is false for unknown terms.
 func (ix *Index) HDILProber(term string) (*HDILProber, bool) {
+	return ix.HDILProberExec(nil, term)
+}
+
+// HDILProberExec is HDILProber under a per-query execution context: tree
+// descents and leaf-page scans are attributed to ec and honour its
+// cancellation, deadline and read budget. A nil ec is HDILProber.
+func (ix *Index) HDILProberExec(ec *storage.ExecContext, term string) (*HDILProber, bool) {
 	m, ok := ix.hdil[term]
 	if !ok {
 		return nil, false
 	}
-	return &HDILProber{ix: ix, meta: m, tree: btree.NewTree(ix.hdilTreePool, m.Root)}, true
+	return &HDILProber{ix: ix, meta: m, tree: btree.NewTreeExec(ix.hdilTreePool, m.Root, ec), ec: ec}, true
 }
 
 // pageVisit receives each decoded entry during a leaf-page scan. The
@@ -150,7 +165,7 @@ func (h *HDILProber) scanLeafPage(page storage.PageID, visit pageVisit) (stopped
 	if page > h.meta.EndPage {
 		return false, nil
 	}
-	fr, err := h.ix.dilPool.Get(page)
+	fr, err := h.ix.dilPool.GetExec(h.ec, page)
 	if err != nil {
 		return false, err
 	}

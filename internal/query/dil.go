@@ -59,22 +59,28 @@ func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 		return nil, err
 	}
 	streams := make([]postingStream, len(keywords))
+	curs := make([]*cursorStream, 0, len(keywords))
+	// Any exit — absent keyword, cancellation, budget exhaustion, I/O
+	// error — must unpin whatever pages the opened cursors still hold.
+	defer func() {
+		for _, cs := range curs {
+			cs.close()
+		}
+	}()
 	dfs := make([]int, len(keywords))
 	for i, kw := range keywords {
-		cur, ok := ix.DILCursor(kw)
+		cur, ok := ix.DILCursorExec(opts.Exec, kw)
 		if !ok {
 			// A keyword absent from the corpus empties the conjunction.
-			for j := 0; j < i; j++ {
-				streams[j].(*cursorStream).cur.Close()
-			}
 			return nil, nil
 		}
 		dfs[i] = cur.Count()
-		cs, err := newCursorStream(cur)
-		if err != nil {
+		cs := &cursorStream{cur: cur}
+		curs = append(curs, cs)
+		streams[i] = cs
+		if err := cs.advance(); err != nil {
 			return nil, err
 		}
-		streams[i] = cs
 	}
 	h := newResultHeap(opts.TopM)
 	m := newMerger(streams, opts)

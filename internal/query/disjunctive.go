@@ -29,20 +29,27 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 	}
 	n := len(keywords)
 	streams := make([]*cursorStream, 0, n)
+	// A cancellation, budget, or I/O error can abandon streams mid-list
+	// with pages pinned; close is idempotent, so the drained ones are fine.
+	defer func() {
+		for _, s := range streams {
+			s.close()
+		}
+	}()
 	weights := make([]float64, 0, n)
 	dfs := make([]int, 0, n)
 	for i, kw := range keywords {
-		cur, ok := ix.DILCursor(kw)
+		cur, ok := ix.DILCursorExec(opts.Exec, kw)
 		if !ok {
 			continue // absent keywords simply contribute nothing
 		}
 		dfs = append(dfs, cur.Count())
-		cs, err := newCursorStream(cur)
-		if err != nil {
-			return nil, err
-		}
+		cs := &cursorStream{cur: cur}
 		streams = append(streams, cs)
 		weights = append(weights, opts.weight(i))
+		if err := cs.advance(); err != nil {
+			return nil, err
+		}
 	}
 	if len(streams) == 0 {
 		return nil, nil
@@ -54,7 +61,12 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, 0, len(streams))
-	for {
+	for iter := 0; ; iter++ {
+		if iter%cancelCheckInterval == 0 {
+			if err := opts.Exec.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Smallest head ID across the still-live streams.
 		var minID dewey.ID
 		for _, s := range streams {

@@ -53,7 +53,7 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 		return nil, trace, err
 	}
 	if len(keywords) == 1 {
-		cur, ok := ix.HDILRankCursor(keywords[0])
+		cur, ok := ix.HDILRankCursorExec(opts.Exec, keywords[0])
 		if !ok {
 			return nil, trace, nil
 		}
@@ -69,22 +69,31 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 		return res, trace, err
 	}
 
-	sources := make([]*rankedSource, len(keywords))
+	sources := make([]*rankedSource, 0, len(keywords))
+	// Early termination — and any cancellation, budget, or I/O error,
+	// including during this init loop — leaves cursors mid-list with
+	// pages pinned.
+	defer func() {
+		for _, s := range sources {
+			s.stream.close()
+		}
+	}()
 	dilPages := int64(0)
-	for i, kw := range keywords {
-		cur, okc := ix.HDILRankCursor(kw)
-		prober, okp := ix.HDILProber(kw)
-		if !okc || !okp {
-			for j := 0; j < i; j++ {
-				sources[j].stream.cur.Close()
-			}
+	for _, kw := range keywords {
+		cur, okc := ix.HDILRankCursorExec(opts.Exec, kw)
+		if !okc {
 			return nil, trace, nil
 		}
-		cs, err := newCursorStream(cur)
-		if err != nil {
+		prober, okp := ix.HDILProberExec(opts.Exec, kw)
+		if !okp {
+			cur.Close()
+			return nil, trace, nil
+		}
+		cs := &cursorStream{cur: cur}
+		sources = append(sources, &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)})
+		if err := cs.advance(); err != nil {
 			return nil, trace, err
 		}
-		sources[i] = &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)}
 		dilPages += ix.DILListBytes(kw)/storage.PageSize + 1
 	}
 	// A-priori DIL cost: a sequential scan of every keyword's full list
@@ -93,13 +102,17 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 	// keyword inverted list").
 	dilEstimate := time.Duration(dilPages) * cm.SeqRead
 
-	// Early termination leaves cursors mid-list with pages pinned.
-	defer func() {
-		for _, s := range sources {
-			s.stream.cur.Close()
+	// The adaptive estimator monitors this query's own I/O. With an
+	// execution context that is its private accumulator — under
+	// concurrency the engine-global counters mix every query's traffic
+	// and would make the switch decision depend on unrelated load.
+	ioStats := func() storage.Stats {
+		if opts.Exec != nil {
+			return opts.Exec.Stats()
 		}
-	}()
-	startStats := ix.IOStats()
+		return ix.IOStats()
+	}
+	startStats := ioStats()
 	ta := newTAState(opts, sources)
 	switchToDIL := func(reason string) ([]Result, *HDILTrace, error) {
 		trace.SwitchedToDIL = true
@@ -129,7 +142,7 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 			break
 		}
 		if ta.entriesRead%estimateCheckInterval == 0 && ta.entriesRead > 0 {
-			t := cm.SimulatedTime(ix.IOStats().Sub(startStats))
+			t := cm.SimulatedTime(ioStats().Sub(startStats))
 			r := ta.resultsAboveThreshold()
 			var estRemaining time.Duration
 			if r == 0 {

@@ -23,12 +23,12 @@ type cursorStream struct {
 	done bool
 }
 
-func newCursorStream(cur *index.ListCursor) (*cursorStream, error) {
-	s := &cursorStream{cur: cur}
-	return s, s.advance()
-}
-
 func (s *cursorStream) head() (*index.Posting, bool) { return s.p, !s.done }
+
+// close releases the cursor's pinned page. Safe to call repeatedly, and
+// required on every exit path once a stream exists: a cancellation or
+// budget error can abandon a stream mid-list with a page still pinned.
+func (s *cursorStream) close() { s.cur.Close() }
 
 func (s *cursorStream) advance() error {
 	p, ok, err := s.cur.Next()
@@ -126,10 +126,21 @@ func (m *merger) node() *mnode {
 	return nd
 }
 
+// cancelCheckInterval throttles merge-loop cancellation checks: page
+// reads already check every page, so the loop-level check only has to
+// bound the latency of long fully-cached stretches. Checking every
+// iteration would put a mutex acquisition on the per-posting hot path.
+const cancelCheckInterval = 64
+
 // run performs the merge, calling emit for every result element in
 // post-order (descendants before ancestors within a path).
 func (m *merger) run(emit func(id dewey.ID, score float64)) error {
-	for {
+	for iter := 0; ; iter++ {
+		if iter%cancelCheckInterval == 0 {
+			if err := m.opts.Exec.Err(); err != nil {
+				return err
+			}
+		}
 		// Pick the stream with the smallest head Dewey ID (Figure 5
 		// lines 7-9).
 		var best *index.Posting

@@ -33,7 +33,7 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 	heads := make([]*index.Posting, n)
 	dfs := make([]int, n)
 	for i, kw := range keywords {
-		cur, ok := ix.NaiveIDCursor(kw)
+		cur, ok := ix.NaiveIDCursorExec(opts.Exec, kw)
 		if !ok {
 			for j := 0; j < i; j++ {
 				curs[j].Close()
@@ -58,7 +58,12 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 	}
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, n)
-	for {
+	for iter := 0; ; iter++ {
+		if iter%cancelCheckInterval == 0 {
+			if err := opts.Exec.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Find the largest head; advance all lists to it (equality merge).
 		maxElem := heads[0].Elem
 		for i := 1; i < n; i++ {
@@ -148,7 +153,7 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 	n := len(keywords)
 	curs := make([]*index.ListCursor, n)
 	for i, kw := range keywords {
-		cur, ok := ix.NaiveRankCursor(kw)
+		cur, ok := ix.NaiveRankCursorExec(opts.Exec, kw)
 		if !ok {
 			for j := 0; j < i; j++ {
 				curs[j].Close()
@@ -190,6 +195,9 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 		return t
 	}
 	for {
+		if err := opts.Exec.Err(); err != nil {
+			return nil, err
+		}
 		progressed := false
 		for i := 0; i < n; i++ {
 			p, ok, err := curs[i].Next()
@@ -214,7 +222,7 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 				if j == i {
 					continue
 				}
-				ok, err := ix.NaiveLookup(keywords[j], p.Elem, &lookup[j])
+				ok, err := ix.NaiveLookupExec(opts.Exec, keywords[j], p.Elem, &lookup[j])
 				if err != nil {
 					return nil, err
 				}

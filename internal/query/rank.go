@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"xrank/internal/dewey"
+	"xrank/internal/storage"
 )
 
 // Agg selects the aggregation function f over multiple relevant
@@ -77,6 +78,14 @@ type Options struct {
 	Weights []float64
 	// Scoring selects the base rank function. Default ScoreElemRank.
 	Scoring Scoring
+	// Exec optionally attaches a per-query execution context. Every
+	// algorithm passes it down to its cursors, probers and lookups (so
+	// the query's I/O is attributed to exactly this query even under
+	// concurrency) and checks it at merge-loop boundaries (so a
+	// cancelled, deadline-expired or over-budget query aborts promptly
+	// mid-merge). Nil disables per-query control: I/O lands only in the
+	// index's engine-global counters.
+	Exec *storage.ExecContext
 }
 
 // DefaultOptions returns the defaults described on Options.

@@ -76,6 +76,12 @@ func (ta *taState) resultsAboveThreshold() int {
 // ancestor across all keywords (Figure 7 lines 10-25). It returns false
 // when that source is exhausted.
 func (ta *taState) step(i int) (bool, error) {
+	// One threshold-loop boundary per step: probes and scans below also
+	// check per page, but a step served entirely from cache must still
+	// notice cancellation.
+	if err := ta.opts.Exec.Err(); err != nil {
+		return false, err
+	}
 	src := ta.sources[i]
 	p, ok := src.stream.head()
 	if !ok {
@@ -209,34 +215,37 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 		return nil, err
 	}
 	if len(keywords) == 1 {
-		cur, ok := ix.RDILRankCursor(keywords[0])
+		cur, ok := ix.RDILRankCursorExec(opts.Exec, keywords[0])
 		if !ok {
 			return nil, nil
 		}
 		return singleKeywordTopM(cur, opts)
 	}
-	sources := make([]*rankedSource, len(keywords))
-	for i, kw := range keywords {
-		cur, okc := ix.RDILRankCursor(kw)
-		prober, okp := ix.RDILProber(kw)
-		if !okc || !okp {
-			for j := 0; j < i; j++ {
-				sources[j].stream.cur.Close()
-			}
-			return nil, nil
-		}
-		cs, err := newCursorStream(cur)
-		if err != nil {
-			return nil, err
-		}
-		sources[i] = &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)}
-	}
-	// Early termination leaves cursors mid-list with pages pinned.
+	sources := make([]*rankedSource, 0, len(keywords))
+	// Early termination — and any cancellation, budget, or I/O error,
+	// including during this init loop — leaves cursors mid-list with
+	// pages pinned.
 	defer func() {
 		for _, s := range sources {
-			s.stream.cur.Close()
+			s.stream.close()
 		}
 	}()
+	for _, kw := range keywords {
+		cur, okc := ix.RDILRankCursorExec(opts.Exec, kw)
+		if !okc {
+			return nil, nil
+		}
+		prober, okp := ix.RDILProberExec(opts.Exec, kw)
+		if !okp {
+			cur.Close()
+			return nil, nil
+		}
+		cs := &cursorStream{cur: cur}
+		sources = append(sources, &rankedSource{stream: cs, prober: prober, lastRank: math.Inf(1)})
+		if err := cs.advance(); err != nil {
+			return nil, err
+		}
+	}
 	ta := newTAState(opts, sources)
 	for !ta.exhausted && !ta.done() {
 		for i := range sources {

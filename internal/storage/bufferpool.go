@@ -54,8 +54,22 @@ func NewBufferPool(pf *PageFile, capacity int) *BufferPool {
 // Get returns a pinned frame for page id, reading it from the file on a
 // miss. The caller must Release the frame.
 func (bp *BufferPool) Get(id PageID) (*Frame, error) {
+	return bp.GetExec(nil, id)
+}
+
+// GetExec is Get under a per-query execution context: both hits and
+// misses are attributed to ec's private stats, and any page access fails
+// once ec is cancelled, past its deadline, or over its read budget.
+// Because every page a query touches flows through here, this is the
+// uniform cancellation checkpoint for disk-backed cursors, B+-tree probes
+// and hash lookups alike. A nil ec behaves exactly like Get.
+func (bp *BufferPool) GetExec(ec *ExecContext, id PageID) (*Frame, error) {
 	bp.mu.Lock()
 	if fr, ok := bp.frames[id]; ok {
+		if err := ec.cacheHit(); err != nil {
+			bp.mu.Unlock()
+			return nil, err
+		}
 		bp.hits++
 		bp.pf.mu.Lock()
 		bp.pf.stats.CacheHits++
@@ -78,7 +92,7 @@ func (bp *BufferPool) Get(id PageID) (*Frame, error) {
 		}
 	}
 	fr := &Frame{ID: id, Data: make([]byte, PageSize), pool: bp, pins: 1}
-	if err := bp.pf.ReadPage(id, fr.Data); err != nil {
+	if err := bp.pf.ReadPageExec(ec, id, fr.Data); err != nil {
 		bp.mu.Unlock()
 		return nil, err
 	}

@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExceeded is returned (wrapped) when a query's page-read budget
+// runs out; see ExecContext.SetBudget.
+var ErrBudgetExceeded = errors.New("storage: page-read budget exceeded")
+
+// ExecContext is the per-query execution context threaded from the engine
+// down through the query processors, cursors, B+-tree probes and buffer
+// pools to the page file. It owns three things:
+//
+//   - a context.Context checked at every page access (device read or
+//     buffer-pool hit) and at merge-loop boundaries, so a cancelled or
+//     deadline-expired query aborts promptly mid-merge;
+//   - a private Stats accumulator, so the I/O of one query is attributed
+//     to exactly that query even when many queries run concurrently
+//     against the same index (the engine-global counters only report
+//     aggregate traffic). The accumulator carries its own
+//     sequential/random stream classifier: a query's reads are classified
+//     by the query's own access pattern, not by how concurrent queries
+//     happen to interleave on the shared file;
+//   - an optional page-read budget: once the query has performed that
+//     many device reads, every further page access fails with an error
+//     wrapping ErrBudgetExceeded (admission control's per-query knob).
+//
+// A nil *ExecContext is valid everywhere and disables all three concerns,
+// so index-building and legacy single-tenant callers need no changes.
+// Methods are safe for concurrent use, but an ExecContext represents one
+// query: do not share one across queries you want attributed separately.
+type ExecContext struct {
+	ctx      context.Context
+	maxReads int64
+
+	mu    sync.Mutex
+	stats Stats
+	err   error // sticky budget error
+}
+
+// NewExecContext creates an execution context for one query. A nil ctx
+// means context.Background().
+func NewExecContext(ctx context.Context) *ExecContext {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &ExecContext{ctx: ctx}
+}
+
+// SetBudget caps the number of device page reads this query may perform;
+// zero or negative means unlimited. Buffer-pool hits are free: the budget
+// bounds actual disk traffic, not logical accesses.
+func (ec *ExecContext) SetBudget(maxReads int64) {
+	ec.maxReads = maxReads
+}
+
+// Context returns the underlying context (context.Background() for a nil
+// receiver).
+func (ec *ExecContext) Context() context.Context {
+	if ec == nil {
+		return context.Background()
+	}
+	return ec.ctx
+}
+
+// Err reports why the query must stop: the context's error if it was
+// cancelled or its deadline passed, the sticky budget error once the
+// page-read budget is exhausted, and nil otherwise (always nil on a nil
+// receiver). Query merge loops call this between iterations.
+func (ec *ExecContext) Err() error {
+	if ec == nil {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		return err
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.err
+}
+
+// Stats returns a snapshot of the I/O attributed to this query so far.
+// A nil receiver reports zeroes.
+func (ec *ExecContext) Stats() Stats {
+	if ec == nil {
+		return Stats{}
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.stats
+}
+
+// pageRead accounts one device page read against this query, enforcing
+// cancellation and the read budget. Called by PageFile.ReadPageExec
+// before the read reaches the device.
+func (ec *ExecContext) pageRead(id PageID) error {
+	if ec == nil {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		return err
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if ec.err != nil {
+		return ec.err
+	}
+	if ec.maxReads > 0 && ec.stats.Reads >= ec.maxReads {
+		ec.err = fmt.Errorf("%w (limit %d device page reads)", ErrBudgetExceeded, ec.maxReads)
+		return ec.err
+	}
+	ec.stats.recordRead(id)
+	return nil
+}
+
+// cacheHit accounts one buffer-pool hit against this query. Hits are not
+// budgeted, but a cancelled or already-over-budget query still stops here
+// so that fully cached queries remain cancellable.
+func (ec *ExecContext) cacheHit() error {
+	if ec == nil {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		return err
+	}
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if ec.err != nil {
+		return ec.err
+	}
+	ec.stats.CacheHits++
+	return nil
+}

@@ -79,8 +79,19 @@ func (pf *PageFile) NumPages() uint32 {
 // The read is recorded in the file's stats as sequential if id immediately
 // follows the previously read page, random otherwise.
 func (pf *PageFile) ReadPage(id PageID, buf []byte) error {
+	return pf.ReadPageExec(nil, id, buf)
+}
+
+// ReadPageExec is ReadPage under a per-query execution context: the read
+// is additionally attributed to ec's private stats, and is refused —
+// before touching the device — when ec is cancelled, past its deadline,
+// or over its page-read budget. A nil ec behaves exactly like ReadPage.
+func (pf *PageFile) ReadPageExec(ec *ExecContext, id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("storage: read buffer too small (%d)", len(buf))
+	}
+	if err := ec.pageRead(id); err != nil {
+		return err
 	}
 	pf.mu.Lock()
 	if uint32(id) >= pf.numPages {

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -331,4 +333,137 @@ func TestBufferPoolConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestExecContextAttribution(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 8; i++ {
+		if _, err := pf.AppendPage(pageFilled(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(pf, 4)
+
+	ecA := NewExecContext(context.Background())
+	ecB := NewExecContext(context.Background())
+	// A reads pages 0-3 sequentially (cold), B re-reads 0-1 (hits) and
+	// 4-5 (cold). Each context must see only its own traffic.
+	for i := 0; i < 4; i++ {
+		fr, err := bp.GetExec(ecA, PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	for _, id := range []PageID{0, 1, 4, 5} {
+		fr, err := bp.GetExec(ecB, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	a, b := ecA.Stats(), ecB.Stats()
+	if a.Reads != 4 || a.CacheHits != 0 {
+		t.Errorf("ecA stats = %+v, want 4 reads, 0 hits", a)
+	}
+	if a.SeqReads+a.RandReads != a.Reads {
+		t.Errorf("ecA seq+rand = %d+%d != reads %d", a.SeqReads, a.RandReads, a.Reads)
+	}
+	if a.SeqReads < 3 {
+		t.Errorf("ecA sequential scan classified as %d seq / %d rand", a.SeqReads, a.RandReads)
+	}
+	if b.Reads != 2 || b.CacheHits != 2 {
+		t.Errorf("ecB stats = %+v, want 2 reads, 2 hits", b)
+	}
+	// The global file counters aggregate both queries.
+	g := pf.Stats()
+	if g.Reads != a.Reads+b.Reads || g.CacheHits != a.CacheHits+b.CacheHits {
+		t.Errorf("global %+v != sum of per-query %+v + %+v", g, a, b)
+	}
+	// A nil ExecContext stays inert.
+	var nilEC *ExecContext
+	if err := nilEC.Err(); err != nil {
+		t.Errorf("nil ExecContext.Err() = %v", err)
+	}
+	if s := nilEC.Stats(); s.Reads != 0 {
+		t.Errorf("nil ExecContext.Stats() = %+v", s)
+	}
+	fr, err := bp.GetExec(nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+}
+
+func TestExecContextBudget(t *testing.T) {
+	pf := newTestFile(t)
+	for i := 0; i < 6; i++ {
+		if _, err := pf.AppendPage(pageFilled(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp := NewBufferPool(pf, 8)
+	ec := NewExecContext(context.Background())
+	ec.SetBudget(2)
+	for i := 0; i < 2; i++ {
+		fr, err := bp.GetExec(ec, PageID(i))
+		if err != nil {
+			t.Fatalf("read %d within budget: %v", i, err)
+		}
+		fr.Release()
+	}
+	// Third device read exceeds the budget.
+	if _, err := bp.GetExec(ec, 2); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget read err = %v, want ErrBudgetExceeded", err)
+	}
+	// The error is sticky: even a would-be cache hit fails now.
+	if _, err := bp.GetExec(ec, 0); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("post-budget cache hit err = %v, want ErrBudgetExceeded", err)
+	}
+	if err := ec.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("Err() = %v, want ErrBudgetExceeded", err)
+	}
+	if s := ec.Stats(); s.Reads != 2 {
+		t.Errorf("budgeted context recorded %d reads, want 2", s.Reads)
+	}
+	// Other contexts on the same pool are unaffected.
+	fr, err := bp.GetExec(NewExecContext(context.Background()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+}
+
+func TestExecContextCancellation(t *testing.T) {
+	pf := newTestFile(t)
+	if _, err := pf.AppendPage(pageFilled(1)); err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(pf, 2)
+	// Warm the pool so the cancelled access would be a pure cache hit.
+	fr, err := bp.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ec := NewExecContext(ctx)
+	cancel()
+	if _, err := bp.GetExec(ec, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("cached read after cancel err = %v, want context.Canceled", err)
+	}
+	if err := ec.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	ec2 := NewExecContext(expired)
+	if err := pf.ReadPageExec(ec2, 0, make([]byte, PageSize)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("device read past deadline err = %v, want context.DeadlineExceeded", err)
+	}
+	if s := ec2.Stats(); s.Reads != 0 {
+		t.Errorf("refused read still recorded: %+v", s)
+	}
 }

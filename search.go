@@ -1,9 +1,11 @@
 package xrank
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"xrank/internal/dewey"
 	"xrank/internal/query"
@@ -51,8 +53,18 @@ type SearchOptions struct {
 	// Algorithm selects the processor (default AlgoHDIL).
 	Algorithm Algorithm
 	// ColdCache empties the buffer pools before the query, mimicking the
-	// paper's measurement protocol.
+	// paper's measurement protocol. The pools and their counters are
+	// engine-global, so ColdCache is a single-tenant measurement knob:
+	// emptying them while other queries are in flight is safe (the race
+	// detector is clean) but yanks cached pages out from under those
+	// queries and corrupts any global-counter measurements. Per-query
+	// I/O attribution (QueryStats.IO) is unaffected.
 	ColdCache bool
+	// MaxPageReads caps the number of device page reads this query may
+	// perform; once exceeded the query aborts with an error wrapping
+	// ErrBudgetExceeded. Buffer-pool hits are free. Zero means
+	// unlimited.
+	MaxPageReads int64
 
 	// Decay overrides the engine's per-level rank decay for this query
 	// (0 keeps the engine default). Decay is a query-time parameter: the
@@ -119,8 +131,36 @@ func (e *Engine) SearchTop(q string, m int) ([]SearchResult, error) {
 }
 
 // SearchDetailed runs the query with explicit options and returns cost
-// statistics alongside the results.
+// statistics alongside the results. It is SearchContext with a background
+// context: no cancellation and no deadline.
 func (e *Engine) SearchDetailed(q string, opts SearchOptions) ([]SearchResult, *QueryStats, error) {
+	return e.SearchContext(context.Background(), q, opts)
+}
+
+// Over-fetch factors for answer-node collapsing and tombstone filtering:
+// the raw top-(m·overfetchBase) is fetched first, and if collapsing still
+// leaves fewer than m results while the raw result set was full, the
+// query retries once at m·overfetchBase·overfetchRetry. A collection
+// whose raw results collapse more than overfetchBase·overfetchRetry-to-1
+// onto the same answer nodes can still return fewer than m results.
+const (
+	overfetchBase  = 4
+	overfetchRetry = 4
+)
+
+// SearchContext runs the query with explicit options under ctx and
+// returns cost statistics alongside the results.
+//
+// SearchContext is the engine's concurrent query entry point: any number
+// of calls may run in parallel against one engine (and interleave with
+// DeleteDoc). Each call gets a private storage.ExecContext, so the
+// returned QueryStats.IO describes exactly this query's page traffic —
+// device reads, sequential/random classification and buffer-pool hits —
+// with no bleed from concurrent queries. Cancellation or deadline
+// expiration of ctx aborts the query at its next page access or
+// merge-loop boundary with ctx's error; exceeding opts.MaxPageReads
+// aborts it with an error wrapping ErrBudgetExceeded.
+func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions) ([]SearchResult, *QueryStats, error) {
 	if e.ix == nil {
 		return nil, nil, fmt.Errorf("xrank: engine not built")
 	}
@@ -136,48 +176,73 @@ func (e *Engine) SearchDetailed(q string, opts SearchOptions) ([]SearchResult, *
 			return nil, nil, err
 		}
 	}
-	qopts := e.queryOptions(opts.TopM)
-	if opts.Decay != 0 {
-		qopts.Decay = opts.Decay
+	ec := storage.NewExecContext(ctx)
+	if opts.MaxPageReads > 0 {
+		ec.SetBudget(opts.MaxPageReads)
 	}
-	if opts.ProximityOff {
-		qopts.UseProximity = false
-	}
-	if opts.SumAggregation {
-		qopts.Agg = query.AggSum
-	}
-	qopts.Weights = opts.Weights
-	if opts.TFIDF {
-		qopts.Scoring = query.ScoreTFIDF
-	}
-	if len(e.cfg.AnswerTags) > 0 || e.hasTombstones() {
-		// Over-fetch so that answer-node collapsing and tombstone
-		// filtering still fill topM.
-		qopts.TopM = opts.TopM * 4
-	}
-
 	stats := &QueryStats{Algorithm: opts.Algorithm, Keywords: keywords}
-	before := e.ix.IOStats()
 	start := time.Now()
 
+	// Answer-node collapsing and tombstone filtering shrink the raw
+	// result set, so over-fetch when either is active; if a full raw
+	// result set still collapses below topM, retry once with a larger
+	// factor (see the overfetch constants).
+	overfetch := len(e.cfg.AnswerTags) > 0 || e.hasTombstones()
+	mult := 1
+	if overfetch {
+		mult = overfetchBase
+	}
+	var out []SearchResult
+	for {
+		qopts := e.queryOptions(opts.TopM * mult)
+		if opts.Decay != 0 {
+			qopts.Decay = opts.Decay
+		}
+		if opts.ProximityOff {
+			qopts.UseProximity = false
+		}
+		if opts.SumAggregation {
+			qopts.Agg = query.AggSum
+		}
+		qopts.Weights = opts.Weights
+		if opts.TFIDF {
+			qopts.Scoring = query.ScoreTFIDF
+		}
+		qopts.Exec = ec
+
+		rs, naive, err := e.runQuery(keywords, opts, qopts, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		out, err = e.materialize(rs, naive, opts.TopM)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(out) >= opts.TopM || !overfetch || mult > overfetchBase || len(rs) < qopts.TopM {
+			// Done: topM filled, nothing collapsed, already retried, or
+			// the raw result set was not even full (fetching more raw
+			// results cannot yield more collapsed ones).
+			break
+		}
+		mult *= overfetchRetry
+	}
+	stats.WallTime = time.Since(start)
+	stats.IO = ec.Stats()
+	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
+	return out, stats, nil
+}
+
+// runQuery dispatches to the selected query processor, reporting whether
+// the results are naive (element-granularity) IDs.
+func (e *Engine) runQuery(keywords []string, opts SearchOptions, qopts query.Options, stats *QueryStats) ([]query.Result, bool, error) {
+	if opts.Disjunctive {
+		rs, err := query.Disjunctive(e.ix, keywords, qopts)
+		return rs, false, err
+	}
 	var (
 		rs  []query.Result
 		err error
 	)
-	if opts.Disjunctive {
-		rs, err = query.Disjunctive(e.ix, keywords, qopts)
-		if err != nil {
-			return nil, nil, err
-		}
-		stats.WallTime = time.Since(start)
-		stats.IO = e.ix.IOStats().Sub(before)
-		stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
-		out, err := e.materialize(rs, false, opts.TopM)
-		if err != nil {
-			return nil, nil, err
-		}
-		return out, stats, nil
-	}
 	switch opts.Algorithm {
 	case AlgoDIL:
 		rs, err = query.DIL(e.ix, keywords, qopts)
@@ -196,19 +261,8 @@ func (e *Engine) SearchDetailed(q string, opts SearchOptions) ([]SearchResult, *
 	default:
 		err = fmt.Errorf("xrank: unknown algorithm %d", opts.Algorithm)
 	}
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.WallTime = time.Since(start)
-	stats.IO = e.ix.IOStats().Sub(before)
-	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
-
 	naive := opts.Algorithm == AlgoNaiveID || opts.Algorithm == AlgoNaiveRank
-	out, err := e.materialize(rs, naive, opts.TopM)
-	if err != nil {
-		return nil, nil, err
-	}
-	return out, stats, nil
+	return rs, naive, err
 }
 
 // materialize converts internal results to SearchResults, applying answer
@@ -298,14 +352,24 @@ func snippet(el *xmldoc.Element) string {
 			}
 			b.WriteString(x.Text)
 		}
-		return b.Len() < 160
+		return b.Len() < snippetBytes
 	})
 	s := b.String()
-	if len(s) > 160 {
-		s = s[:160] + "…"
+	if len(s) > snippetBytes {
+		// Truncate on a rune boundary: byte snippetBytes may land inside
+		// a multi-byte UTF-8 sequence, and slicing there would emit a
+		// broken rune before the ellipsis.
+		cut := snippetBytes
+		for cut > 0 && !utf8.RuneStart(s[cut]) {
+			cut--
+		}
+		s = s[:cut] + "…"
 	}
 	return s
 }
+
+// snippetBytes bounds a snippet's length in bytes (before the ellipsis).
+const snippetBytes = 160
 
 // Ancestors returns the chain of elements from the given result element up
 // to its document root (nearest first), supporting the paper's "navigate

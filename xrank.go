@@ -98,7 +98,20 @@ func (c *Config) fill() {
 	}
 }
 
+// ErrBudgetExceeded is returned (wrapped) by SearchContext when a query
+// exhausts its SearchOptions.MaxPageReads budget of device page reads.
+var ErrBudgetExceeded = storage.ErrBudgetExceeded
+
 // Engine is an XRANK search engine over one document collection.
+//
+// Once built, an Engine serves queries concurrently: any number of
+// Search/SearchTop/SearchDetailed/SearchContext calls may run in
+// parallel, and DeleteDoc may interleave with them. Each query runs
+// under a private storage.ExecContext, so its QueryStats.IO is exactly
+// its own page traffic regardless of concurrency. The engine-global
+// facilities — ColdCache, IOStats, the shared buffer pools — are
+// intentionally not per-query: see their docs for what they mean while
+// queries are in flight.
 type Engine struct {
 	cfg     Config
 	col     *xmldoc.Collection
@@ -289,7 +302,10 @@ func (e *Engine) Close() error {
 }
 
 // ColdCache drops all index buffer pools and I/O counters, simulating the
-// paper's cold-operating-system-cache measurement protocol.
+// paper's cold-operating-system-cache measurement protocol. It is an
+// engine-global, single-tenant measurement knob: calling it while other
+// queries run is race-free but evicts their cached pages and resets the
+// global counters mid-flight (per-query QueryStats.IO is unaffected).
 func (e *Engine) ColdCache() error {
 	if e.ix == nil {
 		return fmt.Errorf("xrank: not built")
@@ -298,7 +314,9 @@ func (e *Engine) ColdCache() error {
 }
 
 // IOStats returns cumulative page-level I/O statistics since the last
-// ColdCache.
+// ColdCache, summed across every query served. For a single query's I/O
+// under concurrency, use the QueryStats returned by SearchContext
+// instead of diffing IOStats snapshots.
 func (e *Engine) IOStats() storage.Stats {
 	if e.ix == nil {
 		return storage.Stats{}
