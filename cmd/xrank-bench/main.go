@@ -7,7 +7,8 @@
 //	xrank-bench -exp crossover -sweep 50000,200000,800000
 //
 // Experiments: elemrank (E1), space (E2 + E2b), fig10 (E3), fig11 (E4),
-// topm (E5), quality (E6), ablation (E7a-d), crossover (E8), warm (E9).
+// topm (E5), quality (E6), ablation (E7a-d), crossover (E8), warm (E9),
+// shard (E10, also written to -shardjson for CI trend tracking).
 //
 // E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
 // run on the long-list performance corpus (see internal/datagen/perfgen),
@@ -34,6 +35,11 @@ func main() {
 		seed       = flag.Int64("seed", 42, "generation seed")
 		topM       = flag.Int("m", 10, "desired number of results per query")
 		dir        = flag.String("dir", "", "workspace directory (default: a temp dir, removed afterwards)")
+
+		shardCounts = flag.String("shardcounts", "1,2,4,8", "comma-separated shard counts for the shard experiment")
+		shardDocs   = flag.Int("sharddocs", 8, "XMark-shaped documents in the shard-experiment corpus")
+		shardScale  = flag.Float64("shardscale", 4.0, "shard-experiment corpus scale factor")
+		shardJSON   = flag.String("shardjson", "BENCH_shard.json", "where the shard experiment writes its JSON report (empty: skip)")
 	)
 	flag.Parse()
 
@@ -42,7 +48,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm"} {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard"} {
 			want[e] = true
 		}
 	}
@@ -174,6 +180,42 @@ func main() {
 		}
 		t.Render(os.Stdout)
 	}
+	if want["shard"] {
+		counts, err := parseInts(*shardCounts)
+		if err != nil {
+			fail(fmt.Errorf("bad -shardcounts: %v", err))
+		}
+		t, rep, err := bench.E10Shard(ws+"/shardexp", counts, *shardDocs, *shardScale, *seed, *topM)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		if rep.Speedup > 0 {
+			fmt.Printf("shard speedup: %.2fx at %d shards over the 1-shard baseline (%d workers)\n",
+				rep.Speedup, rep.BestShards, rep.Workers)
+		}
+		if *shardJSON != "" {
+			if err := rep.WriteJSON(*shardJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *shardJSON)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil {
+			return nil, fmt.Errorf("%q: %v", f, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("%q: shard counts must be >= 1", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fail(err error) {

@@ -57,12 +57,16 @@ func cmdIndex(args []string) error {
 	decay := fs.Float64("decay", 0.75, "per-level rank decay in (0,1]")
 	skipNaive := fs.Bool("skip-naive", true, "omit the naive baseline indexes")
 	compress := fs.Bool("compress", false, "prefix-compress Dewey postings")
+	shards := fs.Int("shards", 1, "partition the index into N document shards queried in parallel")
 	answerTags := fs.String("answer-tags", "", "comma-separated answer-node tags (empty: all elements)")
 	fs.Parse(args)
 	if *dir == "" || fs.NArg() == 0 {
 		return fmt.Errorf("index: -dir and at least one input file are required")
 	}
-	cfg := &xrank.Config{IndexDir: *dir, Decay: *decay, SkipNaive: *skipNaive, CompressDewey: *compress}
+	if *shards < 1 {
+		return fmt.Errorf("index: -shards must be >= 1")
+	}
+	cfg := &xrank.Config{IndexDir: *dir, Decay: *decay, SkipNaive: *skipNaive, CompressDewey: *compress, Shards: *shards}
 	if *answerTags != "" {
 		cfg.AnswerTags = splitComma(*answerTags)
 	}

@@ -97,7 +97,26 @@ func newMux(e *xrank.Engine) *http.ServeMux {
 			"wall_us":    stats.WallTime.Microseconds(),
 			"io_reads":   stats.IO.Reads,
 			"cache_hits": stats.IO.CacheHits,
+			"shards":     stats.Shards,
 			"results":    results,
+		})
+	})
+	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {
+		per := e.ShardIOStats()
+		shards := make([]map[string]interface{}, len(per))
+		for i, s := range per {
+			shards[i] = map[string]interface{}{
+				"shard":      i,
+				"io_reads":   s.Reads,
+				"seq_reads":  s.SeqReads,
+				"rand_reads": s.RandReads,
+				"cache_hits": s.CacheHits,
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"num_shards": e.NumShards(),
+			"shards":     shards,
 		})
 	})
 	mux.HandleFunc("/api/ancestors", func(w http.ResponseWriter, r *http.Request) {

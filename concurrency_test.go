@@ -79,8 +79,12 @@ func TestConcurrentSearches(t *testing.T) {
 // records each, all sharing a small vocabulary so every query's inverted
 // lists span multiple pages.
 func buildConcurrencyCorpus(t *testing.T, docs, recs int) *Engine {
+	return buildConcurrencyCorpusCfg(t, nil, docs, recs)
+}
+
+func buildConcurrencyCorpusCfg(t *testing.T, cfg *Config, docs, recs int) *Engine {
 	t.Helper()
-	e := NewEngine(nil)
+	e := NewEngine(cfg)
 	for d := 0; d < docs; d++ {
 		var b strings.Builder
 		b.WriteString("<proc>")
@@ -254,6 +258,82 @@ func TestSearchContextCancellation(t *testing.T) {
 	mid := &countdownCtx{Context: context.Background(), remaining: 10}
 	if _, _, err := e.SearchContext(mid, "alpha beta gamma", opts); !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("mid-merge expiry err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestShardedCancellationFanout checks that cancellation fans out to
+// every shard worker of a partitioned index: a countdown context that
+// expires mid-merge must abort the whole query with
+// context.DeadlineExceeded, and every worker — including ones blocked
+// mid-merge on other shards — must release its pinned pages. The pin
+// check is ColdCache: BufferPool.Reset refuses to drop a pool while any
+// page is pinned, so a successful ColdCache right after the aborted
+// query proves no shard leaked a pin. Run under -race (the CI matrix
+// covers this package).
+func TestShardedCancellationFanout(t *testing.T) {
+	const shards = 5
+	e := buildConcurrencyCorpusCfg(t, &Config{Shards: shards}, 20, 600)
+	opts := SearchOptions{TopM: 10, Algorithm: AlgoDIL, ColdCache: true}
+
+	// Establish that the sharded merge is large enough that 12 page
+	// accesses land mid-merge, and that the fan-out actually happened.
+	rs, stats, err := e.SearchContext(context.Background(), "alpha beta gamma", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != shards {
+		t.Fatalf("query fanned out over %d shards, want %d", stats.Shards, shards)
+	}
+	if len(rs) == 0 {
+		t.Fatal("sharded corpus query returned no results")
+	}
+	accesses := stats.IO.Reads + stats.IO.CacheHits
+	if accesses <= 2*12 {
+		t.Fatalf("corpus too small for a mid-merge test: %d page accesses", accesses)
+	}
+
+	for _, algo := range []Algorithm{AlgoDIL, AlgoRDIL, AlgoHDIL} {
+		mid := &countdownCtx{Context: context.Background(), remaining: 12}
+		if _, _, err := e.SearchContext(mid, "alpha beta gamma", SearchOptions{
+			TopM: 10, Algorithm: algo, ColdCache: true,
+		}); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: mid-merge expiry err = %v, want context.DeadlineExceeded", algo, err)
+		}
+		// Every shard worker must have unpinned its pages on the abort
+		// path; Reset would fail otherwise.
+		if err := e.ColdCache(); err != nil {
+			t.Fatalf("%v: ColdCache after aborted sharded query: %v (a shard worker leaked a pinned page)", algo, err)
+		}
+	}
+
+	// The family-wide budget must also fan out: the shards draw device
+	// reads from one shared pool and abort together.
+	_, _, err = e.SearchContext(context.Background(), "alpha beta gamma", SearchOptions{
+		TopM: 10, Algorithm: AlgoDIL, ColdCache: true, MaxPageReads: 3,
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("sharded tiny budget err = %v, want ErrBudgetExceeded", err)
+	}
+	if err := e.ColdCache(); err != nil {
+		t.Fatalf("ColdCache after budget abort: %v", err)
+	}
+
+	// And the engine must still be healthy: the same query completes with
+	// the same results.
+	rs2, stats2, err := e.SearchContext(context.Background(), "alpha beta gamma", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs2) != len(rs) {
+		t.Fatalf("follow-up query returned %d results, want %d", len(rs2), len(rs))
+	}
+	for i := range rs {
+		if rs2[i].DeweyID != rs[i].DeweyID {
+			t.Fatalf("follow-up result %d = %s, want %s", i, rs2[i].DeweyID, rs[i].DeweyID)
+		}
+	}
+	if got := stats2.IO.Reads + stats2.IO.CacheHits; got != accesses {
+		t.Errorf("follow-up query touched %d pages, want %d (cross-query state leaked)", got, accesses)
 	}
 }
 

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
@@ -232,6 +234,45 @@ func TestWarmCache(t *testing.T) {
 		if warm > cold/4 {
 			t.Errorf("%s: warm reads %d not far below cold %d", r[0], warm, cold)
 		}
+	}
+}
+
+func TestShardExperimentShape(t *testing.T) {
+	dir := t.TempDir()
+	tb, rep, err := E10Shard(dir, []int{1, 2, 4}, 4, 0.08, 7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 || len(rep.Runs) != 3 {
+		t.Fatalf("E10 rows = %d, runs = %d", len(tb.Rows), len(rep.Runs))
+	}
+	base := rep.Runs[0]
+	if base.Shards != 1 || base.AvgLatencyMicros <= 0 || base.AvgResults == 0 {
+		t.Fatalf("bad baseline run: %+v", base)
+	}
+	// Shard pruning may only shrink the page accesses; growth is bounded
+	// by boundary rounding (each shard's list is a whole number of pages,
+	// at most keywords extra partial pages per shard).
+	for _, r := range rep.Runs[1:] {
+		if r.AvgReads > base.AvgReads+int64(rep.Keywords*r.Shards) {
+			t.Errorf("%d shards: %d avg reads, baseline %d", r.Shards, r.AvgReads, base.AvgReads)
+		}
+	}
+	// The JSON artifact must round-trip.
+	path := dir + "/BENCH_shard.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Corpus != "xmark" || len(back.Runs) != 3 {
+		t.Errorf("round-tripped report = %+v", back)
 	}
 }
 

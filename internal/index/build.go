@@ -54,6 +54,14 @@ type BuildOptions struct {
 	// AppendDeweyEntryCompressed). Query results are identical; lists
 	// shrink further.
 	CompressDewey bool
+	// DocFilter, when non-nil, restricts the index to the documents for
+	// which it returns true (doc is the document's position in the
+	// collection, i.e. the first Dewey component). Sharded builds pass the
+	// shard's hash predicate here. The element-ID and Dewey spaces — and
+	// Meta.NumDocs/NumElements — remain those of the FULL collection, so
+	// ranks, tf-idf normalization and result IDs are identical whether a
+	// document is scored from a shard or from a monolithic index.
+	DocFilter func(doc uint32) bool
 }
 
 func (o *BuildOptions) fill() {
@@ -117,7 +125,10 @@ func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions)
 	// Phase 1: collect direct postings per term.
 	terms := make(map[string]*termData)
 	perElem := make(map[string][]uint32, 16)
-	for _, d := range c.Docs {
+	for di, d := range c.Docs {
+		if opts.DocFilter != nil && !opts.DocFilter(uint32(di)) {
+			continue
+		}
 		for _, e := range d.Elements {
 			if len(e.Tokens) == 0 {
 				continue

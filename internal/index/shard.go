@@ -1,0 +1,283 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xrank/internal/storage"
+	"xrank/internal/xmldoc"
+)
+
+// Sharding partitions the inverted index by the Dewey document-ID
+// component: document d lives entirely in shard ShardOf(d, S). Every
+// XRANK scoring decision is intra-document (the DIL stack merge never
+// carries state across a document boundary, and RDIL/HDIL probe within
+// one document's Dewey subtree), so per-shard merges produce exactly the
+// scores a monolithic merge would, and a global top-k is the top-k of
+// the concatenated per-shard top-k's. Element IDs, Dewey IDs and
+// tf-idf's N stay those of the full collection (see
+// BuildOptions.DocFilter), which keeps results bit-identical across
+// shard counts.
+
+const (
+	fileShards = "shards.json"
+	// shardHashName identifies the document→shard hash so an index built
+	// with one placement function is never opened with another.
+	shardHashName = "fnv1a32"
+)
+
+// ShardMeta is persisted to shards.json in a sharded index directory.
+type ShardMeta struct {
+	NumShards int    `json:"num_shards"`
+	Hash      string `json:"hash"`
+}
+
+// ShardOf maps a document (its position in the collection, i.e. the
+// first Dewey component) to a shard in [0, shards). FNV-1a over the
+// little-endian bytes spreads the sequential document IDs a collection
+// assigns, so consecutive documents land on different shards.
+func ShardOf(doc uint32, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < 32; i += 8 {
+		h ^= doc >> i & 0xff
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+func shardDir(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard%03d", s))
+}
+
+// Sharded is an opened index partitioned across one or more shards. A
+// flat (unsharded) directory opens as a single-shard Sharded, so every
+// caller goes through the same type regardless of layout.
+type Sharded struct {
+	Dir string
+	// Meta aggregates across shards: NumDocs, NumElements, RankFraction,
+	// MaxPositions, HasNaive and CompressDewey are shard-invariant and
+	// copied from shard 0; Terms is the distinct-term union; DeweyEntries,
+	// NaiveEntries and BuildMillis are sums.
+	Meta Meta
+
+	shards []*Index
+}
+
+// BuildSharded constructs the index in dir partitioned into shards
+// partitions (shards ≤ 1 builds the flat single-directory layout, which
+// OpenSharded also accepts). Each shard holds the complete per-term
+// structures — DIL/RDIL/HDIL postfiles, B+-trees and naive baselines —
+// restricted to its documents.
+func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions, shards int) (*BuildStats, error) {
+	if shards <= 1 {
+		return Build(c, ranks, dir, opts)
+	}
+	if opts.DocFilter != nil {
+		return nil, fmt.Errorf("index: BuildSharded with a caller DocFilter")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("index: mkdir %s: %w", dir, err)
+	}
+	var total BuildStats
+	for s := 0; s < shards; s++ {
+		so := opts
+		sn := s
+		so.DocFilter = func(doc uint32) bool { return ShardOf(doc, shards) == sn }
+		st, err := Build(c, ranks, shardDir(dir, s), so)
+		if err != nil {
+			return nil, fmt.Errorf("index: shard %d: %w", s, err)
+		}
+		if s == 0 {
+			total.Meta = st.Meta
+			total.Meta.Terms = 0
+		}
+		total.Meta.DeweyEntries += st.Meta.DeweyEntries
+		total.Meta.NaiveEntries += st.Meta.NaiveEntries
+		total.Meta.BuildMillis += st.Meta.BuildMillis
+		total.DILList += st.DILList
+		total.RDILList += st.RDILList
+		total.RDILIndex += st.RDILIndex
+		total.HDILRank += st.HDILRank
+		total.HDILIndex += st.HDILIndex
+		total.NaiveIDList += st.NaiveIDList
+		total.NaiveRankList += st.NaiveRankList
+		total.NaiveIndex += st.NaiveIndex
+	}
+	total.Meta.Terms = countDistinctTerms(c)
+	sm := ShardMeta{NumShards: shards, Hash: shardHashName}
+	mb, err := json.MarshalIndent(&sm, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, fileShards), append(mb, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return &total, nil
+}
+
+// countDistinctTerms counts the collection's vocabulary (per-shard term
+// counts overlap, so the aggregate can't just sum them).
+func countDistinctTerms(c *xmldoc.Collection) int {
+	seen := make(map[string]struct{})
+	for _, d := range c.Docs {
+		for _, e := range d.Elements {
+			for _, tok := range e.Tokens {
+				seen[tok.Term] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// OpenSharded opens dir as a sharded index. A directory without
+// shards.json is a flat index and opens as one shard, so indexes built
+// before sharding existed keep working.
+func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, fileShards))
+	if os.IsNotExist(err) {
+		ix, err := Open(dir, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Sharded{Dir: dir, Meta: ix.Meta, shards: []*Index{ix}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", dir, err)
+	}
+	var sm ShardMeta
+	if err := json.Unmarshal(mb, &sm); err != nil {
+		return nil, fmt.Errorf("index: bad shards.json: %w", err)
+	}
+	if sm.NumShards < 1 {
+		return nil, fmt.Errorf("index: shards.json declares %d shards", sm.NumShards)
+	}
+	if sm.Hash != shardHashName {
+		return nil, fmt.Errorf("index: shard hash %q, this build understands %q", sm.Hash, shardHashName)
+	}
+	sh := &Sharded{Dir: dir}
+	for s := 0; s < sm.NumShards; s++ {
+		ix, err := Open(shardDir(dir, s), opts)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("index: shard %d: %w", s, err)
+		}
+		sh.shards = append(sh.shards, ix)
+	}
+	sh.Meta = sh.shards[0].Meta
+	sh.Meta.Terms, sh.Meta.DeweyEntries, sh.Meta.NaiveEntries, sh.Meta.BuildMillis = 0, 0, 0, 0
+	vocab := make(map[string]struct{})
+	for _, ix := range sh.shards {
+		for t := range ix.dil {
+			vocab[t] = struct{}{}
+		}
+		sh.Meta.DeweyEntries += ix.Meta.DeweyEntries
+		sh.Meta.NaiveEntries += ix.Meta.NaiveEntries
+		sh.Meta.BuildMillis += ix.Meta.BuildMillis
+	}
+	sh.Meta.Terms = len(vocab)
+	return sh, nil
+}
+
+// NumShards returns the number of partitions (1 for a flat index).
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Shards returns the per-shard indexes, in shard order. Callers must not
+// modify the slice.
+func (sh *Sharded) Shards() []*Index { return sh.shards }
+
+// Shard returns partition s.
+func (sh *Sharded) Shard(s int) *Index { return sh.shards[s] }
+
+// ShardFor returns the partition holding doc.
+func (sh *Sharded) ShardFor(doc uint32) *Index {
+	return sh.shards[ShardOf(doc, len(sh.shards))]
+}
+
+// Close closes every shard, returning the first error.
+func (sh *Sharded) Close() error {
+	var first error
+	for _, ix := range sh.shards {
+		if ix == nil {
+			continue
+		}
+		if err := ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	sh.shards = nil
+	return first
+}
+
+// ColdCache drops every shard's buffer pools and zeroes their I/O
+// statistics; see Index.ColdCache for the single-tenant caveats.
+func (sh *Sharded) ColdCache() error {
+	for _, ix := range sh.shards {
+		if err := ix.ColdCache(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IOStats sums the engine-global counters across all shards.
+func (sh *Sharded) IOStats() storage.Stats {
+	var s storage.Stats
+	for _, ix := range sh.shards {
+		s.Add(ix.IOStats())
+	}
+	return s
+}
+
+// ShardIOStats returns the engine-global counters per shard, in shard
+// order (the HTTP server's per-shard stats endpoint).
+func (sh *Sharded) ShardIOStats() []storage.Stats {
+	out := make([]storage.Stats, len(sh.shards))
+	for i, ix := range sh.shards {
+		out[i] = ix.IOStats()
+	}
+	return out
+}
+
+// HasTerm reports whether term occurs anywhere in the collection.
+func (sh *Sharded) HasTerm(term string) bool {
+	for _, ix := range sh.shards {
+		if ix.HasTerm(term) {
+			return true
+		}
+	}
+	return false
+}
+
+// DILCount returns the term's global document-frequency surrogate: the
+// total DIL entries across shards (equal to the flat index's DILCount).
+func (sh *Sharded) DILCount(term string) int {
+	n := 0
+	for _, ix := range sh.shards {
+		n += ix.DILCount(term)
+	}
+	return n
+}
+
+// NaiveCount returns the total naive-list entries for term across shards.
+func (sh *Sharded) NaiveCount(term string) int {
+	n := 0
+	for _, ix := range sh.shards {
+		n += ix.NaiveCount(term)
+	}
+	return n
+}
+
+// DILListBytes returns the total encoded DIL bytes for term across
+// shards (HDIL's cost-model input).
+func (sh *Sharded) DILListBytes(term string) int64 {
+	var n int64
+	for _, ix := range sh.shards {
+		n += ix.DILListBytes(term)
+	}
+	return n
+}

@@ -1,0 +1,280 @@
+package query
+
+// The differential correctness harness for sharded execution: randomized
+// corpora from the internal/datagen generators, every query processor run
+// at shard counts 1, 2 and 8, all checked against the brute-force
+// executable specification — same result set, same tie-break order, same
+// scores within epsilon. This is the test that guards the central
+// sharding claim: shard count is invisible in query results.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"xrank/internal/datagen/dblp"
+	"xrank/internal/datagen/xmark"
+	"xrank/internal/elemrank"
+	"xrank/internal/index"
+	"xrank/internal/storage"
+	"xrank/internal/xmldoc"
+)
+
+// shardCounts are the partition counts the harness covers. 1 is the flat
+// layout (direct call, no fan-out), 2 exercises the merge, and 8 exceeds
+// both GOMAXPROCS on small machines (worker-pool queuing) and the
+// document count of the smallest corpora (empty shards).
+var shardCounts = []int{1, 2, 8}
+
+// shardedFixture holds one collection indexed at several shard counts.
+type shardedFixture struct {
+	c       *xmldoc.Collection
+	ranks   []float64
+	sharded map[int]*index.Sharded
+}
+
+func newShardedFixture(t *testing.T, docs []string, opts index.BuildOptions, counts []int) *shardedFixture {
+	t.Helper()
+	c := xmldoc.NewCollection()
+	for i, s := range docs {
+		if _, err := c.AddXML(fmt.Sprintf("doc%03d", i), strings.NewReader(s), nil); err != nil {
+			t.Fatalf("AddXML doc%03d: %v", i, err)
+		}
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, err := elemrank.Compute(g, elemrank.DefaultParams())
+	if err != nil || !res.Converged {
+		t.Fatalf("elemrank: %v", err)
+	}
+	fx := &shardedFixture{c: c, ranks: res.Scores, sharded: make(map[int]*index.Sharded)}
+	for _, sc := range counts {
+		dir := t.TempDir()
+		if _, err := index.BuildSharded(c, res.Scores, dir, opts, sc); err != nil {
+			t.Fatalf("BuildSharded(%d): %v", sc, err)
+		}
+		sh, err := index.OpenSharded(dir, index.OpenOptions{})
+		if err != nil {
+			t.Fatalf("OpenSharded(%d): %v", sc, err)
+		}
+		t.Cleanup(func() { sh.Close() })
+		fx.sharded[sc] = sh
+	}
+	return fx
+}
+
+// datagenCorpus produces a multi-document corpus from the DBLP generator
+// (many small documents, so shards get real spread) plus one XMark-shaped
+// document for structural depth. The vocabulary is kept small so random
+// conjunctive queries actually co-occur.
+func datagenCorpus(seed int64) []string {
+	var out []string
+	for _, d := range dblp.Generate(dblp.Params{
+		Seed:         seed,
+		Docs:         10,
+		PapersPerDoc: 6,
+		VocabSize:    150,
+	}) {
+		out = append(out, d.XML)
+	}
+	out = append(out, xmark.Generate(xmark.Params{
+		Seed:           seed + 1,
+		Items:          25,
+		People:         15,
+		OpenAuctions:   20,
+		ClosedAuctions: 12,
+		Categories:     6,
+		VocabSize:      150,
+	}))
+	return out
+}
+
+// corpusVocab returns the terms occurring in at least two documents and
+// at least four times overall — the candidates from which random queries
+// are drawn — in deterministic order.
+func corpusVocab(c *xmldoc.Collection) []string {
+	total := map[string]int{}
+	docsWith := map[string]map[int]bool{}
+	for di, d := range c.Docs {
+		for _, e := range d.Elements {
+			for _, tok := range e.Tokens {
+				total[tok.Term]++
+				m := docsWith[tok.Term]
+				if m == nil {
+					m = map[int]bool{}
+					docsWith[tok.Term] = m
+				}
+				m[di] = true
+			}
+		}
+	}
+	var vocab []string
+	for term, n := range total {
+		if n >= 4 && len(docsWith[term]) >= 2 {
+			vocab = append(vocab, term)
+		}
+	}
+	sort.Strings(vocab)
+	return vocab
+}
+
+func truncated(rs []Result, m int) []Result {
+	if len(rs) > m {
+		rs = rs[:m]
+	}
+	return rs
+}
+
+// TestShardedDifferentialAllAlgorithms is the property-based harness: for
+// random queries over datagen corpora, DIL, RDIL, HDIL and Disjunctive
+// must return exactly the brute-force reference ranking at every shard
+// count, and the naive pair must be shard-count-invariant and mutually
+// consistent.
+func TestShardedDifferentialAllAlgorithms(t *testing.T) {
+	cm := storage.DefaultCostModel()
+	for seed := int64(0); seed < 2; seed++ {
+		fx := newShardedFixture(t, datagenCorpus(seed),
+			index.BuildOptions{MinRankPrefix: 4, RankFraction: 0.2}, shardCounts)
+		vocab := corpusVocab(fx.c)
+		if len(vocab) < 10 {
+			t.Fatalf("seed %d: only %d query-candidate terms", seed, len(vocab))
+		}
+		r := rand.New(rand.NewSource(seed*31 + 7))
+		for trial := 0; trial < 10; trial++ {
+			nk := 1 + r.Intn(3)
+			q := make([]string, nk)
+			for i := range q {
+				q[i] = vocab[r.Intn(len(vocab))]
+			}
+			if trial == 9 {
+				// One query with a keyword absent from the corpus: the
+				// conjunction must come back empty at every shard count.
+				q[0] = "zqx9absent"
+			}
+			opts := DefaultOptions()
+			opts.TopM = 8
+
+			want, err := BruteForce(fx.c, fx.ranks, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = truncated(want, opts.TopM)
+			wantDisj, err := BruteForceDisjunctive(fx.c, fx.ranks, q, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDisj = truncated(wantDisj, opts.TopM)
+			// The naive pair has its own (ancestor-including, undecayed)
+			// semantics; the flat index is their reference, and 2- and
+			// 8-shard runs must reproduce it exactly.
+			naiveWant, err := NaiveIDSharded(fx.sharded[1], q, opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, sc := range shardCounts {
+				sh := fx.sharded[sc]
+				name := func(algo string) string {
+					return fmt.Sprintf("seed%d trial%d %s(%v)@%dshards", seed, trial, algo, q, sc)
+				}
+				got, err := DILSharded(sh, q, opts, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("DIL"), got, want, 1e-9)
+
+				got, err = RDILSharded(sh, q, opts, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("RDIL"), got, want, 1e-9)
+
+				got, _, err = HDILSharded(sh, q, opts, 0, cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("HDIL"), got, want, 1e-9)
+
+				got, err = DisjunctiveSharded(sh, q, opts, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("Disjunctive"), got, wantDisj, 1e-9)
+
+				got, err = NaiveIDSharded(sh, q, opts, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("NaiveID"), got, naiveWant, 1e-9)
+
+				got, err = NaiveRankSharded(sh, q, opts, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, name("NaiveRank"), got, naiveWant, 1e-9)
+			}
+		}
+	}
+}
+
+// TestShardedDifferentialTFIDF pins the global document-frequency
+// override: with tf-idf scoring, per-shard list lengths differ from the
+// collection-global dfs, so without Options.DFs the sharded runs would
+// score differently at different shard counts. The brute-force reference
+// uses global dfs by construction.
+func TestShardedDifferentialTFIDF(t *testing.T) {
+	fx := newShardedFixture(t, datagenCorpus(3),
+		index.BuildOptions{}, shardCounts)
+	vocab := corpusVocab(fx.c)
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		nk := 1 + r.Intn(2)
+		q := make([]string, nk)
+		for i := range q {
+			q[i] = vocab[r.Intn(len(vocab))]
+		}
+		opts := DefaultOptions()
+		opts.TopM = 8
+		opts.Scoring = ScoreTFIDF
+
+		want, err := BruteForce(fx.c, fx.ranks, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = truncated(want, opts.TopM)
+		wantDisj, err := BruteForceDisjunctive(fx.c, fx.ranks, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDisj = truncated(wantDisj, opts.TopM)
+		naiveWant, err := NaiveIDSharded(fx.sharded[1], q, opts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, sc := range shardCounts {
+			sh := fx.sharded[sc]
+			name := func(algo string) string {
+				return fmt.Sprintf("trial%d tfidf %s(%v)@%dshards", trial, algo, q, sc)
+			}
+			got, err := DILSharded(sh, q, opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, name("DIL"), got, want, 1e-9)
+
+			got, err = DisjunctiveSharded(sh, q, opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, name("Disjunctive"), got, wantDisj, 1e-9)
+
+			got, err = NaiveIDSharded(sh, q, opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, name("NaiveID"), got, naiveWant, 1e-9)
+		}
+	}
+}

@@ -85,7 +85,7 @@ func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 	h := newResultHeap(opts.TopM)
 	m := newMerger(streams, opts)
 	if opts.Scoring == ScoreTFIDF {
-		m.base = tfidfBase(ix.Meta.NumElements, dfs)
+		m.base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
 	}
 	if err := m.run(func(id dewey.ID, score float64) {
 		h.offer(Result{ID: id, Score: score})

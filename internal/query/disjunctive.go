@@ -43,7 +43,11 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 		if !ok {
 			continue // absent keywords simply contribute nothing
 		}
-		dfs = append(dfs, cur.Count())
+		if opts.DFs != nil {
+			dfs = append(dfs, opts.DFs[i])
+		} else {
+			dfs = append(dfs, cur.Count())
+		}
 		cs := &cursorStream{cur: cur}
 		streams = append(streams, cs)
 		weights = append(weights, opts.weight(i))

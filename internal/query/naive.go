@@ -54,7 +54,7 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 	}
 	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
 	if opts.Scoring == ScoreTFIDF {
-		base = tfidfBase(ix.Meta.NumElements, dfs)
+		base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
 	}
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, n)

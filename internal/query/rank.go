@@ -78,6 +78,13 @@ type Options struct {
 	Weights []float64
 	// Scoring selects the base rank function. Default ScoreElemRank.
 	Scoring Scoring
+	// DFs optionally overrides the per-keyword document frequencies used
+	// by ScoreTFIDF, indexed by deduplicated-keyword position. The
+	// algorithms default to each inverted list's own length, which is the
+	// right df on a monolithic index but only a shard's share of it on a
+	// partitioned one; the sharded executors pass the collection-global
+	// counts here so scores stay identical across shard counts.
+	DFs []int
 	// Exec optionally attaches a per-query execution context. Every
 	// algorithm passes it down to its cursors, probers and lookups (so
 	// the query's I/O is attributed to exactly this query even under
@@ -119,12 +126,25 @@ func (o *Options) weight(i int) float64 {
 	return o.Weights[i]
 }
 
-// checkWeights validates Weights against the deduplicated keyword count.
+// checkWeights validates Weights and DFs against the deduplicated
+// keyword count.
 func (o *Options) checkWeights(n int) error {
 	if o.Weights != nil && len(o.Weights) != n {
 		return fmt.Errorf("query: %d weights for %d distinct keywords", len(o.Weights), n)
 	}
+	if o.DFs != nil && len(o.DFs) != n {
+		return fmt.Errorf("query: %d document-frequency overrides for %d distinct keywords", len(o.DFs), n)
+	}
 	return nil
+}
+
+// dfsOr returns the caller-supplied global document frequencies when set
+// (sharded execution), else the locally observed list lengths.
+func (o *Options) dfsOr(local []int) []int {
+	if o.DFs != nil {
+		return o.DFs
+	}
+	return local
 }
 
 // Result is one ranked query result.

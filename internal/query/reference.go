@@ -168,6 +168,88 @@ type occ struct {
 	pos   []uint32
 }
 
+// BruteForceDisjunctive is the executable specification for Disjunctive:
+// every element *directly* containing at least one keyword, scored by the
+// weighted sum of the element's own (undecayed) per-keyword base ranks
+// times the proximity over the keywords present. It returns every result
+// sorted by descending score.
+func BruteForceDisjunctive(c *xmldoc.Collection, ranks []float64, keywords []string, opts Options) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	kws, err := normalizeKeywords(keywords)
+	if err != nil {
+		return nil, err
+	}
+	n := len(kws)
+	if err := opts.checkWeights(n); err != nil {
+		return nil, err
+	}
+	kwIdx := make(map[string]int, n)
+	for i, k := range kws {
+		kwIdx[text.NormalizeTerm(k)] = i
+	}
+
+	// df = elements directly containing the keyword, exactly the inverted
+	// list length the index-based processor uses on a flat index.
+	idfs := make([]float64, n)
+	if opts.Scoring == ScoreTFIDF {
+		dfs := make([]int, n)
+		total := 0
+		for _, d := range c.Docs {
+			total += len(d.Elements)
+			for _, e := range d.Elements {
+				seen := map[int]bool{}
+				for _, tok := range e.Tokens {
+					if i, ok := kwIdx[tok.Term]; ok && !seen[i] {
+						seen[i] = true
+						dfs[i]++
+					}
+				}
+			}
+		}
+		for i, df := range dfs {
+			if df > 0 {
+				idfs[i] = math.Log(1 + float64(total)/float64(df))
+			}
+		}
+	}
+
+	var results []Result
+	for _, d := range c.Docs {
+		for _, e := range d.Elements {
+			perKw := make([][]uint32, n)
+			for _, tok := range e.Tokens {
+				if i, ok := kwIdx[tok.Term]; ok {
+					perKw[i] = append(perKw[i], tok.Pos)
+				}
+			}
+			score := 0.0
+			var prox [][]uint32
+			for i := 0; i < n; i++ {
+				if len(perKw[i]) == 0 {
+					continue
+				}
+				r := float64(float32(ranks[d.Base+int(e.Index)]))
+				if opts.Scoring == ScoreTFIDF {
+					r = (1 + math.Log(1+float64(len(perKw[i])))) * idfs[i]
+				}
+				score += opts.weight(i) * r
+				prox = append(prox, perKw[i])
+			}
+			if len(prox) == 0 {
+				continue
+			}
+			if opts.UseProximity && len(prox) > 1 {
+				score *= Proximity(prox)
+			}
+			results = append(results, Result{ID: e.DeweyID(), Score: score})
+		}
+	}
+	SortResults(results)
+	return results, nil
+}
+
 // BruteForceR0 returns the global element indexes of R0 — every element
 // that contains* all keywords — which is exactly the (spurious-including)
 // result set of the naive approaches. Sorted ascending.

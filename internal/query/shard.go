@@ -1,0 +1,227 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+
+	"xrank/internal/index"
+	"xrank/internal/storage"
+)
+
+// Sharded execution runs one instance of an algorithm per index shard and
+// merges the per-shard top-m's. Correctness rests on two facts:
+//
+//   - Scores are shard-invariant. Every scoring decision is
+//     intra-document (the Dewey-stack merge never carries state across a
+//     document boundary, RDIL/HDIL probes stay inside one document's
+//     subtree, and naive closures follow parent chains within a
+//     document), documents are partitioned whole, and shards keep the
+//     global element-ID/Dewey spaces and — via Options.DFs — the global
+//     tf-idf document frequencies. A result therefore gets the same
+//     score from its shard as it would from a monolithic index.
+//
+//   - Top-m composes. Under the strict total order (score descending,
+//     Dewey ID ascending) the global top-m of a disjoint union is a
+//     subset of the concatenated per-shard top-m's, so MergeTopM loses
+//     nothing. The threshold-algorithm stopping rule survives sharding:
+//     shard s stops once its threshold T_s falls to its local m-th score
+//     k_s, and since shard s's candidates are a subset of the
+//     collection's, k_s ≤ the global m-th score k — so every shard's
+//     stopping point satisfies the paper's global rule max_s T_s ≤ k
+//     without any cross-shard coordination.
+//
+// Each shard worker runs under a child of the query's ExecContext:
+// cancellation, deadlines and the page-read budget fan out (one shared
+// pool), per-shard I/O aggregates back into the parent's Stats, and a
+// failing shard poisons the family so its siblings abort at their next
+// page access instead of running to completion.
+
+// shardWorkers bounds the worker pool: the caller's preference (0 means
+// "one per shard"), clamped to the shard count and GOMAXPROCS.
+func shardWorkers(requested, shards int) int {
+	w := requested
+	if w <= 0 || w > shards {
+		w = shards
+	}
+	if gp := runtime.GOMAXPROCS(0); w > gp {
+		w = gp
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runSharded fans run out over the shards under a bounded worker pool and
+// merges the per-shard top-m's. run receives the shard number, the shard
+// index and a per-shard Options whose Exec is a child of opts.Exec. With
+// a single shard it degenerates to a direct call on the caller's
+// goroutine — no pool, no child context.
+func runSharded(shards []*index.Index, opts Options, workers int,
+	run func(s int, ix *index.Index, so Options) ([]Result, error)) ([]Result, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if len(shards) == 1 {
+		return run(0, shards[0], opts)
+	}
+	workers = shardWorkers(workers, len(shards))
+	sem := make(chan struct{}, workers)
+	perShard := make([][]Result, len(shards))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s, ix := range shards {
+		wg.Add(1)
+		go func(s int, ix *index.Index) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			failed := firstErr != nil
+			mu.Unlock()
+			if failed {
+				return // a sibling already failed; don't start new work
+			}
+			so := opts
+			so.Exec = opts.Exec.Child()
+			rs, err := run(s, ix, so)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				// Poison the family so running siblings abort at their
+				// next page access rather than completing a doomed query.
+				opts.Exec.Fail(err)
+				return
+			}
+			perShard[s] = rs
+		}(s, ix)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return MergeTopM(perShard, opts.TopM), nil
+}
+
+// MergeTopM combines per-shard ranked prefixes into the global top-m:
+// concatenate, re-sort under the total order, truncate. Each input slice
+// must be that shard's top-m (or more) under the same order.
+func MergeTopM(perShard [][]Result, topM int) []Result {
+	n := 0
+	for _, rs := range perShard {
+		n += len(rs)
+	}
+	all := make([]Result, 0, n)
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	SortResults(all)
+	if len(all) > topM {
+		all = all[:topM]
+	}
+	return all
+}
+
+// globalDFs fills opts.DFs with collection-global document frequencies
+// when tf-idf scoring would otherwise see per-shard list lengths. count
+// maps a keyword to its global list length.
+func globalDFs(opts *Options, keywords []string, count func(kw string) int) error {
+	if opts.Scoring != ScoreTFIDF || opts.DFs != nil {
+		return nil
+	}
+	kws, err := normalizeKeywords(keywords)
+	if err != nil {
+		return err
+	}
+	dfs := make([]int, len(kws))
+	for i, kw := range kws {
+		dfs[i] = count(kw)
+	}
+	opts.DFs = dfs
+	return nil
+}
+
+// DILSharded evaluates DIL on every shard in parallel and merges the
+// per-shard top-m's; see the package notes above for why the result is
+// identical to DIL over a monolithic index.
+func DILSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
+	if err := globalDFs(&opts, keywords, sh.DILCount); err != nil {
+		return nil, err
+	}
+	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+		return DIL(ix, keywords, so)
+	})
+}
+
+// RDILSharded evaluates RDIL on every shard in parallel. Each shard's
+// threshold algorithm terminates on its own: its stopping rule is
+// strictly stronger than the global one (see the package notes).
+func RDILSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
+	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+		return RDIL(ix, keywords, so)
+	})
+}
+
+// HDILSharded evaluates HDIL on every shard in parallel. The adaptive
+// switch decision is per shard — one shard with unlucky rank prefixes can
+// fall back to DIL while the others stay ranked. The returned trace
+// aggregates: SwitchedToDIL if any shard switched (first switcher's
+// reason), entries-read summed.
+func HDILSharded(sh *index.Sharded, keywords []string, opts Options, workers int, cm storage.CostModel) ([]Result, *HDILTrace, error) {
+	traces := make([]*HDILTrace, sh.NumShards())
+	rs, err := runSharded(sh.Shards(), opts, workers, func(s int, ix *index.Index, so Options) ([]Result, error) {
+		res, tr, err := HDIL(ix, keywords, so, cm)
+		traces[s] = tr // one writer per slot; no lock needed
+		return res, err
+	})
+	agg := &HDILTrace{}
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		if tr.SwitchedToDIL && !agg.SwitchedToDIL {
+			agg.SwitchedToDIL = true
+			agg.SwitchReason = tr.SwitchReason
+		}
+		agg.RankedEntriesRead += tr.RankedEntriesRead
+	}
+	return rs, agg, err
+}
+
+// NaiveIDSharded evaluates Naive-ID on every shard in parallel. Naive
+// closures follow parent chains within one document, so partitioning by
+// document keeps them intact.
+func NaiveIDSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
+	if err := globalDFs(&opts, keywords, sh.NaiveCount); err != nil {
+		return nil, err
+	}
+	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+		return NaiveID(ix, keywords, so)
+	})
+}
+
+// NaiveRankSharded evaluates Naive-Rank on every shard in parallel; the
+// per-shard TA stopping rule composes exactly as RDIL's does.
+func NaiveRankSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
+	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+		return NaiveRank(ix, keywords, so)
+	})
+}
+
+// DisjunctiveSharded evaluates the disjunctive processor on every shard
+// in parallel. A keyword absent from one shard contributes nothing there
+// but still scores on the shards that hold it.
+func DisjunctiveSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
+	if err := globalDFs(&opts, keywords, sh.DILCount); err != nil {
+		return nil, err
+	}
+	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+		return Disjunctive(ix, keywords, so)
+	})
+}

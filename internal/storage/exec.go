@@ -29,17 +29,35 @@ var ErrBudgetExceeded = errors.New("storage: page-read budget exceeded")
 //     many device reads, every further page access fails with an error
 //     wrapping ErrBudgetExceeded (admission control's per-query knob).
 //
+// A query that fans out across index shards gives each parallel branch a
+// Child context: children share the parent's cancellation, deadline,
+// read budget and sticky failure (one family-wide pool of all three),
+// while each child classifies its own access stream and accumulates its
+// own Stats, which the parent's Stats aggregates race-free.
+//
 // A nil *ExecContext is valid everywhere and disables all three concerns,
 // so index-building and legacy single-tenant callers need no changes.
-// Methods are safe for concurrent use, but an ExecContext represents one
-// query: do not share one across queries you want attributed separately.
+// Methods are safe for concurrent use, but an ExecContext family
+// represents one query: do not share one across queries you want
+// attributed separately.
 type ExecContext struct {
-	ctx      context.Context
-	maxReads int64
+	ctx    context.Context
+	shared *execShared
 
-	mu    sync.Mutex
-	stats Stats
-	err   error // sticky budget error
+	mu       sync.Mutex
+	stats    Stats
+	children []*ExecContext
+}
+
+// execShared is the state one query's whole ExecContext family shares:
+// the device-read budget and the sticky failure. It has its own mutex so
+// budget accounting across parallel shard workers stays consistent
+// without serializing their per-branch stats updates.
+type execShared struct {
+	mu       sync.Mutex
+	maxReads int64
+	reads    int64 // device reads across the whole family
+	err      error // sticky failure (budget exhaustion or Fail)
 }
 
 // NewExecContext creates an execution context for one query. A nil ctx
@@ -48,14 +66,53 @@ func NewExecContext(ctx context.Context) *ExecContext {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &ExecContext{ctx: ctx}
+	return &ExecContext{ctx: ctx, shared: &execShared{}}
 }
 
-// SetBudget caps the number of device page reads this query may perform;
-// zero or negative means unlimited. Buffer-pool hits are free: the budget
-// bounds actual disk traffic, not logical accesses.
+// SetBudget caps the number of device page reads this query — including
+// every child branch — may perform; zero or negative means unlimited.
+// Buffer-pool hits are free: the budget bounds actual disk traffic, not
+// logical accesses. Call before the query starts.
 func (ec *ExecContext) SetBudget(maxReads int64) {
-	ec.maxReads = maxReads
+	ec.shared.mu.Lock()
+	ec.shared.maxReads = maxReads
+	ec.shared.mu.Unlock()
+}
+
+// Child derives an execution context for one parallel branch of this
+// query (a shard worker). The child shares the parent's context (so
+// cancellation and deadlines fan out), its read budget (the family draws
+// from one pool) and its sticky failure (a branch that fails — or a
+// Fail call — stops the siblings at their next page access). The child
+// has its own Stats accumulator and stream classifier, so concurrent
+// branches never contend on one counter and each branch's reads are
+// classified by that branch's own access pattern; the parent's Stats
+// aggregates every descendant. A nil receiver returns nil.
+func (ec *ExecContext) Child() *ExecContext {
+	if ec == nil {
+		return nil
+	}
+	child := &ExecContext{ctx: ec.ctx, shared: ec.shared}
+	ec.mu.Lock()
+	ec.children = append(ec.children, child)
+	ec.mu.Unlock()
+	return child
+}
+
+// Fail records err as the family's sticky failure (unless one is already
+// set): every subsequent page access and Err check across the parent and
+// all children returns it. The sharded query executor uses this so one
+// shard's failure promptly aborts the other shards' workers instead of
+// letting them run to completion. A nil receiver or nil err is a no-op.
+func (ec *ExecContext) Fail(err error) {
+	if ec == nil || err == nil {
+		return
+	}
+	ec.shared.mu.Lock()
+	if ec.shared.err == nil {
+		ec.shared.err = err
+	}
+	ec.shared.mu.Unlock()
 }
 
 // Context returns the underlying context (context.Background() for a nil
@@ -68,9 +125,10 @@ func (ec *ExecContext) Context() context.Context {
 }
 
 // Err reports why the query must stop: the context's error if it was
-// cancelled or its deadline passed, the sticky budget error once the
-// page-read budget is exhausted, and nil otherwise (always nil on a nil
-// receiver). Query merge loops call this between iterations.
+// cancelled or its deadline passed, the family's sticky error once the
+// page-read budget is exhausted (or a branch failed), and nil otherwise
+// (always nil on a nil receiver). Query merge loops call this between
+// iterations.
 func (ec *ExecContext) Err() error {
 	if ec == nil {
 		return nil
@@ -78,25 +136,31 @@ func (ec *ExecContext) Err() error {
 	if err := ec.ctx.Err(); err != nil {
 		return err
 	}
-	ec.mu.Lock()
-	defer ec.mu.Unlock()
-	return ec.err
+	ec.shared.mu.Lock()
+	defer ec.shared.mu.Unlock()
+	return ec.shared.err
 }
 
-// Stats returns a snapshot of the I/O attributed to this query so far.
-// A nil receiver reports zeroes.
+// Stats returns a snapshot of the I/O attributed to this query so far,
+// including every child branch. A nil receiver reports zeroes.
 func (ec *ExecContext) Stats() Stats {
 	if ec == nil {
 		return Stats{}
 	}
 	ec.mu.Lock()
-	defer ec.mu.Unlock()
-	return ec.stats
+	s := ec.stats
+	kids := make([]*ExecContext, len(ec.children))
+	copy(kids, ec.children)
+	ec.mu.Unlock()
+	for _, c := range kids {
+		s.Add(c.Stats())
+	}
+	return s
 }
 
 // pageRead accounts one device page read against this query, enforcing
-// cancellation and the read budget. Called by PageFile.ReadPageExec
-// before the read reaches the device.
+// cancellation and the family-wide read budget. Called by
+// PageFile.ReadPageExec before the read reaches the device.
 func (ec *ExecContext) pageRead(id PageID) error {
 	if ec == nil {
 		return nil
@@ -104,16 +168,24 @@ func (ec *ExecContext) pageRead(id PageID) error {
 	if err := ec.ctx.Err(); err != nil {
 		return err
 	}
+	sh := ec.shared
+	sh.mu.Lock()
+	if sh.err != nil {
+		err := sh.err
+		sh.mu.Unlock()
+		return err
+	}
+	if sh.maxReads > 0 && sh.reads >= sh.maxReads {
+		sh.err = fmt.Errorf("%w (limit %d device page reads)", ErrBudgetExceeded, sh.maxReads)
+		err := sh.err
+		sh.mu.Unlock()
+		return err
+	}
+	sh.reads++
+	sh.mu.Unlock()
 	ec.mu.Lock()
-	defer ec.mu.Unlock()
-	if ec.err != nil {
-		return ec.err
-	}
-	if ec.maxReads > 0 && ec.stats.Reads >= ec.maxReads {
-		ec.err = fmt.Errorf("%w (limit %d device page reads)", ErrBudgetExceeded, ec.maxReads)
-		return ec.err
-	}
 	ec.stats.recordRead(id)
+	ec.mu.Unlock()
 	return nil
 }
 
@@ -127,11 +199,14 @@ func (ec *ExecContext) cacheHit() error {
 	if err := ec.ctx.Err(); err != nil {
 		return err
 	}
-	ec.mu.Lock()
-	defer ec.mu.Unlock()
-	if ec.err != nil {
-		return ec.err
+	ec.shared.mu.Lock()
+	if err := ec.shared.err; err != nil {
+		ec.shared.mu.Unlock()
+		return err
 	}
+	ec.shared.mu.Unlock()
+	ec.mu.Lock()
 	ec.stats.CacheHits++
+	ec.mu.Unlock()
 	return nil
 }

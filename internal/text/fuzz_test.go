@@ -1,0 +1,67 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize drives the query tokenizer path with arbitrary byte
+// strings — malformed UTF-8, empty input, giant terms, mixed scripts —
+// and checks the invariants the query layer depends on. Note that
+// tokenization is NOT idempotent in general: Unicode lowercasing can
+// emit non-letter runes ('İ' U+0130 lowercases to "i" + combining dot
+// U+0307), so re-tokenizing a token may split it; the invariants below
+// are the ones that actually hold.
+func FuzzTokenize(f *testing.F) {
+	f.Add("")
+	f.Add("xql language")
+	f.Add("  leading   and\ttrailing\nseparators  ")
+	f.Add("don't stop-word über naïve 数据库 поиск")
+	f.Add("İstanbul DİL")                                 // dotted capital I: lowercasing grows the rune count
+	f.Add(string([]byte{0xff, 0xfe, 'a', 0x80, 'b'}))     // malformed UTF-8
+	f.Add(strings.Repeat("x", 1<<16))                     // one giant term
+	f.Add(strings.Repeat("v7 ", 2000))                    // many tiny terms
+	f.Add("0.2.1 4294967295 id'entifier O'Brien ''' 'a'") // digits and apostrophes
+	f.Add("<rec><t>alpha beta filler0 gamma</t></rec>")   // markup as text
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			// The query layer rejects empty keywords; the tokenizer must
+			// never produce one.
+			if tok == "" {
+				t.Fatalf("Tokenize(%q) produced an empty token", s)
+			}
+			// Tokens are slices of lowercased input runs; lowercasing valid
+			// input keeps them valid UTF-8.
+			if utf8.ValidString(s) && !utf8.ValidString(tok) {
+				t.Fatalf("Tokenize(%q) produced invalid UTF-8 token %q", s, tok)
+			}
+		}
+		// Separator padding is invariant: separators only delimit.
+		padded := Tokenize(" " + s + "\t")
+		if len(padded) != len(toks) {
+			t.Fatalf("Tokenize(%q): %d tokens, %d with separator padding", s, len(toks), len(padded))
+		}
+		for i := range toks {
+			if toks[i] != padded[i] {
+				t.Fatalf("Tokenize(%q): token %d is %q, %q with separator padding", s, i, toks[i], padded[i])
+			}
+		}
+		// AppendTokens is Tokenize's allocation-free twin; they must agree.
+		var appended []string
+		AppendTokens(&appended, s)
+		if len(appended) != len(toks) {
+			t.Fatalf("AppendTokens(%q): %d tokens, Tokenize: %d", s, len(appended), len(toks))
+		}
+		// NormalizeTerm (the query-keyword path) is first-token-or-empty.
+		norm := NormalizeTerm(s)
+		if len(toks) == 0 {
+			if norm != "" {
+				t.Fatalf("NormalizeTerm(%q) = %q for tokenless input", s, norm)
+			}
+		} else if norm != toks[0] {
+			t.Fatalf("NormalizeTerm(%q) = %q, want first token %q", s, norm, toks[0])
+		}
+	})
+}

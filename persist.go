@@ -128,7 +128,7 @@ func OpenEngine(dir string) (*Engine, error) {
 		e.ranks[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb[i*8:]))
 	}
 
-	ix, err := index.Open(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
 	if err != nil {
 		return nil, err
 	}

@@ -114,7 +114,8 @@ type QueryStats struct {
 	WallTime      time.Duration
 	IO            storage.Stats
 	SimulatedTime time.Duration // under the default cost model
-	SwitchedToDIL bool          // HDIL only
+	SwitchedToDIL bool          // HDIL only: true if any shard switched
+	Shards        int           // index partitions the query fanned out over
 }
 
 // Search runs a free-text conjunctive keyword query with default options
@@ -233,10 +234,16 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 }
 
 // runQuery dispatches to the selected query processor, reporting whether
-// the results are naive (element-granularity) IDs.
+// the results are naive (element-granularity) IDs. Every processor goes
+// through its sharded executor: on a flat (1-shard) index that is a
+// direct call on this goroutine; on a partitioned index it fans out one
+// merge per shard under the engine's worker-pool bound, with per-shard
+// child execution contexts derived from qopts.Exec.
 func (e *Engine) runQuery(keywords []string, opts SearchOptions, qopts query.Options, stats *QueryStats) ([]query.Result, bool, error) {
+	stats.Shards = e.ix.NumShards()
+	workers := e.cfg.ShardWorkers
 	if opts.Disjunctive {
-		rs, err := query.Disjunctive(e.ix, keywords, qopts)
+		rs, err := query.DisjunctiveSharded(e.ix, keywords, qopts, workers)
 		return rs, false, err
 	}
 	var (
@@ -245,19 +252,19 @@ func (e *Engine) runQuery(keywords []string, opts SearchOptions, qopts query.Opt
 	)
 	switch opts.Algorithm {
 	case AlgoDIL:
-		rs, err = query.DIL(e.ix, keywords, qopts)
+		rs, err = query.DILSharded(e.ix, keywords, qopts, workers)
 	case AlgoRDIL:
-		rs, err = query.RDIL(e.ix, keywords, qopts)
+		rs, err = query.RDILSharded(e.ix, keywords, qopts, workers)
 	case AlgoHDIL:
 		var trace *query.HDILTrace
-		rs, trace, err = query.HDIL(e.ix, keywords, qopts, storage.DefaultCostModel())
+		rs, trace, err = query.HDILSharded(e.ix, keywords, qopts, workers, storage.DefaultCostModel())
 		if trace != nil {
 			stats.SwitchedToDIL = trace.SwitchedToDIL
 		}
 	case AlgoNaiveID:
-		rs, err = query.NaiveID(e.ix, keywords, qopts)
+		rs, err = query.NaiveIDSharded(e.ix, keywords, qopts, workers)
 	case AlgoNaiveRank:
-		rs, err = query.NaiveRank(e.ix, keywords, qopts)
+		rs, err = query.NaiveRankSharded(e.ix, keywords, qopts, workers)
 	default:
 		err = fmt.Errorf("xrank: unknown algorithm %d", opts.Algorithm)
 	}

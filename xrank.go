@@ -78,6 +78,17 @@ type Config struct {
 	// PoolPages is the per-file buffer pool capacity in pages (default 128).
 	PoolPages int
 
+	// Shards partitions the index by the Dewey document-ID component:
+	// each document's postings live entirely in shard
+	// index.ShardOf(doc, Shards), and queries run one merge per shard in
+	// parallel, combining the per-shard top-m's. Results — scores, order,
+	// tie-breaks — are identical for every shard count; see DESIGN.md.
+	// Zero or one builds the flat single-directory layout.
+	Shards int
+	// ShardWorkers bounds the per-query worker pool for sharded
+	// execution. Zero means one worker per shard (clamped to GOMAXPROCS).
+	ShardWorkers int
+
 	// AnswerTags optionally restricts results to elements with these tags
 	// (the pre-defined answer nodes of Section 2.2). Each raw result is
 	// mapped to its nearest ancestor-or-self answer node; HTML documents'
@@ -116,7 +127,7 @@ type Engine struct {
 	cfg     Config
 	col     *xmldoc.Collection
 	ranks   []float64
-	ix      *index.Index
+	ix      *index.Sharded
 	tempDir bool
 	built   bool
 	docs    []docEntry // document store manifest
@@ -262,12 +273,12 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	e.ranks = res.Scores
 
 	t1 := time.Now()
-	stats, err := index.Build(e.col, e.ranks, dir, index.BuildOptions{
+	stats, err := index.BuildSharded(e.col, e.ranks, dir, index.BuildOptions{
 		RankFraction:  e.cfg.RankFraction,
 		MaxPositions:  e.cfg.MaxPositions,
 		SkipNaive:     e.cfg.SkipNaive,
 		CompressDewey: e.cfg.CompressDewey,
-	})
+	}, e.cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +289,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	if err := e.persist(dir); err != nil {
 		return nil, err
 	}
-	ix, err := index.Open(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +342,25 @@ func (e *Engine) NumDocs() int { return e.col.NumDocs() }
 
 // NumElements returns the number of element nodes.
 func (e *Engine) NumElements() int { return e.col.NumElements() }
+
+// NumShards returns the number of index partitions (1 for a flat index,
+// 0 before Build).
+func (e *Engine) NumShards() int {
+	if e.ix == nil {
+		return 0
+	}
+	return e.ix.NumShards()
+}
+
+// ShardIOStats returns cumulative page-level I/O statistics per shard
+// since the last ColdCache, in shard order (nil before Build). Like
+// IOStats, these are engine-global counters summed over every query.
+func (e *Engine) ShardIOStats() []storage.Stats {
+	if e.ix == nil {
+		return nil
+	}
+	return e.ix.ShardIOStats()
+}
 
 // ElemRank returns the computed ElemRank of the element identified by the
 // dotted Dewey ID (e.g. "0.2.1"), or an error if it does not exist.
