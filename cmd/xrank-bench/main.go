@@ -40,6 +40,7 @@ func main() {
 		shardDocs   = flag.Int("sharddocs", 8, "XMark-shaped documents in the shard-experiment corpus")
 		shardScale  = flag.Float64("shardscale", 4.0, "shard-experiment corpus scale factor")
 		shardJSON   = flag.String("shardjson", "BENCH_shard.json", "where the shard experiment writes its JSON report (empty: skip)")
+		baseline    = flag.String("baseline", "", "committed BENCH_shard.json to guard against (empty: no guard); exits 2 and emits a GitHub warning annotation on a >25% median-latency regression")
 	)
 	flag.Parse()
 
@@ -199,6 +200,23 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *shardJSON)
+		}
+		if *baseline != "" {
+			base, err := bench.ReadShardReport(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			g, err := bench.CompareShardReports(base, rep)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println("bench guard:", g)
+			if g.Regressed {
+				// ::warning:: renders as an annotation on the GitHub Actions
+				// run; the non-zero exit makes the step itself fail.
+				fmt.Printf("::warning title=bench regression::shard-bench %s\n", g)
+				os.Exit(2)
+			}
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"html/template"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -19,6 +20,9 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory (required)")
 	addr := fs.String("addr", ":8080", "listen address")
+	slowMS := fs.Int("slowlog-ms", 0, "slow-query log threshold in milliseconds (0 = engine default 250, negative disables)")
+	metrics := fs.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
@@ -28,13 +32,27 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer e.Close()
+	if *slowMS != 0 {
+		d := time.Duration(*slowMS) * time.Millisecond
+		if *slowMS < 0 {
+			d = -1
+		}
+		e.SlowLog().SetThreshold(d)
+	}
 	log.Printf("xrank: serving on %s (index %s)", *addr, *dir)
-	return http.ListenAndServe(*addr, newMux(e))
+	return http.ListenAndServe(*addr, newMux(e, muxOptions{metrics: *metrics, pprof: *pprofOn}))
 }
 
-// newMux builds the HTTP API: /api/search, /api/ancestors, and a minimal
-// HTML search page at /.
-func newMux(e *xrank.Engine) *http.ServeMux {
+// muxOptions selects the optional observability endpoints.
+type muxOptions struct {
+	metrics bool // serve /metrics (Prometheus text exposition)
+	pprof   bool // serve /debug/pprof/ (opt-in: exposes runtime internals)
+}
+
+// newMux builds the HTTP API: /api/search, /api/ancestors, /api/shards,
+// /api/slowlog, a minimal HTML search page at /, and — per opts —
+// /metrics and /debug/pprof/.
+func newMux(e *xrank.Engine, opts muxOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
@@ -119,6 +137,41 @@ func newMux(e *xrank.Engine) *http.ServeMux {
 			"shards":     shards,
 		})
 	})
+	mux.HandleFunc("/api/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		l := e.SlowLog()
+		entries := l.Entries()
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			v, err := strconv.Atoi(ls)
+			if err != nil || v < 1 {
+				http.Error(w, `bad "limit" parameter`, http.StatusBadRequest)
+				return
+			}
+			if v < len(entries) {
+				entries = entries[:v]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"threshold_ms": l.Threshold().Milliseconds(),
+			"total":        l.Total(),
+			"entries":      entries,
+		})
+	})
+	if opts.metrics {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := e.Metrics().WritePrometheus(w); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		})
+	}
+	if opts.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/api/ancestors", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")
 		anc, err := e.Ancestors(id)

@@ -27,7 +27,7 @@ func newTestEngine(t *testing.T) *xrank.Engine {
 }
 
 func TestServeSearchAPI(t *testing.T) {
-	mux := newMux(newTestEngine(t))
+	mux := newMux(newTestEngine(t), muxOptions{metrics: true})
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xql+language&m=5", nil))
@@ -71,7 +71,7 @@ func TestServeSearchAPI(t *testing.T) {
 
 func TestServeAncestorsAPI(t *testing.T) {
 	e := newTestEngine(t)
-	mux := newMux(e)
+	mux := newMux(e, muxOptions{metrics: true})
 	rs, err := e.Search("xql language")
 	if err != nil || len(rs) == 0 {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestServeAncestorsAPI(t *testing.T) {
 }
 
 func TestServeHTMLPage(t *testing.T) {
-	mux := newMux(newTestEngine(t))
+	mux := newMux(newTestEngine(t), muxOptions{metrics: true})
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/?q=xml", nil))
 	if rec.Code != 200 {

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// GuardThreshold is the tolerated latency growth before the CI guard
+// fails: the median across shard counts of new/baseline average-latency
+// ratios must stay at or below it. 1.25 — a 25% regression — leaves
+// room for runner noise (each ratio shares corpus, queries, and shard
+// count with its baseline; only the code changed).
+const GuardThreshold = 1.25
+
+// GuardResult is the verdict of one baseline comparison.
+type GuardResult struct {
+	// MedianRatio is the median over shard counts of the new run's
+	// average latency divided by the baseline's (1.0 = unchanged).
+	MedianRatio float64
+	// Ratios holds the per-shard-count ratios, in the baseline's order.
+	Ratios []float64
+	// Shards holds the shard counts the ratios correspond to.
+	Shards []int
+	// Regressed is true when MedianRatio exceeds GuardThreshold.
+	Regressed bool
+}
+
+func (g *GuardResult) String() string {
+	s := fmt.Sprintf("median latency ratio %.3f over shard counts %v (threshold %.2f)",
+		g.MedianRatio, g.Shards, GuardThreshold)
+	if g.Regressed {
+		return "REGRESSION: " + s
+	}
+	return "ok: " + s
+}
+
+// CompareShardReports checks a fresh shard report against a committed
+// baseline: for every shard count present in both, it takes the ratio of
+// average latencies, and fails when the median ratio exceeds
+// GuardThreshold. The median makes the guard robust to one noisy shard
+// count; requiring matching shard counts keeps the comparison
+// apples-to-apples. An error (rather than a regressed result) means the
+// reports cannot be compared at all.
+func CompareShardReports(baseline, current *ShardReport) (*GuardResult, error) {
+	if len(baseline.Runs) == 0 {
+		return nil, fmt.Errorf("bench: baseline report has no runs")
+	}
+	base := make(map[int]int64, len(baseline.Runs))
+	for _, r := range baseline.Runs {
+		base[r.Shards] = r.AvgLatencyMicros
+	}
+	g := &GuardResult{}
+	for _, r := range current.Runs {
+		b, ok := base[r.Shards]
+		if !ok {
+			continue
+		}
+		if b <= 0 || r.AvgLatencyMicros <= 0 {
+			return nil, fmt.Errorf("bench: non-positive latency at %d shards (baseline %dµs, current %dµs)",
+				r.Shards, b, r.AvgLatencyMicros)
+		}
+		g.Shards = append(g.Shards, r.Shards)
+		g.Ratios = append(g.Ratios, float64(r.AvgLatencyMicros)/float64(b))
+	}
+	if len(g.Ratios) == 0 {
+		return nil, fmt.Errorf("bench: no shard counts in common between baseline and current report")
+	}
+	sorted := append([]float64(nil), g.Ratios...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		g.MedianRatio = sorted[mid]
+	} else {
+		g.MedianRatio = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	g.Regressed = g.MedianRatio > GuardThreshold
+	return g, nil
+}
+
+// ReadShardReport loads a BENCH_shard.json artifact.
+func ReadShardReport(path string) (*ShardReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ShardReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}

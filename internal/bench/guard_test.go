@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func report(lat map[int]int64) *ShardReport {
+	r := &ShardReport{}
+	for _, sc := range []int{1, 2, 4, 8} {
+		if l, ok := lat[sc]; ok {
+			r.Runs = append(r.Runs, ShardRun{Shards: sc, AvgLatencyMicros: l})
+		}
+	}
+	return r
+}
+
+func TestCompareShardReports(t *testing.T) {
+	base := report(map[int]int64{1: 1000, 2: 600, 4: 400, 8: 350})
+
+	// Unchanged performance: ratio 1, no regression.
+	g, err := CompareShardReports(base, report(map[int]int64{1: 1000, 2: 600, 4: 400, 8: 350}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Regressed || math.Abs(g.MedianRatio-1) > 1e-9 {
+		t.Errorf("identical reports: %+v", g)
+	}
+
+	// One noisy shard count must not trip the guard: the median ignores it.
+	g, err = CompareShardReports(base, report(map[int]int64{1: 1000, 2: 600, 4: 400, 8: 3500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Regressed {
+		t.Errorf("single outlier tripped the guard: %+v", g)
+	}
+
+	// A across-the-board 30% slowdown must trip it.
+	g, err = CompareShardReports(base, report(map[int]int64{1: 1300, 2: 780, 4: 520, 8: 455}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Regressed || g.MedianRatio < 1.29 || g.MedianRatio > 1.31 {
+		t.Errorf("uniform 1.3x slowdown: %+v", g)
+	}
+
+	// Getting faster is never a regression.
+	g, err = CompareShardReports(base, report(map[int]int64{1: 500, 2: 300, 4: 200, 8: 175}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Regressed {
+		t.Errorf("speedup flagged as regression: %+v", g)
+	}
+
+	// Partial overlap compares only the common shard counts.
+	g, err = CompareShardReports(base, report(map[int]int64{1: 1000, 16: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ratios) != 1 || g.Shards[0] != 1 {
+		t.Errorf("partial overlap: %+v", g)
+	}
+
+	// Incomparable inputs are errors, not verdicts.
+	if _, err := CompareShardReports(&ShardReport{}, base); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := CompareShardReports(base, report(map[int]int64{16: 100})); err == nil {
+		t.Error("disjoint shard counts accepted")
+	}
+	if _, err := CompareShardReports(base, report(map[int]int64{1: 0})); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestReadShardReportRoundTrip(t *testing.T) {
+	r := report(map[int]int64{1: 1000, 2: 600})
+	r.Corpus = "xmark"
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := r.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShardReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Corpus != "xmark" || len(got.Runs) != 2 || got.Runs[1].AvgLatencyMicros != 600 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := ReadShardReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

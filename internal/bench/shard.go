@@ -26,12 +26,16 @@ import (
 // that also hold the rare keyword. Results are serialized to
 // BENCH_shard.json for CI trend tracking.
 
-// ShardRun is the measurement at one shard count.
+// ShardRun is the measurement at one shard count. Latency figures come
+// from the engine's own query-latency histogram (the interval between
+// two snapshots around the measured reps), not from harness-side timers:
+// the harness measures exactly what /metrics reports.
 type ShardRun struct {
 	Shards           int     `json:"shards"`
 	BuildMillis      int64   `json:"build_millis"`
-	AvgLatencyMicros int64   `json:"avg_latency_micros"` // mean over queries of min-of-reps wall time
-	QueriesPerSec    float64 `json:"queries_per_sec"`    // sequential: reps*queries / total wall
+	AvgLatencyMicros int64   `json:"avg_latency_micros"` // histogram interval mean over all measured reps
+	P50LatencyMicros int64   `json:"p50_latency_micros"` // histogram interval median (bucket-interpolated)
+	QueriesPerSec    float64 `json:"queries_per_sec"`    // sequential: interval count / interval sum
 	AvgReads         int64   `json:"avg_reads"`          // device page reads per query (shard-count invariant)
 	AvgResults       float64 `json:"avg_results"`
 }
@@ -109,9 +113,9 @@ func shardQueries() [][]string {
 
 // E10Shard builds the XMark-generator corpus at every shard count in
 // counts (which should include 1, the baseline) and measures the same
-// conjunctive queries against each. reps repetitions are run per query
-// and the minimum wall time kept — the standard way to strip scheduler
-// noise from a latency comparison.
+// conjunctive queries against each. reps repetitions are run per query;
+// the reported latency is the mean and median of the engine's own
+// query-latency histogram over the measured interval.
 func E10Shard(baseDir string, counts []int, docs int, scale float64, seed int64, topM int) (*Table, *ShardReport, error) {
 	xmls := shardCorpus(docs, scale, seed)
 	queries := shardQueries()
@@ -128,7 +132,7 @@ func E10Shard(baseDir string, counts []int, docs int, scale float64, seed int64,
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("E10 (extension): shard scaling, XMark-shape ×%d docs, rare+frequent conjunctions, top-%d", docs, topM),
-		Header: []string{"shards", "avg latency", "queries/s", "reads", "results"},
+		Header: []string{"shards", "avg latency", "p50 latency", "queries/s", "reads", "results"},
 		Comment: "Same corpus, same queries, same ranking at every shard count (the differential harness\n" +
 			"guards that). Shards missing the rare keyword are pruned before scanning a page, so both\n" +
 			"reads and latency fall as shards isolate the frequent word's list; the per-shard merges\n" +
@@ -164,11 +168,13 @@ func E10Shard(baseDir string, counts []int, docs int, scale float64, seed int64,
 		}
 		runtime.GC()
 
-		var latSum, total time.Duration
+		// The measured interval is the diff of the engine's query-latency
+		// histogram around the reps: the warmup pass above is excluded,
+		// and the numbers are exactly what the engine's /metrics reports.
+		before := e.QueryLatency(xrank.AlgoDIL.String())
 		var reads int64
 		var results float64
 		for _, q := range queries {
-			best := time.Duration(-1)
 			for r := 0; r < reps; r++ {
 				rs, stats, err := e.SearchDetailed(strings.Join(q, " "), xrank.SearchOptions{
 					TopM:      topM,
@@ -179,23 +185,23 @@ func E10Shard(baseDir string, counts []int, docs int, scale float64, seed int64,
 					e.Close()
 					return nil, nil, fmt.Errorf("bench: shard%d %v: %w", sc, q, err)
 				}
-				total += stats.WallTime
-				if best < 0 || stats.WallTime < best {
-					best = stats.WallTime
-				}
 				if r == 0 {
 					reads += stats.IO.Reads
 					results += float64(len(rs))
 				}
 			}
-			latSum += best
 		}
+		interval := e.QueryLatency(xrank.AlgoDIL.String()).Sub(before)
 		e.Close()
 
 		n := len(queries)
-		run.AvgLatencyMicros = (latSum / time.Duration(n)).Microseconds()
-		if total > 0 {
-			run.QueriesPerSec = float64(n*reps) / total.Seconds()
+		if want := int64(n * reps); interval.Count != want {
+			return nil, nil, fmt.Errorf("bench: shard%d histogram interval holds %d observations, want %d", sc, interval.Count, want)
+		}
+		run.AvgLatencyMicros = int64(interval.Mean() * 1e6)
+		run.P50LatencyMicros = int64(interval.Quantile(0.5) * 1e6)
+		if interval.Sum > 0 {
+			run.QueriesPerSec = float64(interval.Count) / interval.Sum
 		}
 		run.AvgReads = reads / int64(n)
 		run.AvgResults = results / float64(n)
@@ -204,6 +210,7 @@ func E10Shard(baseDir string, counts []int, docs int, scale float64, seed int64,
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", sc),
 			fmt.Sprintf("%.2fms", float64(run.AvgLatencyMicros)/1000),
+			fmt.Sprintf("%.2fms", float64(run.P50LatencyMicros)/1000),
 			fmt.Sprintf("%.0f", run.QueriesPerSec),
 			fmt.Sprintf("%d", run.AvgReads),
 			fmt.Sprintf("%.1f", run.AvgResults),

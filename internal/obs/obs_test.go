@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("xrank_test_total", "help", "algo", "DIL")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("xrank_test_total", "help", "algo", "DIL"); again != c {
+		t.Errorf("re-registration returned a different handle")
+	}
+	if other := r.Counter("xrank_test_total", "help", "algo", "RDIL"); other == c {
+		t.Errorf("different labels returned the same handle")
+	}
+	g := r.Gauge("xrank_test_gauge", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005) // lands in the (0.001, 0.01] bucket
+	}
+	h.Observe(5) // +Inf bucket
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-(100*0.005+5)) > 1e-9 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if s.Counts[1] != 100 || s.Counts[3] != 1 {
+		t.Errorf("bucket counts = %v", s.Counts)
+	}
+	// The median falls inside the second bucket; interpolation stays
+	// within its bounds.
+	q := s.Quantile(0.5)
+	if q <= 0.001 || q > 0.01 {
+		t.Errorf("p50 = %v, want in (0.001, 0.01]", q)
+	}
+	// Values in the +Inf bucket clamp to the top finite bound.
+	if q := s.Quantile(1); q != 0.1 {
+		t.Errorf("p100 = %v, want clamp to 0.1", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}
+
+func TestHistogramSnapshotSub(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets())
+	h.Observe(0.002)
+	before := h.Snapshot()
+	h.Observe(0.003)
+	h.Observe(0.004)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 {
+		t.Errorf("interval count = %d", d.Count)
+	}
+	if math.Abs(d.Sum-0.007) > 1e-9 {
+		t.Errorf("interval sum = %v", d.Sum)
+	}
+	if math.Abs(d.Mean()-0.0035) > 1e-9 {
+		t.Errorf("interval mean = %v", d.Mean())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xrank_queries_total", "Queries served.", "algo", "DIL").Add(3)
+	r.Counter("xrank_queries_total", "Queries served.", "algo", "HDIL").Add(2)
+	r.Gauge("xrank_index_shards", "Index partitions.").Set(4)
+	r.Histogram("xrank_query_latency_seconds", "Latency.", []float64{0.001, 0.01}, "algo", "DIL").Observe(0.002)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP xrank_queries_total Queries served.",
+		"# TYPE xrank_queries_total counter",
+		`xrank_queries_total{algo="DIL"} 3`,
+		`xrank_queries_total{algo="HDIL"} 2`,
+		"# TYPE xrank_index_shards gauge",
+		"xrank_index_shards 4",
+		"# TYPE xrank_query_latency_seconds histogram",
+		`xrank_query_latency_seconds_bucket{algo="DIL",le="0.001"} 0`,
+		`xrank_query_latency_seconds_bucket{algo="DIL",le="0.01"} 1`,
+		`xrank_query_latency_seconds_bucket{algo="DIL",le="+Inf"} 1`,
+		`xrank_query_latency_seconds_sum{algo="DIL"} 0.002`,
+		`xrank_query_latency_seconds_count{algo="DIL"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with several series.
+	if n := strings.Count(out, "# TYPE xrank_queries_total"); n != 1 {
+		t.Errorf("family header emitted %d times", n)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("xrank_esc_total", "", "q", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `xrank_esc_total{q="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	t0 := time.Now()
+	tr.RecordSpan("merge", t0.Add(time.Millisecond), 2*time.Millisecond)
+	tr.RecordSpan("open", t0, time.Millisecond)
+	tr.RecordSpan("merge", t0.Add(3*time.Millisecond), time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 3 || spans[0].Name != "open" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	sums := SumByName(spans)
+	if sums["merge"] != 3*time.Millisecond || sums["open"] != time.Millisecond {
+		t.Errorf("SumByName = %v", sums)
+	}
+}
+
+func TestSlowLogRingAndThreshold(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	if l.Observe(SlowLogEntry{Query: "fast", Wall: time.Millisecond}) {
+		t.Errorf("below-threshold query logged")
+	}
+	for i, q := range []string{"a", "b", "c", "d", "e"} {
+		if !l.Observe(SlowLogEntry{Query: q, Wall: time.Duration(11+i) * time.Millisecond}) {
+			t.Errorf("slow query %q not logged", q)
+		}
+	}
+	got := l.Entries()
+	if len(got) != 3 || got[0].Query != "e" || got[1].Query != "d" || got[2].Query != "c" {
+		t.Fatalf("entries = %+v", got)
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d", l.Total())
+	}
+	// Negative threshold disables logging entirely.
+	l.SetThreshold(-1)
+	if l.Observe(SlowLogEntry{Query: "x", Wall: time.Hour}) {
+		t.Errorf("disabled log accepted an entry")
+	}
+	// Zero threshold logs everything.
+	l.SetThreshold(0)
+	if !l.Observe(SlowLogEntry{Query: "y"}) {
+		t.Errorf("zero threshold rejected an entry")
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one registry from writer goroutines
+// (counters, gauges, histograms, slow log) while reader goroutines
+// scrape the Prometheus exposition and snapshot the slow log — the
+// serve-time access pattern. Run under -race this proves the registry
+// needs no external locking; afterwards the totals must be exact (no
+// lost increments).
+func TestRegistryConcurrency(t *testing.T) {
+	const (
+		writers = 16
+		perG    = 500
+	)
+	r := NewRegistry()
+	l := NewSlowLog(64, 0)
+	tr := NewTrace()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers: scrape until the writers finish.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = l.Entries()
+				_ = l.Total()
+				_ = tr.Spans()
+				r.FindHistogram("xrank_race_seconds").Snapshot()
+			}
+		}()
+	}
+
+	// Register before the writers race so FindHistogram above never sees nil.
+	h := r.Histogram("xrank_race_seconds", "", DefaultLatencyBuckets())
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(g int) {
+			defer ww.Done()
+			c := r.Counter("xrank_race_total", "")
+			ga := r.Gauge("xrank_race_gauge", "")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i) * 1e-5)
+				tr.RecordSpan("stage", time.Now(), time.Microsecond)
+				l.Observe(SlowLogEntry{Query: "q", Wall: time.Millisecond})
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.Counter("xrank_race_total", "").Value(); got != writers*perG {
+		t.Errorf("counter = %d, want %d", got, writers*perG)
+	}
+	if got := r.Gauge("xrank_race_gauge", "").Value(); got != writers*perG {
+		t.Errorf("gauge = %d, want %d", got, writers*perG)
+	}
+	if got := h.Snapshot().Count; got != writers*perG {
+		t.Errorf("histogram count = %d, want %d", got, writers*perG)
+	}
+	if got := l.Total(); got != writers*perG {
+		t.Errorf("slowlog total = %d, want %d", got, writers*perG)
+	}
+	if got := len(tr.Spans()); got != writers*perG {
+		t.Errorf("trace spans = %d, want %d", got, writers*perG)
+	}
+}

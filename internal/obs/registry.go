@@ -1,0 +1,402 @@
+// Package obs is the engine's observability kit: a stdlib-only metrics
+// registry (atomic counters, gauges and fixed-bucket latency histograms
+// with Prometheus text exposition), lightweight per-query span tracing,
+// and a bounded slow-query ring log. Everything is safe for concurrent
+// use: queries record while scrapers read.
+//
+// The registry deliberately implements the small subset of the
+// Prometheus data model the engine needs — no dependency, no metric
+// expiry, no exemplars. Metrics are identified by name plus an ordered
+// label list; registering the same identity twice returns the same
+// handle, so hot paths can resolve handles once and callers elsewhere
+// (tests, the bench harness) can look the same metric up by name.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bucket bounds are upper bounds
+// in ascending order; an implicit +Inf bucket catches the rest. Observe
+// is lock-free (atomic adds); Snapshot is a consistent-enough read for
+// monitoring (each field is atomically read, the set need not be a
+// single instant).
+type Histogram struct {
+	bounds []float64      // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, per-bucket (non-cumulative)
+	count  atomic.Int64
+	sumBit atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// DefaultLatencyBuckets spans 100µs to 10s, the range of a page-cached
+// merge up to a cold multi-shard scan, with roughly 2.5x steps (values
+// in seconds).
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+		0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // ascending upper bounds; Counts has one extra +Inf slot
+	Counts []int64   // per-bucket counts (non-cumulative)
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. A nil receiver (e.g.
+// from FindHistogram on an unregistered name) yields a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBit.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Sub returns s minus earlier, for measuring an interval between two
+// snapshots of the same histogram.
+func (s HistogramSnapshot) Sub(earlier HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count - earlier.Count,
+		Sum:    s.Sum - earlier.Sum,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i]
+		if i < len(earlier.Counts) {
+			d.Counts[i] -= earlier.Counts[i]
+		}
+	}
+	return d
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the bucket that contains it — the standard
+// histogram_quantile estimate. Values in the +Inf bucket clamp to the
+// highest finite bound. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: clamp
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// metricKind discriminates what a registry slot holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered time series: a metric family name plus one
+// concrete label set.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels string // rendered {k="v",...} or ""
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry holds all metrics of one engine. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric // key: name + labels
+	order   []string           // insertion order of keys, for stable output
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// renderLabels turns ["k","v","k2","v2"] into `{k="v",k2="v2"}`.
+// Panics on an odd-length list — label sets are compile-time shapes, not
+// runtime data.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %v", labels))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// lookup returns the slot for name+labels, creating it with mk if absent.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, mk func(*metric)) *metric {
+	key := name + renderLabels(labels)
+	r.mu.RLock()
+	m := r.metrics[key]
+	r.mu.RUnlock()
+	if m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as a different kind", key))
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.metrics[key]; m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %s re-registered as a different kind", key))
+		}
+		return m
+	}
+	m = &metric{name: name, help: help, kind: kind, labels: renderLabels(labels)}
+	mk(m)
+	r.metrics[key] = m
+	r.order = append(r.order, key)
+	return m
+}
+
+// Counter returns the counter for name+labels, registering it on first
+// use. labels is an ordered key,value,... list.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func(m *metric) {
+		m.counter = &Counter{}
+	}).counter
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func(m *metric) {
+		m.gauge = &Gauge{}
+	}).gauge
+}
+
+// Histogram returns the histogram for name+labels, registering it on
+// first use with the given bucket bounds. If the identity already
+// exists, the existing histogram is returned and bounds are ignored —
+// bucket layout is fixed at first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func(m *metric) {
+		m.hist = newHistogram(bounds)
+	}).hist
+}
+
+// FindHistogram returns the histogram registered under name+labels, or
+// nil — the read-only lookup the bench harness and tests use.
+func (r *Registry) FindHistogram(name string, labels ...string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if m := r.metrics[name+renderLabels(labels)]; m != nil && m.kind == kindHistogram {
+		return m.hist
+	}
+	return nil
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted in first-registration
+// order with one HELP/TYPE header each; series within a family are
+// sorted by label set, so the output is deterministic even when label
+// values were first observed in map-iteration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ms := make([]*metric, 0, len(r.order))
+	for _, k := range r.order {
+		ms = append(ms, r.metrics[k])
+	}
+	r.mu.RUnlock()
+
+	seen := make(map[string]bool, len(ms))
+	for _, m := range ms {
+		if !seen[m.name] {
+			seen[m.name] = true
+			typ := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[m.kind]
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+				return err
+			}
+			// Emit every series of this family here, keeping families
+			// contiguous even when registrations interleaved.
+			var fam []*metric
+			for _, s := range ms {
+				if s.name == m.name {
+					fam = append(fam, s)
+				}
+			}
+			sort.Slice(fam, func(i, j int) bool { return fam[i].labels < fam[j].labels })
+			for _, s := range fam {
+				if err := writeSeries(w, s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.gauge.Value())
+		return err
+	case kindHistogram:
+		s := m.hist.Snapshot()
+		cum := int64(0)
+		for i, bound := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.name, mergeLabels(m.labels, fmt.Sprintf(`le="%s"`, formatBound(bound))), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, mergeLabels(m.labels, `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", m.name, m.labels, s.Sum); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, s.Count)
+		return err
+	}
+	return nil
+}
+
+// mergeLabels appends extra (a rendered k="v" pair) to an existing
+// rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do:
+// shortest float representation.
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a query: a name, when it started, and how
+// long it ran. Spans from parallel shard workers overlap in time; the
+// trace records them all, so wall-clock accounting must look at the
+// engine-level stages (which are sequential) rather than summing every
+// span.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Trace collects the spans of one query. It is safe for concurrent use:
+// parallel shard workers record into the same trace through the query's
+// ExecContext family. Trace implements the storage.SpanRecorder
+// interface structurally (no import — storage must not depend on obs).
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// RecordSpan appends one finished span.
+func (t *Trace) RecordSpan(name string, start time.Time, d time.Duration) {
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans ordered by start time
+// (ties keep record order).
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// SumByName aggregates span durations by name — the per-stage rollup
+// that feeds the engine's stage histograms and the slow-query log
+// display.
+func SumByName(spans []Span) map[string]time.Duration {
+	m := make(map[string]time.Duration, len(spans))
+	for _, s := range spans {
+		m[s.Name] += s.Dur
+	}
+	return m
+}

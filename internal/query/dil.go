@@ -67,11 +67,16 @@ func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 			cs.close()
 		}
 	}()
+	// Spans: open (cursor setup + first advance per list) and merge (the
+	// Dewey-stack loop). An error abandons the in-flight span unrecorded;
+	// the engine's error counters carry that signal instead.
+	endOpen := opts.Exec.StartSpan("dil.open")
 	dfs := make([]int, len(keywords))
 	for i, kw := range keywords {
 		cur, ok := ix.DILCursorExec(opts.Exec, kw)
 		if !ok {
 			// A keyword absent from the corpus empties the conjunction.
+			endOpen()
 			return nil, nil
 		}
 		dfs[i] = cur.Count()
@@ -82,15 +87,18 @@ func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 			return nil, err
 		}
 	}
+	endOpen()
 	h := newResultHeap(opts.TopM)
 	m := newMerger(streams, opts)
 	if opts.Scoring == ScoreTFIDF {
 		m.base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
 	}
+	endMerge := opts.Exec.StartSpan("dil.merge")
 	if err := m.run(func(id dewey.ID, score float64) {
 		h.offer(Result{ID: id, Score: score})
 	}); err != nil {
 		return nil, err
 	}
+	endMerge()
 	return h.sorted(), nil
 }

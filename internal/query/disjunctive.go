@@ -38,6 +38,7 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 	}()
 	weights := make([]float64, 0, n)
 	dfs := make([]int, 0, n)
+	endOpen := opts.Exec.StartSpan("disj.open")
 	for i, kw := range keywords {
 		cur, ok := ix.DILCursorExec(opts.Exec, kw)
 		if !ok {
@@ -55,6 +56,7 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 			return nil, err
 		}
 	}
+	endOpen()
 	if len(streams) == 0 {
 		return nil, nil
 	}
@@ -65,6 +67,8 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, 0, len(streams))
+	// The merge runs until the function returns, so a deferred end covers it.
+	defer opts.Exec.StartSpan("disj.merge")()
 	for iter := 0; ; iter++ {
 		if iter%cancelCheckInterval == 0 {
 			if err := opts.Exec.Err(); err != nil {

@@ -65,6 +65,7 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 		cur.Close()
 		trace.SwitchedToDIL = true
 		trace.SwitchReason = "prefix-exhausted"
+		opts.Exec.StartSpan("hdil.switch")() // zero-length marker
 		res, err := DIL(ix, keywords, opts)
 		return res, trace, err
 	}
@@ -78,15 +79,18 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 			s.stream.close()
 		}
 	}()
+	endOpen := opts.Exec.StartSpan("hdil.open")
 	dilPages := int64(0)
 	for _, kw := range keywords {
 		cur, okc := ix.HDILRankCursorExec(opts.Exec, kw)
 		if !okc {
+			endOpen()
 			return nil, trace, nil
 		}
 		prober, okp := ix.HDILProberExec(opts.Exec, kw)
 		if !okp {
 			cur.Close()
+			endOpen()
 			return nil, trace, nil
 		}
 		cs := &cursorStream{cur: cur}
@@ -96,6 +100,7 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 		}
 		dilPages += ix.DILListBytes(kw)/storage.PageSize + 1
 	}
+	endOpen()
 	// A-priori DIL cost: a sequential scan of every keyword's full list
 	// (Section 4.4.2: "the expected time for DIL is relatively easy to
 	// compute a priori ... it mainly depends on ... the size of each query
@@ -114,7 +119,10 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 	}
 	startStats := ioStats()
 	ta := newTAState(opts, sources)
+	endRounds := opts.Exec.StartSpan("hdil.rounds")
 	switchToDIL := func(reason string) ([]Result, *HDILTrace, error) {
+		endRounds()
+		opts.Exec.StartSpan("hdil.switch")() // zero-length marker
 		trace.SwitchedToDIL = true
 		trace.SwitchReason = reason
 		trace.RankedEntriesRead = ta.entriesRead
@@ -155,6 +163,7 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 			}
 		}
 	}
+	endRounds()
 	trace.RankedEntriesRead = ta.entriesRead
 	return ta.heap.sorted(), trace, nil
 }

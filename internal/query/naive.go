@@ -32,12 +32,14 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 	curs := make([]*index.ListCursor, n)
 	heads := make([]*index.Posting, n)
 	dfs := make([]int, n)
+	endOpen := opts.Exec.StartSpan("naiveid.open")
 	for i, kw := range keywords {
 		cur, ok := ix.NaiveIDCursorExec(opts.Exec, kw)
 		if !ok {
 			for j := 0; j < i; j++ {
 				curs[j].Close()
 			}
+			endOpen()
 			return nil, nil
 		}
 		curs[i] = cur
@@ -48,16 +50,20 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 			return nil, err
 		}
 		if !ok {
+			endOpen()
 			return nil, nil
 		}
 		heads[i] = p
 	}
+	endOpen()
 	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
 	if opts.Scoring == ScoreTFIDF {
 		base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
 	}
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, n)
+	// The merge runs until the function returns, so a deferred end covers it.
+	defer opts.Exec.StartSpan("naiveid.merge")()
 	for iter := 0; ; iter++ {
 		if iter%cancelCheckInterval == 0 {
 			if err := opts.Exec.Err(); err != nil {
@@ -152,17 +158,20 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 	}
 	n := len(keywords)
 	curs := make([]*index.ListCursor, n)
+	endOpen := opts.Exec.StartSpan("naiverank.open")
 	for i, kw := range keywords {
 		cur, ok := ix.NaiveRankCursorExec(opts.Exec, kw)
 		if !ok {
 			for j := 0; j < i; j++ {
 				curs[j].Close()
 			}
+			endOpen()
 			return nil, nil
 		}
 		curs[i] = cur
 		defer cur.Close()
 	}
+	endOpen()
 	if n == 1 {
 		out := make([]Result, 0, opts.TopM)
 		for len(out) < opts.TopM {
@@ -194,6 +203,9 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 		}
 		return t
 	}
+	// The TA rounds run until the function returns, so a deferred end
+	// covers them.
+	defer opts.Exec.StartSpan("naiverank.rounds")()
 	for {
 		if err := opts.Exec.Err(); err != nil {
 			return nil, err

@@ -230,14 +230,17 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 			s.stream.close()
 		}
 	}()
+	endOpen := opts.Exec.StartSpan("rdil.open")
 	for _, kw := range keywords {
 		cur, okc := ix.RDILRankCursorExec(opts.Exec, kw)
 		if !okc {
+			endOpen()
 			return nil, nil
 		}
 		prober, okp := ix.RDILProberExec(opts.Exec, kw)
 		if !okp {
 			cur.Close()
+			endOpen()
 			return nil, nil
 		}
 		cs := &cursorStream{cur: cur}
@@ -246,7 +249,9 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 			return nil, err
 		}
 	}
+	endOpen()
 	ta := newTAState(opts, sources)
+	endRounds := opts.Exec.StartSpan("rdil.rounds")
 	for !ta.exhausted && !ta.done() {
 		for i := range sources {
 			ok, err := ta.step(i)
@@ -258,5 +263,6 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 			}
 		}
 	}
+	endRounds()
 	return ta.heap.sorted(), nil
 }

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -87,7 +88,9 @@ func runSharded(shards []*index.Index, opts Options, workers int,
 			}
 			so := opts
 			so.Exec = opts.Exec.Child()
+			endShard := so.Exec.StartSpan(fmt.Sprintf("shard%02d.exec", s))
 			rs, err := run(s, ix, so)
+			endShard()
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -106,7 +109,10 @@ func runSharded(shards []*index.Index, opts Options, workers int,
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return MergeTopM(perShard, opts.TopM), nil
+	endMerge := opts.Exec.StartSpan("merge.topk")
+	out := MergeTopM(perShard, opts.TopM)
+	endMerge()
+	return out, nil
 }
 
 // MergeTopM combines per-shard ranked prefixes into the global top-m:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // ErrBudgetExceeded is returned (wrapped) when a query's page-read budget
@@ -29,6 +30,10 @@ var ErrBudgetExceeded = errors.New("storage: page-read budget exceeded")
 //     many device reads, every further page access fails with an error
 //     wrapping ErrBudgetExceeded (admission control's per-query knob).
 //
+// It additionally carries an optional SpanRecorder so every layer can
+// report per-stage timings (StartSpan) into one per-query trace; see
+// SetSpanRecorder.
+//
 // A query that fans out across index shards gives each parallel branch a
 // Child context: children share the parent's cancellation, deadline,
 // read budget and sticky failure (one family-wide pool of all three),
@@ -50,14 +55,24 @@ type ExecContext struct {
 }
 
 // execShared is the state one query's whole ExecContext family shares:
-// the device-read budget and the sticky failure. It has its own mutex so
-// budget accounting across parallel shard workers stays consistent
-// without serializing their per-branch stats updates.
+// the device-read budget, the sticky failure, and the span recorder. It
+// has its own mutex so budget accounting across parallel shard workers
+// stays consistent without serializing their per-branch stats updates.
 type execShared struct {
 	mu       sync.Mutex
 	maxReads int64
 	reads    int64 // device reads across the whole family
 	err      error // sticky failure (budget exhaustion or Fail)
+	recorder SpanRecorder
+}
+
+// SpanRecorder receives finished per-stage spans. The engine installs
+// one per query (an obs.Trace satisfies this structurally); every layer
+// below reports stage timings through StartSpan without knowing where
+// they go. Implementations must be safe for concurrent use — parallel
+// shard branches record into the same recorder.
+type SpanRecorder interface {
+	RecordSpan(name string, start time.Time, d time.Duration)
 }
 
 // NewExecContext creates an execution context for one query. A nil ctx
@@ -77,6 +92,41 @@ func (ec *ExecContext) SetBudget(maxReads int64) {
 	ec.shared.mu.Lock()
 	ec.shared.maxReads = maxReads
 	ec.shared.mu.Unlock()
+}
+
+// SetSpanRecorder installs the per-stage span sink for this query's
+// whole ExecContext family (children created before or after see it
+// too, since the recorder lives in the shared state). Call before the
+// query starts; a nil receiver is a no-op.
+func (ec *ExecContext) SetSpanRecorder(r SpanRecorder) {
+	if ec == nil {
+		return
+	}
+	ec.shared.mu.Lock()
+	ec.shared.recorder = r
+	ec.shared.mu.Unlock()
+}
+
+// StartSpan begins a named stage and returns the function that ends it,
+// recording the elapsed time into the family's SpanRecorder:
+//
+//	defer ec.StartSpan("dil.merge")()
+//
+// A nil receiver or an unset recorder returns a no-op, so span-annotated
+// code costs nothing for callers that don't trace (index builds, legacy
+// single-tenant paths). Safe to call from parallel shard branches.
+func (ec *ExecContext) StartSpan(name string) func() {
+	if ec == nil {
+		return func() {}
+	}
+	ec.shared.mu.Lock()
+	r := ec.shared.recorder
+	ec.shared.mu.Unlock()
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.RecordSpan(name, start, time.Since(start)) }
 }
 
 // Child derives an execution context for one parallel branch of this

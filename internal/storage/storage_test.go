@@ -467,3 +467,52 @@ func TestExecContextCancellation(t *testing.T) {
 		t.Errorf("refused read still recorded: %+v", s)
 	}
 }
+
+// spanSink is a minimal SpanRecorder for tests.
+type spanSink struct {
+	mu    sync.Mutex
+	spans []string
+	durs  []time.Duration
+}
+
+func (s *spanSink) RecordSpan(name string, _ time.Time, d time.Duration) {
+	s.mu.Lock()
+	s.spans = append(s.spans, name)
+	s.durs = append(s.durs, d)
+	s.mu.Unlock()
+}
+
+func TestExecContextSpans(t *testing.T) {
+	// Without a recorder (or with a nil receiver) StartSpan is a no-op.
+	var nilEC *ExecContext
+	nilEC.StartSpan("x")()
+	ec := NewExecContext(context.Background())
+	ec.StartSpan("unrecorded")()
+
+	sink := &spanSink{}
+	ec.SetSpanRecorder(sink)
+	end := ec.StartSpan("stage")
+	time.Sleep(time.Millisecond)
+	end()
+	// Children share the family's recorder, including ones created
+	// before the span starts and ones recording concurrently.
+	child := ec.Child()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child.StartSpan("branch")()
+		}()
+	}
+	wg.Wait()
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.spans) != 5 || sink.spans[0] != "stage" {
+		t.Fatalf("spans = %v", sink.spans)
+	}
+	if sink.durs[0] < time.Millisecond {
+		t.Errorf("stage duration = %v, want >= 1ms", sink.durs[0])
+	}
+}

@@ -1,0 +1,114 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzXMLRoundTrip checks parse → serialize → parse against two
+// invariants:
+//
+//   - WriteXML output is always well-formed: whatever ParseXML accepted
+//     must be parseable again, and the reparse preserves the tree shape
+//     (tags, kinds, ids, hyperlinks, child structure — hence Dewey IDs).
+//   - serialization is a fixpoint after one round. Token positions may
+//     legitimately shift on the first round trip (WriteXML emits an
+//     element's concatenated text before its children, see its doc
+//     comment), but a second round trip must change nothing at all.
+func FuzzXMLRoundTrip(f *testing.F) {
+	seeds := []string{
+		figure1,
+		// XMark-shaped
+		`<site><regions><europe><item id="item0"><name>gold watch</name>` +
+			`<description><text>fine craftsmanship</text></description>` +
+			`<incategory refs="cat1 cat2"/></item></europe></regions></site>`,
+		// DBLP-shaped
+		`<dblp><article key="journals/GuoSBS03"><author>Lin Guo</author>` +
+			`<title>Ranked Keyword Search over XML</title><year>2003</year>` +
+			`<cite ref="2"/><cite xlink="xql#intro">XQL</cite></article></dblp>`,
+		// HTML-shaped markup (parsed as XML here)
+		`<html><body><h1>Workshop</h1><p>xml search <a href="xmark#item0">link</a></p></body></html>`,
+		// attribute / entity / interleaved-text torture
+		`<a id="1" ref="2" xlink="doc#frag"><b k="v&amp;w">x &lt; y</b><c/>tail &quot;q&quot;</a>`,
+		`<a><b/>between<b/></a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		doc1, err := ParseXML(7, "fuzz", strings.NewReader(s), nil)
+		if err != nil {
+			return
+		}
+		x1 := mustSerialize(t, doc1)
+		doc2, err := ParseXML(7, "fuzz", strings.NewReader(x1), nil)
+		if err != nil {
+			t.Fatalf("serialized form does not reparse: %v\ninput: %q\nserialized: %q", err, s, x1)
+		}
+		sameShape(t, doc1.Root, doc2.Root, "/")
+
+		x2 := mustSerialize(t, doc2)
+		doc3, err := ParseXML(7, "fuzz", strings.NewReader(x2), nil)
+		if err != nil {
+			t.Fatalf("second serialization does not reparse: %v\nserialized: %q", err, x2)
+		}
+		if x3 := mustSerialize(t, doc3); x2 != x3 {
+			t.Fatalf("serialization is not a fixpoint:\nround 2: %q\nround 3: %q", x2, x3)
+		}
+		sameExact(t, doc2.Root, doc3.Root, "/")
+	})
+}
+
+func mustSerialize(t *testing.T, doc *Document) string {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteXML(&b, doc.Root, 0); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// sameShape asserts the reparse preserved everything except token
+// positions and text layout.
+func sameShape(t *testing.T, a, b *Element, where string) {
+	t.Helper()
+	if a.Tag != b.Tag || a.Kind != b.Kind || a.XMLID != b.XMLID || a.Ord != b.Ord {
+		t.Fatalf("%s: element drifted: %s/%v/%q/%d vs %s/%v/%q/%d",
+			where, a.Tag, a.Kind, a.XMLID, a.Ord, b.Tag, b.Kind, b.XMLID, b.Ord)
+	}
+	if len(a.Refs) != len(b.Refs) {
+		t.Fatalf("%s: %d refs vs %d", where, len(a.Refs), len(b.Refs))
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			t.Fatalf("%s: ref %d: %+v vs %+v", where, i, a.Refs[i], b.Refs[i])
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		t.Fatalf("%s: %d children vs %d", where, len(a.Children), len(b.Children))
+	}
+	for i := range a.Children {
+		sameShape(t, a.Children[i], b.Children[i], where+a.Tag+"/")
+	}
+}
+
+// sameExact additionally requires identical text, tokens, and token
+// positions — the full data model.
+func sameExact(t *testing.T, a, b *Element, where string) {
+	t.Helper()
+	sameShape(t, a, b, where)
+	if a.Text != b.Text {
+		t.Fatalf("%s: text %q vs %q", where, a.Text, b.Text)
+	}
+	if len(a.Tokens) != len(b.Tokens) {
+		t.Fatalf("%s: %d tokens vs %d", where, len(a.Tokens), len(b.Tokens))
+	}
+	for i := range a.Tokens {
+		if a.Tokens[i] != b.Tokens[i] {
+			t.Fatalf("%s: token %d: %+v vs %+v", where, i, a.Tokens[i], b.Tokens[i])
+		}
+	}
+	for i := range a.Children {
+		sameExact(t, a.Children[i], b.Children[i], where+a.Tag+"/")
+	}
+}

@@ -35,12 +35,12 @@ func writeXML(w io.Writer, e *Element, maxDepth, depth int) error {
 		return err
 	}
 	if e.XMLID != "" {
-		if _, err := fmt.Fprintf(w, " id=%q", e.XMLID); err != nil {
+		if _, err := fmt.Fprintf(w, ` id="%s"`, escapeAttr(e.XMLID)); err != nil {
 			return err
 		}
 	}
 	for _, a := range attrs {
-		if _, err := fmt.Fprintf(w, " %s=%q", a.Tag, a.Text); err != nil {
+		if _, err := fmt.Fprintf(w, ` %s="%s"`, a.Tag, escapeAttr(a.Text)); err != nil {
 			return err
 		}
 	}
@@ -49,7 +49,7 @@ func writeXML(w io.Writer, e *Element, maxDepth, depth int) error {
 		if r.Kind == RefXLink {
 			name = "xlink"
 		}
-		if _, err := fmt.Fprintf(w, " %s=%q", name, r.Target); err != nil {
+		if _, err := fmt.Fprintf(w, ` %s="%s"`, name, escapeAttr(r.Target)); err != nil {
 			return err
 		}
 	}
@@ -83,3 +83,10 @@ func writeXML(w io.Writer, e *Element, maxDepth, depth int) error {
 var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
 
 func escapeText(s string) string { return textEscaper.Replace(s) }
+
+// escapeAttr escapes a double-quoted attribute value. Go's %q escaping
+// is not XML escaping: a quote in the value would terminate the
+// attribute early on reparse.
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,155 @@
+package xrank
+
+import (
+	"time"
+
+	"xrank/internal/obs"
+)
+
+// Default slow-query log settings; see Config.SlowQueryMillis and
+// Config.SlowLogSize.
+const (
+	defaultSlowQueryThreshold = 250 * time.Millisecond
+	defaultSlowLogSize        = 128
+)
+
+// engineMetrics wires one engine's observability: the metrics registry
+// served at /metrics and the bounded slow-query log served at
+// /api/slowlog. Every handle is safe for concurrent use, so query
+// goroutines record without coordination.
+//
+// Per-algorithm and per-stage series are resolved through the registry
+// on each query (a get-or-create map lookup); the label-free handles
+// below are resolved once at construction.
+type engineMetrics struct {
+	reg  *obs.Registry
+	slow *obs.SlowLog
+
+	pageReads *obs.Counter
+	seqReads  *obs.Counter
+	randReads *obs.Counter
+	cacheHits *obs.Counter
+	slowTotal *obs.Counter
+	switches  *obs.Counter
+	shards    *obs.Gauge
+	inflight  *obs.Gauge
+}
+
+// Metric family names and help strings, shared by the per-query
+// recording path and by anyone reading the exposition.
+const (
+	metricQueries     = "xrank_queries_total"
+	metricQueryErrors = "xrank_query_errors_total"
+	metricLatency     = "xrank_query_latency_seconds"
+	metricStage       = "xrank_query_stage_seconds"
+
+	helpQueries     = "Queries served, by algorithm (including failed ones)."
+	helpQueryErrors = "Queries that ended in an error, by algorithm."
+	helpLatency     = "End-to-end wall time of successful queries, by algorithm."
+	helpStage       = "Per-stage time within queries, by span name."
+)
+
+func newEngineMetrics(cfg *Config) *engineMetrics {
+	threshold := time.Duration(cfg.SlowQueryMillis) * time.Millisecond
+	switch {
+	case cfg.SlowQueryMillis == 0:
+		threshold = defaultSlowQueryThreshold
+	case cfg.SlowQueryMillis < 0:
+		threshold = -1 // disabled
+	}
+	size := cfg.SlowLogSize
+	if size <= 0 {
+		size = defaultSlowLogSize
+	}
+	r := obs.NewRegistry()
+	return &engineMetrics{
+		reg:       r,
+		slow:      obs.NewSlowLog(size, threshold),
+		pageReads: r.Counter("xrank_page_reads_total", "Device page reads attributed to queries."),
+		seqReads:  r.Counter("xrank_seq_reads_total", "Query page reads classified sequential."),
+		randReads: r.Counter("xrank_rand_reads_total", "Query page reads classified random."),
+		cacheHits: r.Counter("xrank_cache_hits_total", "Query page accesses absorbed by a buffer pool."),
+		slowTotal: r.Counter("xrank_slow_queries_total", "Queries at or above the slow-query threshold."),
+		switches:  r.Counter("xrank_hdil_switches_total", "HDIL queries where at least one shard switched to DIL."),
+		shards:    r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
+		inflight:  r.Gauge("xrank_inflight_queries", "Queries currently executing."),
+	}
+}
+
+// algoLabel is the metrics label for one query's strategy. Disjunctive
+// queries ignore SearchOptions.Algorithm, so they get their own label
+// rather than being misattributed to the default processor.
+func algoLabel(opts SearchOptions) string {
+	if opts.Disjunctive {
+		return "Disjunctive"
+	}
+	return opts.Algorithm.String()
+}
+
+// queryStarted marks one query in flight.
+func (m *engineMetrics) queryStarted() { m.inflight.Add(1) }
+
+// queryFinished records one completed query — successful or not — into
+// the registry and, if slow enough (or failed and slow enough), the
+// slow-query log. stats must have its WallTime/IO/Trace fields filled.
+func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err error) {
+	m.inflight.Add(-1)
+	m.reg.Counter(metricQueries, helpQueries, "algo", algo).Inc()
+	m.pageReads.Add(stats.IO.Reads)
+	m.seqReads.Add(stats.IO.SeqReads)
+	m.randReads.Add(stats.IO.RandReads)
+	m.cacheHits.Add(stats.IO.CacheHits)
+	if stats.SwitchedToDIL {
+		m.switches.Inc()
+	}
+	if err != nil {
+		m.reg.Counter(metricQueryErrors, helpQueryErrors, "algo", algo).Inc()
+	} else {
+		// Latency histograms describe successful queries only: a query
+		// aborted by cancellation or budget exhaustion says nothing about
+		// how long the work takes.
+		m.reg.Histogram(metricLatency, helpLatency, obs.DefaultLatencyBuckets(), "algo", algo).
+			Observe(stats.WallTime.Seconds())
+	}
+	for name, d := range obs.SumByName(stats.Trace) {
+		m.reg.Histogram(metricStage, helpStage, obs.DefaultLatencyBuckets(), "stage", name).
+			Observe(d.Seconds())
+	}
+	entry := obs.SlowLogEntry{
+		Time:      time.Now(),
+		Query:     q,
+		Algorithm: algo,
+		Shards:    stats.Shards,
+		Wall:      stats.WallTime,
+		Reads:     stats.IO.Reads,
+		CacheHits: stats.IO.CacheHits,
+		Spans:     stats.Trace,
+	}
+	if err != nil {
+		entry.Err = err.Error()
+	}
+	if m.slow.Observe(entry) {
+		m.slowTotal.Inc()
+	}
+}
+
+// Metrics returns the engine's metrics registry: per-algorithm query and
+// error counters, latency and per-stage histograms, I/O counters, and
+// shard/in-flight gauges. Serve it with Registry.WritePrometheus (the
+// bundled HTTP server's /metrics endpoint does exactly that). Never nil.
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// SlowLog returns the engine's bounded slow-query log. Queries whose
+// wall time reaches Config.SlowQueryMillis are recorded — query text,
+// algorithm, shard fan-out, I/O, and the per-stage span trace. Never
+// nil; with a negative threshold the log stays empty.
+func (e *Engine) SlowLog() *obs.SlowLog { return e.met.slow }
+
+// QueryLatency returns a snapshot of the engine's query-latency
+// histogram for one algorithm label (e.g. "DIL", "HDIL",
+// "Disjunctive"), or a zero snapshot if no successful query with that
+// label has been recorded. The bench harness diffs two snapshots around
+// a measured run instead of keeping its own timers.
+func (e *Engine) QueryLatency(algo string) obs.HistogramSnapshot {
+	return e.met.reg.FindHistogram(metricLatency, "algo", algo).Snapshot()
+}

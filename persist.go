@@ -134,5 +134,6 @@ func OpenEngine(dir string) (*Engine, error) {
 	}
 	e.ix = ix
 	e.built = true
+	e.met.shards.Set(int64(ix.NumShards()))
 	return e, nil
 }

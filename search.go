@@ -8,6 +8,7 @@ import (
 	"unicode/utf8"
 
 	"xrank/internal/dewey"
+	"xrank/internal/obs"
 	"xrank/internal/query"
 	"xrank/internal/storage"
 	"xrank/internal/xmldoc"
@@ -116,6 +117,13 @@ type QueryStats struct {
 	SimulatedTime time.Duration // under the default cost model
 	SwitchedToDIL bool          // HDIL only: true if any shard switched
 	Shards        int           // index partitions the query fanned out over
+
+	// Trace holds the per-stage spans recorded while the query ran:
+	// engine stages (tokenize, execute, materialize), algorithm stages
+	// (e.g. dil.open, dil.merge, rdil.rounds, hdil.switch), and on a
+	// partitioned index the per-shard fan-out (shardNN.exec, merge.topk).
+	// Spans are sorted by start time; parallel shard spans overlap.
+	Trace []obs.Span
 }
 
 // Search runs a free-text conjunctive keyword query with default options
@@ -165,8 +173,13 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 	if e.ix == nil {
 		return nil, nil, fmt.Errorf("xrank: engine not built")
 	}
+	trace := obs.NewTrace()
+	start := time.Now()
 	keywords := tokenizeQuery(q)
+	trace.RecordSpan("tokenize", start, time.Since(start))
 	if len(keywords) == 0 {
+		// A keyword-free query is an invalid request, not a served query:
+		// it never reaches the metrics.
 		return nil, nil, fmt.Errorf("xrank: query %q contains no keywords", q)
 	}
 	if opts.TopM <= 0 {
@@ -181,13 +194,32 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 	if opts.MaxPageReads > 0 {
 		ec.SetBudget(opts.MaxPageReads)
 	}
+	ec.SetSpanRecorder(trace)
 	stats := &QueryStats{Algorithm: opts.Algorithm, Keywords: keywords}
-	start := time.Now()
 
-	// Answer-node collapsing and tombstone filtering shrink the raw
-	// result set, so over-fetch when either is active; if a full raw
-	// result set still collapses below topM, retry once with a larger
-	// factor (see the overfetch constants).
+	e.met.queryStarted()
+	out, err := e.searchLoop(keywords, opts, ec, stats)
+
+	// The single finish point: successful and failed queries alike get
+	// their wall time, I/O attribution and span trace, and are recorded
+	// into the engine's metrics registry and slow-query log.
+	stats.WallTime = time.Since(start)
+	stats.IO = ec.Stats()
+	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
+	stats.Trace = trace.Spans()
+	e.met.queryFinished(algoLabel(opts), q, stats, err)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}
+
+// searchLoop runs the over-fetch/materialize loop of one query under its
+// execution context. Answer-node collapsing and tombstone filtering
+// shrink the raw result set, so it over-fetches when either is active;
+// if a full raw result set still collapses below topM, it retries once
+// with a larger factor (see the overfetch constants).
+func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.ExecContext, stats *QueryStats) ([]SearchResult, error) {
 	overfetch := len(e.cfg.AnswerTags) > 0 || e.hasTombstones()
 	mult := 1
 	if overfetch {
@@ -211,26 +243,26 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 		}
 		qopts.Exec = ec
 
+		endExec := ec.StartSpan("execute")
 		rs, naive, err := e.runQuery(keywords, opts, qopts, stats)
+		endExec()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
+		endMat := ec.StartSpan("materialize")
 		out, err = e.materialize(rs, naive, opts.TopM)
+		endMat()
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if len(out) >= opts.TopM || !overfetch || mult > overfetchBase || len(rs) < qopts.TopM {
 			// Done: topM filled, nothing collapsed, already retried, or
 			// the raw result set was not even full (fetching more raw
 			// results cannot yield more collapsed ones).
-			break
+			return out, nil
 		}
 		mult *= overfetchRetry
 	}
-	stats.WallTime = time.Since(start)
-	stats.IO = ec.Stats()
-	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
-	return out, stats, nil
 }
 
 // runQuery dispatches to the selected query processor, reporting whether

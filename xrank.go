@@ -95,6 +95,14 @@ type Config struct {
 	// roots are always answer nodes. Empty means every element is an
 	// answer node.
 	AnswerTags []string
+
+	// SlowQueryMillis is the slow-query log threshold in milliseconds:
+	// queries whose wall time reaches it are recorded (see Engine.SlowLog).
+	// Zero selects the default (250 ms); negative disables the log.
+	SlowQueryMillis int
+	// SlowLogSize caps how many entries the slow-query ring log keeps
+	// (default 128); older entries are overwritten.
+	SlowLogSize int
 }
 
 func (c *Config) fill() {
@@ -131,6 +139,7 @@ type Engine struct {
 	tempDir bool
 	built   bool
 	docs    []docEntry // document store manifest
+	met     *engineMetrics
 
 	// mu guards deleted. Queries may run concurrently; DeleteDoc may run
 	// concurrently with them.
@@ -171,7 +180,7 @@ func NewEngine(cfg *Config) *Engine {
 		c = *cfg
 	}
 	c.fill()
-	return &Engine{cfg: c, col: xmldoc.NewCollection()}
+	return &Engine{cfg: c, col: xmldoc.NewCollection(), met: newEngineMetrics(&c)}
 }
 
 // AddXML parses and adds an XML document under a collection-unique name
@@ -295,6 +304,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	}
 	e.ix = ix
 	e.built = true
+	e.met.shards.Set(int64(ix.NumShards()))
 	return info, nil
 }
 
