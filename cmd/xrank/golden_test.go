@@ -117,7 +117,7 @@ func normalizeMetrics(body []byte) []byte {
 	return bytes.Join(lines, []byte("\n"))
 }
 
-func get(t *testing.T, mux *http.ServeMux, url string) *httptest.ResponseRecorder {
+func get(t *testing.T, mux http.Handler, url string) *httptest.ResponseRecorder {
 	t.Helper()
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))

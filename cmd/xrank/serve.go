@@ -10,6 +10,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -23,6 +24,7 @@ func cmdServe(args []string) error {
 	slowMS := fs.Int("slowlog-ms", 0, "slow-query log threshold in milliseconds (0 = engine default 250, negative disables)")
 	metrics := fs.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/")
+	failDegraded := fs.Bool("fail-on-degraded", false, "fail queries (503) instead of serving partial results when shards are excluded")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
@@ -32,6 +34,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	defer e.Close()
+	e.SetFailOnDegraded(*failDegraded)
 	if *slowMS != 0 {
 		d := time.Duration(*slowMS) * time.Millisecond
 		if *slowMS < 0 {
@@ -49,10 +52,30 @@ type muxOptions struct {
 	pprof   bool // serve /debug/pprof/ (opt-in: exposes runtime internals)
 }
 
+// withRecovery wraps a handler so a panicking request logs the stack,
+// increments xrank_http_panics_total, and answers 500 — one bad request
+// never takes down the server or leaves the client hanging.
+func withRecovery(e *xrank.Engine, next http.Handler) http.Handler {
+	panics := e.Metrics().Counter("xrank_http_panics_total", "HTTP requests that panicked and were answered with a 500.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				panics.Inc()
+				log.Printf("http: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				// Best effort: if the handler already wrote a status line
+				// this is a no-op and the client sees a truncated body.
+				http.Error(w, "internal server error", http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
 // newMux builds the HTTP API: /api/search, /api/ancestors, /api/shards,
 // /api/slowlog, a minimal HTML search page at /, and — per opts —
-// /metrics and /debug/pprof/.
-func newMux(e *xrank.Engine, opts muxOptions) *http.ServeMux {
+// /metrics and /debug/pprof/. The whole mux sits behind the
+// panic-recovery middleware.
+func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
@@ -109,18 +132,25 @@ func newMux(e *xrank.Engine, opts muxOptions) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
+		resp := map[string]interface{}{
 			"query":      q,
 			"algorithm":  stats.Algorithm.String(),
 			"wall_us":    stats.WallTime.Microseconds(),
 			"io_reads":   stats.IO.Reads,
 			"cache_hits": stats.IO.CacheHits,
 			"shards":     stats.Shards,
+			"degraded":   stats.Degraded,
 			"results":    results,
-		})
+		}
+		if stats.Degraded {
+			resp["failed_shards"] = stats.FailedShards
+		}
+		json.NewEncoder(w).Encode(resp)
 	})
 	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {
 		per := e.ShardIOStats()
+		health := e.ShardHealth()
+		unhealthy := 0
 		shards := make([]map[string]interface{}, len(per))
 		for i, s := range per {
 			shards[i] = map[string]interface{}{
@@ -130,10 +160,22 @@ func newMux(e *xrank.Engine, opts muxOptions) *http.ServeMux {
 				"rand_reads": s.RandReads,
 				"cache_hits": s.CacheHits,
 			}
+			if i < len(health) {
+				h := health[i]
+				shards[i]["healthy"] = h.Healthy
+				shards[i]["consecutive_failures"] = h.Failures
+				if h.LastError != "" {
+					shards[i]["last_error"] = h.LastError
+				}
+				if !h.Healthy {
+					unhealthy++
+				}
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]interface{}{
 			"num_shards": e.NumShards(),
+			"unhealthy":  unhealthy,
 			"shards":     shards,
 		})
 	})
@@ -205,17 +247,20 @@ func newMux(e *xrank.Engine, opts muxOptions) *http.ServeMux {
 			log.Printf("render: %v", err)
 		}
 	})
-	return mux
+	return withRecovery(e, mux)
 }
 
 // searchErrorStatus maps a query failure to an HTTP status: timeouts to
-// 504, client disconnects and exhausted budgets to 503 (the server chose
-// to shed the work), everything else to 500.
+// 504, client disconnects, exhausted budgets and degraded-mode refusals
+// (FailOnDegraded) to 503 (the service is temporarily unable to serve a
+// complete answer), everything else to 500.
 func searchErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled), errors.Is(err, xrank.ErrBudgetExceeded):
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, xrank.ErrBudgetExceeded),
+		errors.Is(err, xrank.ErrDegraded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError

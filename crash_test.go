@@ -1,0 +1,299 @@
+package xrank
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+// Crash-simulation harness: each test sizes a workload by running it
+// once through a fault-free FaultFS (counting its write boundaries),
+// then replays it once per boundary with a simulated crash armed there.
+// After every crash the index directory must open as exactly the
+// pre-operation or the post-operation engine — scores bit-identical to
+// the corresponding clean build — or refuse to open; a third state is a
+// durability bug.
+
+// crashCorpus is a small multi-document collection with enough term
+// overlap that queries rank across documents.
+func crashCorpus() map[string]string {
+	docs := make(map[string]string)
+	for i := 0; i < 5; i++ {
+		docs[fmt.Sprintf("doc%d.xml", i)] = fmt.Sprintf(
+			`<book id="%d"><title>xml ranked search volume %d</title>
+			 <chapter><t>keyword retrieval</t><p>the xql language chapter %d</p></chapter>
+			 <cite ref="%d">see also</cite></book>`, i, i, i, (i+1)%5)
+	}
+	return docs
+}
+
+func addCorpus(t *testing.T, e *Engine, docs map[string]string) {
+	t.Helper()
+	names := make([]string, 0, len(docs))
+	for n := range docs {
+		names = append(names, n)
+	}
+	// Deterministic document IDs regardless of map order.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, n := range names {
+		if err := e.AddXML(n, strings.NewReader(docs[n])); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// crashSig runs a fixed query workload and returns its exact results —
+// the bit-identical-scores signature two equivalent indexes must share.
+func crashSig(t *testing.T, e *Engine) [][]SearchResult {
+	t.Helper()
+	var sig [][]SearchResult
+	for _, q := range []struct {
+		q    string
+		algo Algorithm
+	}{
+		{"xml search", AlgoDIL},
+		{"keyword retrieval", AlgoRDIL},
+		{"xql language", AlgoDIL},
+	} {
+		rs, _, err := e.SearchDetailed(q.q, SearchOptions{Algorithm: q.algo, TopM: 10})
+		if err != nil {
+			t.Fatalf("signature query %q: %v", q.q, err)
+		}
+		sig = append(sig, rs)
+	}
+	return sig
+}
+
+// crashStride bounds matrix size under -short (the CI race runner):
+// every boundary still gets covered over time because the full matrix
+// runs in the default mode.
+func crashStride(n int64, t *testing.T) int64 {
+	if !testing.Short() {
+		return 1
+	}
+	s := n / 16
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// TestCrashMatrixBuild kills a fresh Build at every write boundary. A
+// build into an empty directory has no "old" state, so after each crash
+// the directory must either refuse to open or open as the complete new
+// index.
+func TestCrashMatrixBuild(t *testing.T) {
+	docs := crashCorpus()
+
+	ref := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2})
+	addCorpus(t, ref, docs)
+	if _, err := ref.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := crashSig(t, ref)
+
+	// Sizing run: the same build through a fault-free FaultFS must be
+	// byte-equivalent, and tells us how many boundaries the matrix has.
+	sizing := storage.NewFaultFS(nil, 1)
+	se := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2, FS: sizing})
+	addCorpus(t, se, docs)
+	if _, err := se.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := crashSig(t, se); !reflect.DeepEqual(got, want) {
+		t.Fatal("fault-free FaultFS build differs from the plain build")
+	}
+	se.Close()
+	n := sizing.WriteOps()
+	if n < 20 {
+		t.Fatalf("build counted only %d write boundaries", n)
+	}
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		dir := t.TempDir()
+		ffs := storage.NewFaultFS(nil, k) // vary the seed: different torn prefixes
+		ffs.CrashAtWriteOp(k)
+		e := NewEngine(&Config{IndexDir: dir, Shards: 2, FS: ffs})
+		addCorpus(t, e, docs)
+		if _, err := e.Build(); err == nil {
+			t.Fatalf("crash at op %d/%d: Build reported success", k, n)
+		}
+		re, err := OpenEngine(dir)
+		if err != nil {
+			continue // pre-state: the directory never committed
+		}
+		got := crashSig(t, re)
+		re.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash at op %d/%d: reopened index differs from the clean build", k, n)
+		}
+	}
+}
+
+// TestCrashMatrixUpdate kills an Update at every write boundary. The
+// update targets a new directory, so after each crash the original
+// index must be untouched and the target must either refuse to open or
+// equal the clean post-update index.
+func TestCrashMatrixUpdate(t *testing.T) {
+	docs := crashCorpus()
+	newDoc := `<book id="9"><title>new xml search material</title><p>fresh keyword text</p></book>`
+	readers := func() map[string]io.Reader {
+		return map[string]io.Reader{"new.xml": strings.NewReader(newDoc)}
+	}
+
+	dirA := t.TempDir()
+	base := NewEngine(&Config{IndexDir: dirA, Shards: 2})
+	addCorpus(t, base, docs)
+	if _, err := base.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	baseWant := crashSig(t, base)
+
+	refEng, err := base.Update(filepath.Join(t.TempDir(), "upd"), readers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := crashSig(t, refEng)
+	refEng.Close()
+
+	sizing := storage.NewFaultFS(nil, 9)
+	sb, err := OpenEngineFS(dirA, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := sb.Update(filepath.Join(t.TempDir(), "upd"), readers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := crashSig(t, su); !reflect.DeepEqual(got, want) {
+		t.Fatal("fault-free FaultFS update differs from the plain update")
+	}
+	su.Close()
+	sb.Close()
+	n := sizing.WriteOps()
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		ffs := storage.NewFaultFS(nil, 9+k)
+		bk, err := OpenEngineFS(dirA, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen base: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		dirK := filepath.Join(t.TempDir(), "upd")
+		if _, uerr := bk.Update(dirK, readers()); uerr == nil {
+			t.Fatalf("crash at op %d/%d: Update reported success", k, n)
+		}
+		bk.Close()
+
+		// The original index must be wholly unaffected.
+		chk, err := OpenEngine(dirA)
+		if err != nil {
+			t.Fatalf("crash at op %d/%d corrupted the ORIGINAL index: %v", k, n, err)
+		}
+		if got := crashSig(t, chk); !reflect.DeepEqual(got, baseWant) {
+			t.Fatalf("crash at op %d/%d changed the original index's results", k, n)
+		}
+		chk.Close()
+
+		// The target is either not-yet-committed or complete.
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			continue
+		}
+		got := crashSig(t, re)
+		re.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash at op %d/%d: target opened as a third state", k, n)
+		}
+	}
+}
+
+// TestCrashMatrixDeleteDoc kills the tombstone's manifest rewrite at
+// every boundary: the directory must afterwards open with the document
+// either still present or fully deleted.
+func TestCrashMatrixDeleteDoc(t *testing.T) {
+	docs := crashCorpus()
+	const victim = "doc2.xml"
+
+	dirA := t.TempDir()
+	base := NewEngine(&Config{IndexDir: dirA, Shards: 2})
+	addCorpus(t, base, docs)
+	if _, err := base.Build(); err != nil {
+		t.Fatal(err)
+	}
+	preSig := crashSig(t, base)
+	base.Close()
+
+	manPath := filepath.Join(dirA, "engine.json")
+	pristine, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := func() {
+		if err := os.WriteFile(manPath, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(storage.TempPath(manPath))
+	}
+
+	// Clean delete: sizes the matrix and captures the post-state.
+	sizing := storage.NewFaultFS(nil, 5)
+	se, err := OpenEngineFS(dirA, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.DeleteDoc(victim); err != nil {
+		t.Fatal(err)
+	}
+	n := sizing.WriteOps()
+	postSig := crashSig(t, se)
+	se.Close()
+	restore()
+	if reflect.DeepEqual(preSig, postSig) {
+		t.Fatal("deleting the victim does not change any signature query; the matrix would prove nothing")
+	}
+
+	for k := int64(1); k <= n; k++ {
+		ffs := storage.NewFaultFS(nil, 5+k)
+		e, err := OpenEngineFS(dirA, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		if derr := e.DeleteDoc(victim); derr == nil {
+			t.Fatalf("crash at op %d/%d: DeleteDoc reported success", k, n)
+		}
+		e.Close()
+
+		re, err := OpenEngine(dirA)
+		if err != nil {
+			t.Fatalf("crash at op %d/%d left the directory unopenable: %v", k, n, err)
+		}
+		got := crashSig(t, re)
+		deleted := re.DeletedDocs()
+		re.Close()
+		switch {
+		case len(deleted) == 0 && reflect.DeepEqual(got, preSig):
+			// old state
+		case len(deleted) == 1 && deleted[0] == victim && reflect.DeepEqual(got, postSig):
+			// new state
+		default:
+			t.Fatalf("crash at op %d/%d: third state (deleted=%v)", k, n, deleted)
+		}
+		restore()
+	}
+}

@@ -1,0 +1,211 @@
+package xrank
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xrank/internal/index"
+	"xrank/internal/storage"
+)
+
+// Degraded-mode tests: inject device read faults into one shard and
+// check that queries retry transient faults, exclude persistently
+// failing shards, report the degradation, and honor FailOnDegraded.
+
+// degradedCorpus gives every document the shared term "common" so every
+// populated shard participates (and therefore reads) in the test query.
+func degradedCorpus(n int) map[string]string {
+	docs := make(map[string]string)
+	for i := 0; i < n; i++ {
+		docs[fmt.Sprintf("doc%d.xml", i)] = fmt.Sprintf(
+			`<r><t>common shared term</t><p>unique token%d text</p></r>`, i)
+	}
+	return docs
+}
+
+// buildDegradedEngine builds a sharded engine over ffs and returns it
+// plus the shard holding document 0 (guaranteed populated, so failing
+// it is guaranteed to degrade the test query).
+func buildDegradedEngine(t *testing.T, ffs *storage.FaultFS, shards int) (*Engine, int) {
+	t.Helper()
+	e := NewEngine(&Config{
+		IndexDir:                t.TempDir(),
+		Shards:                  shards,
+		FS:                      ffs,
+		ShardRetryBackoffMillis: 1, // keep retry waits out of test time
+	})
+	addCorpus(t, e, degradedCorpus(8))
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	fail := index.ShardOf(0, shards)
+	other := false
+	for d := 0; d < 8; d++ {
+		if index.ShardOf(uint32(d), shards) != fail {
+			other = true
+		}
+	}
+	if !other {
+		t.Fatalf("all 8 documents hash to shard %d; the corpus cannot exercise degradation", fail)
+	}
+	return e, fail
+}
+
+// shardPred matches any path inside the given shard's directory.
+func shardPred(s int) func(string) bool {
+	name := fmt.Sprintf("shard%03d", s)
+	return func(path string) bool { return strings.Contains(path, name) }
+}
+
+func TestDegradedQueryServing(t *testing.T) {
+	ffs := storage.NewFaultFS(nil, 21)
+	e, fail := buildDegradedEngine(t, ffs, 3)
+
+	full, stats, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil || stats.Degraded || len(full) == 0 {
+		t.Fatalf("healthy query: %d results, degraded=%v, err=%v", len(full), stats.Degraded, err)
+	}
+
+	// Permanently fail every device read inside one shard.
+	ffs.FailReads(shardPred(fail), storage.ErrInjected, -1)
+	if err := e.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, stats, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil {
+		t.Fatalf("degraded query failed outright: %v", err)
+	}
+	if !stats.Degraded || len(stats.FailedShards) != 1 || stats.FailedShards[0] != fail {
+		t.Fatalf("degraded=%v failed=%v, want degraded over shard %d", stats.Degraded, stats.FailedShards, fail)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("a transiently-modeled fault was never retried")
+	}
+	if len(res) == 0 {
+		t.Fatal("degraded query returned no results from the healthy shards")
+	}
+	// Shard-invariant scoring: every degraded result must appear in the
+	// full result set with a bit-identical score.
+	fullScores := make(map[string]float64, len(full))
+	for _, r := range full {
+		fullScores[r.DeweyID] = r.Score
+	}
+	for _, r := range res {
+		if s, ok := fullScores[r.DeweyID]; !ok || s != r.Score {
+			t.Fatalf("degraded result %s score %v not in the healthy top-k (%v)", r.DeweyID, r.Score, s)
+		}
+	}
+
+	// Default threshold is 3 consecutive post-retry failures: two more
+	// degraded queries mark the shard unhealthy.
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := e.ShardHealth()
+	if h == nil || h[fail].Healthy || h[fail].Failures < 3 {
+		t.Fatalf("after 3 failures: health[%d] = %+v, want unhealthy", fail, h[fail])
+	}
+	for s, sh := range h {
+		if s != fail && !sh.Healthy {
+			t.Fatalf("healthy shard %d got marked unhealthy: %+v", s, sh)
+		}
+	}
+
+	// An unhealthy shard is skipped up front: the query stays degraded
+	// but spends no retries on the dead device.
+	_, stats, err = e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil || !stats.Degraded {
+		t.Fatalf("post-unhealthy query: degraded=%v err=%v", stats != nil && stats.Degraded, err)
+	}
+	if stats.Retries != 0 {
+		t.Fatalf("skipped shard still consumed %d retries", stats.Retries)
+	}
+
+	// Strict mode: FailOnDegraded turns the partial answer into an error.
+	e.SetFailOnDegraded(true)
+	if _, _, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("FailOnDegraded: %v, want ErrDegraded", err)
+	}
+	e.SetFailOnDegraded(false)
+
+	// Operator recovery: clear the faults, reset health, full service.
+	ffs.FailReads(nil, nil, 0)
+	e.ResetShardHealth()
+	res, stats, err = e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil || stats.Degraded {
+		t.Fatalf("after recovery: degraded=%v err=%v", stats != nil && stats.Degraded, err)
+	}
+	if len(res) != len(full) {
+		t.Fatalf("after recovery: %d results, want %d", len(res), len(full))
+	}
+}
+
+// TestTransientFaultRetried: a fault that clears within the retry
+// budget must not degrade the query at all.
+func TestTransientFaultRetried(t *testing.T) {
+	ffs := storage.NewFaultFS(nil, 22)
+	e, fail := buildDegradedEngine(t, ffs, 3)
+
+	full, _, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailReads(shardPred(fail), storage.ErrInjected, 1) // exactly one read fails
+	if err := e.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err != nil {
+		t.Fatalf("query with one transient fault: %v", err)
+	}
+	if stats.Degraded {
+		t.Fatalf("transient fault degraded the query: %+v", stats.FailedShards)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("the transient fault was absorbed without a recorded retry")
+	}
+	if len(res) != len(full) {
+		t.Fatalf("%d results after retry, want %d", len(res), len(full))
+	}
+	if h := e.ShardHealth(); !h[fail].Healthy || h[fail].Failures != 0 {
+		t.Fatalf("a recovered shard kept failure state: %+v", h[fail])
+	}
+}
+
+// TestFlatIndexFaultIsFatal: a single-shard index has nothing to
+// degrade to — device faults surface as errors (after retries), with
+// health recorded for observability.
+func TestFlatIndexFaultIsFatal(t *testing.T) {
+	ffs := storage.NewFaultFS(nil, 23)
+	e := NewEngine(&Config{
+		IndexDir:                t.TempDir(),
+		FS:                      ffs,
+		ShardRetryBackoffMillis: 1,
+	})
+	addCorpus(t, e, degradedCorpus(4))
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ffs.FailReads(nil, storage.ErrInjected, -1)
+	if err := e.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.SearchDetailed("common", SearchOptions{Algorithm: AlgoDIL})
+	if err == nil {
+		t.Fatal("flat-index device fault was swallowed")
+	}
+	if !errors.Is(err, storage.ErrIO) {
+		t.Fatalf("flat-index fault: %v, want an ErrIO-classified device error", err)
+	}
+	if h := e.ShardHealth(); len(h) != 1 || h[0].Failures == 0 {
+		t.Fatalf("flat shard health not recorded: %+v", h)
+	}
+}

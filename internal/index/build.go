@@ -2,10 +2,8 @@ package index
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -62,6 +60,9 @@ type BuildOptions struct {
 	// ranks, tf-idf normalization and result IDs are identical whether a
 	// document is scored from a shard or from a monolithic index.
 	DocFilter func(doc uint32) bool
+	// FS is the file system all index files are written through (nil = the
+	// real file system). Fault-injection tests pass a storage.FaultFS.
+	FS storage.FS
 }
 
 func (o *BuildOptions) fill() {
@@ -76,7 +77,11 @@ func (o *BuildOptions) fill() {
 	}
 }
 
-// Meta is persisted to meta.json and reloaded by Open.
+// Meta is persisted to meta.json and reloaded by Open. It travels inside
+// a checksummed manifest envelope (storage.WriteManifestAtomic) and is the
+// index directory's commit point: it is written last, after every data
+// file is synced, and records each file's size and CRC-32C in Files so
+// Open can verify the whole directory before trusting any of it.
 type Meta struct {
 	NumDocs       int     `json:"num_docs"`
 	NumElements   int     `json:"num_elements"`
@@ -88,6 +93,9 @@ type Meta struct {
 	HasNaive      bool    `json:"has_naive"`
 	CompressDewey bool    `json:"compress_dewey,omitempty"`
 	BuildMillis   int64   `json:"build_millis"`
+	// Files records the expected size and checksum of every data file in
+	// the directory, keyed by file name.
+	Files map[string]storage.FileSum `json:"files"`
 }
 
 // BuildStats reports per-component on-disk sizes in bytes, the data for
@@ -115,10 +123,11 @@ type termData struct {
 func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions) (*BuildStats, error) {
 	opts.fill()
 	start := time.Now()
+	fs := storage.DefaultFS(opts.FS)
 	if len(ranks) != c.NumElements() {
 		return nil, fmt.Errorf("index: %d ranks for %d elements", len(ranks), c.NumElements())
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("index: mkdir %s: %w", dir, err)
 	}
 
@@ -167,7 +176,7 @@ func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions)
 	sort.Strings(sorted)
 
 	// Phase 2: stream every variant term by term.
-	b, err := newVariantBuilders(dir, opts)
+	b, err := newVariantBuilders(fs, dir, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -192,22 +201,17 @@ func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions)
 		meta.NaiveEntries += nNaive
 		delete(terms, term) // release memory as we go
 	}
-	if err := b.finish(dir, sorted); err != nil {
-		return nil, err
-	}
-	meta.BuildMillis = time.Since(start).Milliseconds()
-
-	mf, err := os.Create(filepath.Join(dir, fileMeta))
+	files, err := b.finish(dir, sorted)
 	if err != nil {
 		return nil, err
 	}
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&meta); err != nil {
-		mf.Close()
-		return nil, err
-	}
-	if err := mf.Close(); err != nil {
+	meta.BuildMillis = time.Since(start).Milliseconds()
+	meta.Files = files
+
+	// meta.json is the commit point: everything above is synced, so once
+	// this manifest lands atomically the directory opens; until then Open
+	// reports the directory as absent or corrupt, never half-built.
+	if err := storage.WriteManifestAtomic(fs, filepath.Join(dir, fileMeta), &meta); err != nil {
 		return nil, err
 	}
 
@@ -231,6 +235,7 @@ func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions)
 // while streaming the index variants.
 type variantBuilders struct {
 	opts BuildOptions
+	fs   storage.FS
 
 	dilPF      *storage.PageFile
 	rdilPF     *storage.PageFile
@@ -261,9 +266,10 @@ type variantBuilders struct {
 	buf []byte
 }
 
-func newVariantBuilders(dir string, opts BuildOptions) (*variantBuilders, error) {
+func newVariantBuilders(fs storage.FS, dir string, opts BuildOptions) (*variantBuilders, error) {
 	b := &variantBuilders{
 		opts:          opts,
+		fs:            fs,
 		dilMeta:       make(map[string]DILMeta),
 		rdilMeta:      make(map[string]RDILMeta),
 		hdilMeta:      make(map[string]HDILMeta),
@@ -276,7 +282,7 @@ func newVariantBuilders(dir string, opts BuildOptions) (*variantBuilders, error)
 			return nil
 		}
 		var pf *storage.PageFile
-		pf, err = storage.CreatePageFile(filepath.Join(dir, name))
+		pf, err = storage.CreatePageFileFS(fs, filepath.Join(dir, name))
 		return pf
 	}
 	b.dilPF = create(fileDILPost)
@@ -564,61 +570,85 @@ func decodeTreeValue(val []byte, p *Posting) error {
 	return decodePositions(val[4:], p)
 }
 
-// finish flushes all writers and persists the lexicons.
-func (b *variantBuilders) finish(dir string, terms []string) error {
+// finish flushes all writers, syncs every page file, persists the
+// lexicons atomically, and returns the size+checksum of every data file
+// for the meta.json commit record.
+func (b *variantBuilders) finish(dir string, terms []string) (map[string]storage.FileSum, error) {
 	for _, w := range []*postWriter{b.dilW, b.rdilW, b.hdilRankW, b.naiveIDW, b.naiveRankW} {
 		if w == nil {
 			continue
 		}
 		if err := w.flush(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if err := b.rdilTreeW.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := b.hdilTreeW.Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	if b.hashB != nil {
 		if err := b.hashB.flush(); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	if err := writeLexicon(filepath.Join(dir, fileDILLex), terms, func(t string, buf []byte) []byte {
-		return b.dilMeta[t].encode(buf)
-	}); err != nil {
-		return err
+	files := make(map[string]storage.FileSum)
+	// Fixed iteration order: fault injection numbers write boundaries by
+	// execution order, so the sync sequence must be deterministic.
+	pageFiles := []struct {
+		name string
+		pf   *storage.PageFile
+	}{
+		{fileDILPost, b.dilPF},
+		{fileRDILPost, b.rdilPF},
+		{fileRDILTree, b.rdilTreePF},
+		{fileHDILRank, b.hdilRankPF},
+		{fileHDILTree, b.hdilTreePF},
+		{fileNaiveIDPost, b.naiveIDPF},
+		{fileNaiveRankPost, b.naiveRankPF},
+		{fileNaiveRankHash, b.naiveHashPF},
 	}
-	if err := writeLexicon(filepath.Join(dir, fileRDILLex), terms, func(t string, buf []byte) []byte {
-		return b.rdilMeta[t].encode(buf)
-	}); err != nil {
-		return err
-	}
-	if err := writeLexicon(filepath.Join(dir, fileHDILLex), terms, func(t string, buf []byte) []byte {
-		return b.hdilMeta[t].encode(buf)
-	}); err != nil {
-		return err
-	}
-	if b.naiveIDW != nil {
-		if err := writeLexicon(filepath.Join(dir, fileNaiveIDLex), terms, func(t string, buf []byte) []byte {
-			return b.naiveIDMeta[t].encode(buf)
-		}); err != nil {
-			return err
-		}
-		if err := writeLexicon(filepath.Join(dir, fileNaiveRankLex), terms, func(t string, buf []byte) []byte {
-			return b.naiveRankMeta[t].encode(buf)
-		}); err != nil {
-			return err
-		}
-	}
-	for _, pf := range []*storage.PageFile{b.dilPF, b.rdilPF, b.rdilTreePF, b.hdilRankPF, b.hdilTreePF, b.naiveIDPF, b.naiveRankPF, b.naiveHashPF} {
+	for _, ent := range pageFiles {
+		name, pf := ent.name, ent.pf
 		if pf == nil {
 			continue
 		}
 		if err := pf.Sync(); err != nil {
-			return err
+			return nil, err
 		}
+		sum, err := pf.Checksum()
+		if err != nil {
+			return nil, err
+		}
+		files[name] = sum
 	}
-	return nil
+	lexicons := []struct {
+		name string
+		enc  func(t string, buf []byte) []byte
+	}{
+		{fileDILLex, func(t string, buf []byte) []byte { return b.dilMeta[t].encode(buf) }},
+		{fileRDILLex, func(t string, buf []byte) []byte { return b.rdilMeta[t].encode(buf) }},
+		{fileHDILLex, func(t string, buf []byte) []byte { return b.hdilMeta[t].encode(buf) }},
+	}
+	if b.naiveIDW != nil {
+		lexicons = append(lexicons,
+			struct {
+				name string
+				enc  func(t string, buf []byte) []byte
+			}{fileNaiveIDLex, func(t string, buf []byte) []byte { return b.naiveIDMeta[t].encode(buf) }},
+			struct {
+				name string
+				enc  func(t string, buf []byte) []byte
+			}{fileNaiveRankLex, func(t string, buf []byte) []byte { return b.naiveRankMeta[t].encode(buf) }},
+		)
+	}
+	for _, lx := range lexicons {
+		sum, err := writeLexicon(b.fs, filepath.Join(dir, lx.name), terms, lx.enc)
+		if err != nil {
+			return nil, err
+		}
+		files[lx.name] = sum
+	}
+	return files, nil
 }

@@ -1,0 +1,135 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xrank/internal/elemrank"
+	"xrank/internal/storage"
+	"xrank/internal/xmldoc"
+)
+
+func buildIndexDir(t *testing.T) string {
+	t.Helper()
+	c := xmldoc.NewCollection()
+	doc := `<w><t>xml keyword search engines</t><p><t>ranked retrieval</t><b>xml query language</b></p></w>`
+	if _, err := c.AddXML("d", strings.NewReader(doc), nil); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := elemrank.BuildGraph(c)
+	res, err := elemrank.Compute(g, elemrank.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Build(c, res.Scores, dir, BuildOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestOpenDetectsCorruption flips one byte in every persisted index file
+// in turn: each mutation must fail Open with an ErrCorrupt-wrapping
+// error — never a panic, never a silent success over bad data.
+func TestOpenDetectsCorruption(t *testing.T) {
+	dir := buildIndexDir(t)
+	if _, err := os.Stat(filepath.Join(dir, fileMeta)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			pristine, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, pristine, 0o644)
+			mut := append([]byte{}, pristine...)
+			mut[len(mut)/2] ^= 0x40
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ix, err := Open(dir, OpenOptions{})
+			if err == nil {
+				ix.Close()
+				t.Fatalf("Open succeeded over corrupted %s", name)
+			}
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("corrupted %s: %v (want ErrCorrupt)", name, err)
+			}
+		})
+	}
+}
+
+// TestOpenDetectsTruncation truncates each data file to half its length;
+// size verification must reject every one.
+func TestOpenDetectsTruncation(t *testing.T) {
+	dir := buildIndexDir(t)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() || ent.Name() == fileMeta {
+			continue // meta truncation is covered by the corruption test
+		}
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			pristine, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, pristine, 0o644)
+			if err := os.WriteFile(path, pristine[:len(pristine)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ix, err := Open(dir, OpenOptions{})
+			if err == nil {
+				ix.Close()
+				t.Fatalf("Open succeeded over truncated %s", name)
+			}
+		})
+	}
+}
+
+// TestOpenRejectsMissingChecksum: a meta.json that lists no checksum for
+// a required file (a hand-edited or older manifest) is corrupt, not
+// trusted.
+func TestOpenRejectsMissingChecksum(t *testing.T) {
+	dir := buildIndexDir(t)
+	var meta Meta
+	if err := storage.ReadManifest(nil, filepath.Join(dir, fileMeta), &meta); err != nil {
+		t.Fatal(err)
+	}
+	delete(meta.Files, fileDILPost)
+	if err := storage.WriteManifestAtomic(nil, filepath.Join(dir, fileMeta), &meta); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, OpenOptions{})
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("missing checksum entry: %v (want ErrCorrupt)", err)
+	}
+}
+
+// TestSkipVerifyStillOpens: the verification pass is skippable for
+// tooling that wants a fast open of a trusted directory.
+func TestSkipVerifyStillOpens(t *testing.T) {
+	dir := buildIndexDir(t)
+	ix, err := Open(dir, OpenOptions{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+}

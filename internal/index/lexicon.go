@@ -1,11 +1,10 @@
 package index
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 
 	"xrank/internal/btree"
 	"xrank/internal/storage"
@@ -62,61 +61,56 @@ type NaiveRankMeta struct {
 
 const lexMagic = 0x584C4558 // "XLEX"
 
-// writeLexicon writes a lexicon file: terms with fixed-format metadata
-// blobs produced by enc.
-func writeLexicon(path string, terms []string, enc func(term string, buf []byte) []byte) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("index: create lexicon: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	w := bufio.NewWriter(f)
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:], lexMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], 1)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(terms)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	var buf []byte
+// lexVersion is the current lexicon format version.
+const lexVersion = 1
+
+// writeLexicon builds a lexicon file in memory — terms with fixed-format
+// metadata blobs produced by enc — writes it with the atomic protocol,
+// and returns its size and checksum for the meta.json commit record.
+func writeLexicon(fs storage.FS, path string, terms []string, enc func(term string, buf []byte) []byte) (storage.FileSum, error) {
+	out := make([]byte, 0, 12+len(terms)*32)
+	out = binary.LittleEndian.AppendUint32(out, lexMagic)
+	out = binary.LittleEndian.AppendUint32(out, lexVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(terms)))
 	for _, t := range terms {
 		if len(t) > 0xFFFF {
-			return fmt.Errorf("index: term too long (%d bytes)", len(t))
+			return storage.FileSum{}, fmt.Errorf("index: term too long (%d bytes)", len(t))
 		}
-		buf = buf[:0]
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t)))
-		buf = append(buf, t...)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(t)))
+		out = append(out, t...)
 		meta := enc(t, nil)
 		if len(meta) > 0xFFFF {
-			return fmt.Errorf("index: metadata too long")
+			return storage.FileSum{}, fmt.Errorf("index: metadata too long")
 		}
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(meta)))
-		buf = append(buf, meta...)
-		if _, err := w.Write(buf); err != nil {
-			return err
-		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(meta)))
+		out = append(out, meta...)
 	}
-	return w.Flush()
+	if err := storage.WriteFileAtomic(fs, path, out); err != nil {
+		return storage.FileSum{}, fmt.Errorf("index: write lexicon %s: %w", path, err)
+	}
+	return storage.FileSum{Size: int64(len(out)), CRC32: storage.Checksum(out)}, nil
 }
 
 // readLexicon reads a lexicon file, invoking dec for each (term, meta).
-func readLexicon(path string, dec func(term string, meta []byte) error) error {
-	f, err := os.Open(path)
+// Structural damage is reported as a storage.ErrCorrupt-wrapping error
+// (the whole-file checksum in meta.json is verified before this runs, so
+// in practice these errors indicate a format bug, not bit rot).
+func readLexicon(fs storage.FS, path string, dec func(term string, meta []byte) error) error {
+	b, err := storage.DefaultFS(fs).ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("index: open lexicon: %w", err)
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
+	r := bytes.NewReader(b)
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("index: lexicon header: %w", err)
+		return fmt.Errorf("index: %w lexicon %s: truncated header", storage.ErrCorrupt, path)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != lexMagic {
-		return fmt.Errorf("index: %s is not a lexicon file", path)
+		return fmt.Errorf("index: %w %s: not a lexicon file", storage.ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != lexVersion {
+		return fmt.Errorf("index: %w %s: lexicon version %d, this build understands %d",
+			storage.ErrCorrupt, path, v, lexVersion)
 	}
 	n := binary.LittleEndian.Uint32(hdr[8:])
 	var buf []byte

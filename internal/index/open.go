@@ -2,9 +2,7 @@ package index
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"xrank/internal/dewey"
@@ -17,6 +15,13 @@ type OpenOptions struct {
 	// Default 128 (1MB per file): large enough for merge working sets,
 	// small enough that "cold cache" experiments stay honest.
 	PoolPages int
+	// FS is the file system the index is read through (nil = the real
+	// file system). Fault-injection tests pass a storage.FaultFS.
+	FS storage.FS
+	// SkipVerify disables the up-front size/checksum verification of every
+	// data file against meta.json. Verification costs one sequential pass
+	// over the index; leave it on anywhere correctness matters.
+	SkipVerify bool
 }
 
 // Index is an opened on-disk index directory with one buffer pool per
@@ -52,22 +57,47 @@ type Index struct {
 	naiveRank map[string]NaiveRankMeta
 }
 
-// Open opens an index directory produced by Build.
+// Open opens an index directory produced by Build. The meta.json manifest
+// is read first (format and checksum verified), then every data file it
+// lists is verified against its recorded size and CRC-32C before any of
+// it is trusted: Open either succeeds on a consistent directory or fails
+// with a precise "corrupt <file>" error.
 func Open(dir string, opts OpenOptions) (*Index, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 128
 	}
+	fs := storage.DefaultFS(opts.FS)
 	ix := &Index{Dir: dir}
-	mb, err := os.ReadFile(filepath.Join(dir, fileMeta))
-	if err != nil {
+	if err := storage.ReadManifest(fs, filepath.Join(dir, fileMeta), &ix.Meta); err != nil {
 		return nil, fmt.Errorf("index: open %s: %w", dir, err)
 	}
-	if err := json.Unmarshal(mb, &ix.Meta); err != nil {
-		return nil, fmt.Errorf("index: bad meta.json: %w", err)
+	required := []string{
+		fileDILPost, fileDILLex,
+		fileRDILPost, fileRDILTree, fileRDILLex,
+		fileHDILRank, fileHDILTree, fileHDILLex,
+	}
+	if ix.Meta.HasNaive {
+		required = append(required,
+			fileNaiveIDPost, fileNaiveIDLex,
+			fileNaiveRankPost, fileNaiveRankHash, fileNaiveRankLex)
+	}
+	for _, name := range required {
+		sum, ok := ix.Meta.Files[name]
+		if !ok {
+			return nil, fmt.Errorf("index: open %s: %w meta.json: no checksum recorded for %s",
+				dir, storage.ErrCorrupt, name)
+		}
+		if opts.SkipVerify {
+			continue
+		}
+		if err := storage.VerifyFile(fs, filepath.Join(dir, name), sum); err != nil {
+			return nil, fmt.Errorf("index: open %s: %w", dir, err)
+		}
 	}
 
+	var err error
 	open := func(name string) (*storage.PageFile, *storage.BufferPool, error) {
-		pf, err := storage.OpenPageFile(filepath.Join(dir, name))
+		pf, err := storage.OpenPageFileFS(fs, filepath.Join(dir, name))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -109,7 +139,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	}
 
 	ix.dil = make(map[string]DILMeta, ix.Meta.Terms)
-	if err := readLexicon(filepath.Join(dir, fileDILLex), func(t string, m []byte) error {
+	if err := readLexicon(fs, filepath.Join(dir, fileDILLex), func(t string, m []byte) error {
 		dm, err := decodeDILMeta(m)
 		ix.dil[t] = dm
 		return err
@@ -118,7 +148,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		return nil, err
 	}
 	ix.rdil = make(map[string]RDILMeta, ix.Meta.Terms)
-	if err := readLexicon(filepath.Join(dir, fileRDILLex), func(t string, m []byte) error {
+	if err := readLexicon(fs, filepath.Join(dir, fileRDILLex), func(t string, m []byte) error {
 		rm, err := decodeRDILMeta(m)
 		ix.rdil[t] = rm
 		return err
@@ -127,7 +157,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 		return nil, err
 	}
 	ix.hdil = make(map[string]HDILMeta, ix.Meta.Terms)
-	if err := readLexicon(filepath.Join(dir, fileHDILLex), func(t string, m []byte) error {
+	if err := readLexicon(fs, filepath.Join(dir, fileHDILLex), func(t string, m []byte) error {
 		hm, err := decodeHDILMeta(m)
 		ix.hdil[t] = hm
 		return err
@@ -137,7 +167,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	}
 	if ix.Meta.HasNaive {
 		ix.naiveID = make(map[string]NaiveMeta, ix.Meta.Terms)
-		if err := readLexicon(filepath.Join(dir, fileNaiveIDLex), func(t string, m []byte) error {
+		if err := readLexicon(fs, filepath.Join(dir, fileNaiveIDLex), func(t string, m []byte) error {
 			nm, err := decodeNaiveMeta(m)
 			ix.naiveID[t] = nm
 			return err
@@ -146,7 +176,7 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 			return nil, err
 		}
 		ix.naiveRank = make(map[string]NaiveRankMeta, ix.Meta.Terms)
-		if err := readLexicon(filepath.Join(dir, fileNaiveRankLex), func(t string, m []byte) error {
+		if err := readLexicon(fs, filepath.Join(dir, fileNaiveRankLex), func(t string, m []byte) error {
 			nm, err := decodeNaiveRankMeta(m)
 			ix.naiveRank[t] = nm
 			return err

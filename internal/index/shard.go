@@ -1,7 +1,7 @@
 package index
 
 import (
-	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -66,6 +66,7 @@ type Sharded struct {
 	Meta Meta
 
 	shards []*Index
+	health []shardHealth
 }
 
 // BuildSharded constructs the index in dir partitioned into shards
@@ -80,7 +81,8 @@ func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildO
 	if opts.DocFilter != nil {
 		return nil, fmt.Errorf("index: BuildSharded with a caller DocFilter")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := storage.DefaultFS(opts.FS)
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("index: mkdir %s: %w", dir, err)
 	}
 	var total BuildStats
@@ -109,12 +111,11 @@ func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildO
 		total.NaiveIndex += st.NaiveIndex
 	}
 	total.Meta.Terms = countDistinctTerms(c)
+	// shards.json is the sharded layout's commit point: every shard
+	// directory above is fully durable (each ends with its own atomic
+	// meta.json), so once this manifest lands the whole index opens.
 	sm := ShardMeta{NumShards: shards, Hash: shardHashName}
-	mb, err := json.MarshalIndent(&sm, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	if err := os.WriteFile(filepath.Join(dir, fileShards), append(mb, '\n'), 0o644); err != nil {
+	if err := storage.WriteManifestAtomic(fs, filepath.Join(dir, fileShards), &sm); err != nil {
 		return nil, err
 	}
 	return &total, nil
@@ -138,20 +139,20 @@ func countDistinctTerms(c *xmldoc.Collection) int {
 // shards.json is a flat index and opens as one shard, so indexes built
 // before sharding existed keep working.
 func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, fileShards))
-	if os.IsNotExist(err) {
+	fs := storage.DefaultFS(opts.FS)
+	var sm ShardMeta
+	err := storage.ReadManifest(fs, filepath.Join(dir, fileShards), &sm)
+	if err != nil && errors.Is(err, os.ErrNotExist) {
 		ix, err := Open(dir, opts)
 		if err != nil {
 			return nil, err
 		}
-		return &Sharded{Dir: dir, Meta: ix.Meta, shards: []*Index{ix}}, nil
+		sh := &Sharded{Dir: dir, Meta: ix.Meta, shards: []*Index{ix}}
+		sh.initHealth()
+		return sh, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("index: open %s: %w", dir, err)
-	}
-	var sm ShardMeta
-	if err := json.Unmarshal(mb, &sm); err != nil {
-		return nil, fmt.Errorf("index: bad shards.json: %w", err)
 	}
 	if sm.NumShards < 1 {
 		return nil, fmt.Errorf("index: shards.json declares %d shards", sm.NumShards)
@@ -180,6 +181,7 @@ func OpenSharded(dir string, opts OpenOptions) (*Sharded, error) {
 		sh.Meta.BuildMillis += ix.Meta.BuildMillis
 	}
 	sh.Meta.Terms = len(vocab)
+	sh.initHealth()
 	return sh, nil
 }
 

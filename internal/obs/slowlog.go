@@ -14,6 +14,7 @@ type SlowLogEntry struct {
 	Wall      time.Duration `json:"wall_ns"`
 	Reads     int64         `json:"io_reads"`
 	CacheHits int64         `json:"cache_hits"`
+	Degraded  bool          `json:"degraded,omitempty"` // served with shards excluded
 	Err       string        `json:"error,omitempty"`
 	Spans     []Span        `json:"spans,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"time"
 
 	"xrank/internal/dewey"
 	"xrank/internal/storage"
@@ -93,6 +94,25 @@ type Options struct {
 	// mid-merge). Nil disables per-query control: I/O lands only in the
 	// index's engine-global counters.
 	Exec *storage.ExecContext
+	// Retries is how many times a shard execution is retried after a
+	// transient device fault (an error wrapping storage.ErrIO). 0 means
+	// the default of 2; negative disables retries. Cancellation, deadline
+	// and budget errors are never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// attempt; the wait aborts early if the query is cancelled. 0 means
+	// the default of 5ms.
+	RetryBackoff time.Duration
+	// FailureThreshold is the consecutive post-retry failure count at
+	// which a shard is marked unhealthy and excluded from subsequent
+	// queries (until index.Sharded.ResetHealth). 0 means the default of
+	// 3; negative disables marking.
+	FailureThreshold int
+	// Report, when non-nil, accumulates degraded-execution facts — which
+	// shards were skipped or failed, how many retries ran — across every
+	// algorithm invocation that shares it. The engine attaches one per
+	// query and surfaces it as QueryStats.Degraded.
+	Report *ShardReport
 }
 
 // DefaultOptions returns the defaults described on Options.
@@ -116,6 +136,34 @@ func (o *Options) fill() error {
 		}
 	}
 	return nil
+}
+
+// retries resolves Options.Retries (0 = default 2, negative = none).
+func (o *Options) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return 2
+	}
+	return o.Retries
+}
+
+// retryBackoff resolves Options.RetryBackoff (0 = default 5ms).
+func (o *Options) retryBackoff() time.Duration {
+	if o.RetryBackoff <= 0 {
+		return 5 * time.Millisecond
+	}
+	return o.RetryBackoff
+}
+
+// failureThreshold resolves Options.FailureThreshold (0 = default 3;
+// negative values pass through, disabling unhealthy-marking).
+func (o *Options) failureThreshold() int {
+	if o.FailureThreshold == 0 {
+		return 3
+	}
+	return o.FailureThreshold
 }
 
 // weight returns the weight of keyword i.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"xrank/internal/index"
 	"xrank/internal/storage"
@@ -53,18 +54,64 @@ func shardWorkers(requested, shards int) int {
 	return w
 }
 
-// runSharded fans run out over the shards under a bounded worker pool and
-// merges the per-shard top-m's. run receives the shard number, the shard
-// index and a per-shard Options whose Exec is a child of opts.Exec. With
-// a single shard it degenerates to a direct call on the caller's
-// goroutine — no pool, no child context.
-func runSharded(shards []*index.Index, opts Options, workers int,
+// runShardAttempts invokes run on one shard with bounded
+// retry-with-backoff: a transient device fault (an error wrapping
+// storage.ErrIO) is retried up to opts.retries() times with exponential
+// backoff, aborting early if the query is cancelled. It returns the last
+// result plus how many retry attempts were consumed.
+func runShardAttempts(s int, ix *index.Index, so Options,
+	run func(s int, ix *index.Index, so Options) ([]Result, error)) ([]Result, error, int) {
+	backoff := so.retryBackoff()
+	maxRetries := so.retries()
+	for attempt := 0; ; attempt++ {
+		rs, err := run(s, ix, so)
+		if err == nil || !retryable(err) || attempt >= maxRetries {
+			return rs, err, attempt
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-so.Exec.Context().Done():
+			t.Stop()
+			return nil, so.Exec.Context().Err(), attempt
+		case <-t.C:
+		}
+		backoff *= 2
+	}
+}
+
+// runSharded fans run out over the healthy shards under a bounded worker
+// pool and merges the per-shard top-m's. run receives the shard number,
+// the shard index and a per-shard Options whose Exec is a child of
+// opts.Exec. With a single shard it degenerates to a direct call on the
+// caller's goroutine — no pool, no child context (retries still apply).
+//
+// Degraded mode: shards already marked unhealthy are skipped up front; a
+// shard whose execution still fails with a device fault after retries is
+// excluded from this merge (and counted toward its unhealthy threshold)
+// while the query completes over the remaining shards, recording the
+// exclusions in opts.Report. Non-device errors — cancellation, deadline,
+// budget, semantic — stay fatal and poison the ExecContext family so
+// sibling shards abort promptly. Only when every shard is excluded does
+// the query fail.
+func runSharded(sh *index.Sharded, opts Options, workers int,
 	run func(s int, ix *index.Index, so Options) ([]Result, error)) ([]Result, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
+	shards := sh.Shards()
+	threshold := opts.failureThreshold()
 	if len(shards) == 1 {
-		return run(0, shards[0], opts)
+		// A flat index has nothing to degrade to: retry transient faults,
+		// then surface the error. Health is still recorded so /api/shards
+		// shows the failing device, but the shard is never skipped.
+		rs, err, retries := runShardAttempts(0, shards[0], opts, run)
+		opts.Report.noteRetries(retries)
+		if err != nil && retryable(err) {
+			sh.RecordShardFailure(0, err, threshold)
+		} else if err == nil {
+			sh.RecordShardSuccess(0)
+		}
+		return rs, err
 	}
 	workers = shardWorkers(workers, len(shards))
 	sem := make(chan struct{}, workers)
@@ -72,42 +119,68 @@ func runSharded(shards []*index.Index, opts Options, workers int,
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
-		firstErr error
+		fatalErr error             // non-device error: fails the whole query
+		excluded = map[int]error{} // shard → why it is absent from the merge
 	)
 	for s, ix := range shards {
+		if !sh.ShardHealthy(s) {
+			excluded[s] = nil // skipped up front; nil marks "already unhealthy"
+			continue
+		}
 		wg.Add(1)
 		go func(s int, ix *index.Index) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			mu.Lock()
-			failed := firstErr != nil
+			failed := fatalErr != nil
 			mu.Unlock()
 			if failed {
-				return // a sibling already failed; don't start new work
+				return // the query is already doomed; don't start new work
 			}
 			so := opts
 			so.Exec = opts.Exec.Child()
 			endShard := so.Exec.StartSpan(fmt.Sprintf("shard%02d.exec", s))
-			rs, err := run(s, ix, so)
+			rs, err, retries := runShardAttempts(s, ix, so, run)
 			endShard()
 			mu.Lock()
 			defer mu.Unlock()
+			opts.Report.noteRetries(retries)
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
+				if retryable(err) {
+					// Transient fault that survived retries: exclude the
+					// shard from this merge, count it toward the unhealthy
+					// threshold, and let the siblings finish.
+					excluded[s] = err
+					sh.RecordShardFailure(s, err, threshold)
+					return
+				}
+				if fatalErr == nil {
+					fatalErr = err
 				}
 				// Poison the family so running siblings abort at their
 				// next page access rather than completing a doomed query.
 				opts.Exec.Fail(err)
 				return
 			}
+			sh.RecordShardSuccess(s)
 			perShard[s] = rs
 		}(s, ix)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
+	if len(excluded) == len(shards) {
+		for s, err := range excluded {
+			if err != nil {
+				return nil, fmt.Errorf("query: all %d shards failed, shard %d: %w", len(shards), s, err)
+			}
+		}
+		return nil, fmt.Errorf("query: all %d shards are marked unhealthy", len(shards))
+	}
+	for s, err := range excluded {
+		opts.Report.noteFailed(s, err)
 	}
 	endMerge := opts.Exec.StartSpan("merge.topk")
 	out := MergeTopM(perShard, opts.TopM)
@@ -160,7 +233,7 @@ func DILSharded(sh *index.Sharded, keywords []string, opts Options, workers int)
 	if err := globalDFs(&opts, keywords, sh.DILCount); err != nil {
 		return nil, err
 	}
-	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+	return runSharded(sh, opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
 		return DIL(ix, keywords, so)
 	})
 }
@@ -169,7 +242,7 @@ func DILSharded(sh *index.Sharded, keywords []string, opts Options, workers int)
 // threshold algorithm terminates on its own: its stopping rule is
 // strictly stronger than the global one (see the package notes).
 func RDILSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
-	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+	return runSharded(sh, opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
 		return RDIL(ix, keywords, so)
 	})
 }
@@ -181,7 +254,7 @@ func RDILSharded(sh *index.Sharded, keywords []string, opts Options, workers int
 // reason), entries-read summed.
 func HDILSharded(sh *index.Sharded, keywords []string, opts Options, workers int, cm storage.CostModel) ([]Result, *HDILTrace, error) {
 	traces := make([]*HDILTrace, sh.NumShards())
-	rs, err := runSharded(sh.Shards(), opts, workers, func(s int, ix *index.Index, so Options) ([]Result, error) {
+	rs, err := runSharded(sh, opts, workers, func(s int, ix *index.Index, so Options) ([]Result, error) {
 		res, tr, err := HDIL(ix, keywords, so, cm)
 		traces[s] = tr // one writer per slot; no lock needed
 		return res, err
@@ -207,7 +280,7 @@ func NaiveIDSharded(sh *index.Sharded, keywords []string, opts Options, workers 
 	if err := globalDFs(&opts, keywords, sh.NaiveCount); err != nil {
 		return nil, err
 	}
-	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+	return runSharded(sh, opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
 		return NaiveID(ix, keywords, so)
 	})
 }
@@ -215,7 +288,7 @@ func NaiveIDSharded(sh *index.Sharded, keywords []string, opts Options, workers 
 // NaiveRankSharded evaluates Naive-Rank on every shard in parallel; the
 // per-shard TA stopping rule composes exactly as RDIL's does.
 func NaiveRankSharded(sh *index.Sharded, keywords []string, opts Options, workers int) ([]Result, error) {
-	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+	return runSharded(sh, opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
 		return NaiveRank(ix, keywords, so)
 	})
 }
@@ -227,7 +300,7 @@ func DisjunctiveSharded(sh *index.Sharded, keywords []string, opts Options, work
 	if err := globalDFs(&opts, keywords, sh.DILCount); err != nil {
 		return nil, err
 	}
-	return runSharded(sh.Shards(), opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
+	return runSharded(sh, opts, workers, func(_ int, ix *index.Index, so Options) ([]Result, error) {
 		return Disjunctive(ix, keywords, so)
 	})
 }

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// FaultFS wraps another FS with deterministic, seed-driven fault
+// injection: transient or permanent I/O errors (EIO, ENOSPC), short
+// writes, torn pages, and "crash here" points at any write/sync boundary.
+// It is the substrate under the crash-simulation harness and the
+// degraded-mode tests.
+//
+// Write-boundary operations — Create, WriteAt, Sync, Rename, Remove,
+// MkdirAll, SyncDir — are numbered 1, 2, 3, … in execution order. A
+// clean run with no faults armed counts them (WriteOps), and the crash
+// matrix then replays the same workload once per boundary with
+// CrashAtWriteOp(k): the k-th boundary fails with ErrCrashed — a WriteAt
+// additionally persists a deterministic prefix of its buffer first, the
+// torn-page model — and every later mutation also fails, simulating the
+// process dying at that instant. Reads keep working after a "crash" (the
+// harness reopens through a fresh FS anyway).
+//
+// All configuration methods may be called at any time, including after
+// files were opened: handles consult the FaultFS on every operation.
+type FaultFS struct {
+	mu   sync.Mutex
+	base FS
+	rng  *rand.Rand
+
+	writeOps int64
+	readOps  int64
+
+	crashAt int64 // 1-based write-boundary index; 0 = disarmed
+	crashed bool
+
+	shortWriteAt int64 // write boundary that persists a prefix, reports io.ErrShortWrite
+
+	readRule  *faultRule
+	writeRule *faultRule
+}
+
+// ErrCrashed marks every operation refused because the FaultFS reached
+// its armed crash point — the moral equivalent of the process dying.
+var ErrCrashed = errors.New("fault: simulated crash")
+
+// ErrInjected is a generic injected I/O failure for callers that don't
+// care which errno they simulate.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+type faultRule struct {
+	pred      func(path string) bool
+	err       error
+	remaining int64 // <0 = unlimited
+}
+
+func (r *faultRule) match(path string) error {
+	if r == nil || r.remaining == 0 || (r.pred != nil && !r.pred(path)) {
+		return nil
+	}
+	if r.remaining > 0 {
+		r.remaining--
+	}
+	return r.err
+}
+
+// NewFaultFS wraps base (nil = the real file system) with fault
+// injection. seed drives every random choice (torn-write prefix
+// lengths), so a given seed + fault configuration replays identically.
+func NewFaultFS(base FS, seed int64) *FaultFS {
+	return &FaultFS{base: DefaultFS(base), rng: rand.New(rand.NewSource(seed))}
+}
+
+// CrashAtWriteOp arms the simulated crash at the n-th write boundary
+// (1-based); 0 disarms. See the type comment for the crash model.
+func (f *FaultFS) CrashAtWriteOp(n int64) {
+	f.mu.Lock()
+	f.crashAt = n
+	f.mu.Unlock()
+}
+
+// ShortWriteAtOp makes the n-th write boundary, if it is a WriteAt,
+// persist only a prefix of its buffer and report io.ErrShortWrite —
+// the partial-write failure mode checksums must catch.
+func (f *FaultFS) ShortWriteAtOp(n int64) {
+	f.mu.Lock()
+	f.shortWriteAt = n
+	f.mu.Unlock()
+}
+
+// FailReads injects err on ReadAt/ReadFile operations whose path
+// satisfies pred (nil = every path). n bounds how many reads fail
+// (n < 0 = every matching read, permanently).
+func (f *FaultFS) FailReads(pred func(path string) bool, err error, n int64) {
+	f.mu.Lock()
+	f.readRule = &faultRule{pred: pred, err: err, remaining: n}
+	f.mu.Unlock()
+}
+
+// FailWrites injects err on write-boundary operations whose path
+// satisfies pred (nil = every path), performing nothing — the EIO/ENOSPC
+// model. n bounds how many writes fail (n < 0 = unlimited).
+func (f *FaultFS) FailWrites(pred func(path string) bool, err error, n int64) {
+	f.mu.Lock()
+	f.writeRule = &faultRule{pred: pred, err: err, remaining: n}
+	f.mu.Unlock()
+}
+
+// WriteOps returns how many write boundaries have executed so far — run
+// the workload once fault-free to size the crash matrix.
+func (f *FaultFS) WriteOps() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writeOps
+}
+
+// ReadOps returns how many read operations have executed so far.
+func (f *FaultFS) ReadOps() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readOps
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// writeBoundary accounts one write-boundary op against path and decides
+// its fate: nil error and torn < 0 → perform normally; torn >= 0 → a
+// WriteAt persists only p[:torn] (with err telling the caller what to
+// report); otherwise fail with err performing nothing.
+func (f *FaultFS) writeBoundary(path string, bufLen int) (torn int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return -1, ErrCrashed
+	}
+	f.writeOps++
+	if f.crashAt > 0 && f.writeOps >= f.crashAt {
+		f.crashed = true
+		if bufLen > 0 {
+			// Torn page: a deterministic prefix reaches the platter
+			// before the "power fails".
+			return f.rng.Intn(bufLen), ErrCrashed
+		}
+		return -1, ErrCrashed
+	}
+	if f.shortWriteAt > 0 && f.writeOps == f.shortWriteAt && bufLen > 0 {
+		n := 1 + f.rng.Intn(bufLen)
+		if n == bufLen {
+			n = bufLen - 1
+		}
+		return n, errShortWrite
+	}
+	if ferr := f.writeRule.match(path); ferr != nil {
+		return -1, ferr
+	}
+	return -1, nil
+}
+
+var errShortWrite = errors.New("fault: injected short write")
+
+func (f *FaultFS) readBoundary(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readOps++
+	return f.readRule.match(path)
+}
+
+// Create opens path through the base FS unless a fault fires first.
+func (f *FaultFS) Create(path string) (File, error) {
+	if _, err := f.writeBoundary(path, 0); err != nil {
+		return nil, err
+	}
+	fl, err := f.base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, f: fl}, nil
+}
+
+// Open opens path read-write; reads and writes through the handle keep
+// consulting the FaultFS.
+func (f *FaultFS) Open(path string) (File, error) {
+	fl, err := f.base.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, f: fl}, nil
+}
+
+// ReadFile reads path, subject to read faults.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.readBoundary(path); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(path)
+}
+
+// Rename is a write boundary: an armed crash fires before the rename, so
+// the destination keeps its previous content.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.writeBoundary(newpath, 0); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove is a write boundary.
+func (f *FaultFS) Remove(path string) error {
+	if _, err := f.writeBoundary(path, 0); err != nil {
+		return err
+	}
+	return f.base.Remove(path)
+}
+
+// MkdirAll is a write boundary.
+func (f *FaultFS) MkdirAll(path string) error {
+	if _, err := f.writeBoundary(path, 0); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path)
+}
+
+// Stat passes through un-faulted (metadata reads don't tear).
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) { return f.base.Stat(path) }
+
+// SyncDir is a write boundary: the crash model includes dying between a
+// rename and its parent-directory fsync.
+func (f *FaultFS) SyncDir(path string) error {
+	if _, err := f.writeBoundary(path, 0); err != nil {
+		return err
+	}
+	return f.base.SyncDir(path)
+}
+
+// faultFile threads every read/write/sync of one handle back through its
+// FaultFS.
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	f    File
+}
+
+func (fl *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := fl.fs.readBoundary(fl.path); err != nil {
+		return 0, err
+	}
+	return fl.f.ReadAt(p, off)
+}
+
+func (fl *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	torn, err := fl.fs.writeBoundary(fl.path, len(p))
+	if err != nil {
+		if torn > 0 {
+			fl.f.WriteAt(p[:torn], off) // the torn prefix lands; the error stands
+		}
+		if errors.Is(err, errShortWrite) {
+			return torn, err
+		}
+		return 0, err
+	}
+	return fl.f.WriteAt(p, off)
+}
+
+func (fl *faultFile) Sync() error {
+	if _, err := fl.fs.writeBoundary(fl.path, 0); err != nil {
+		return err
+	}
+	return fl.f.Sync()
+}
+
+func (fl *faultFile) Close() error { return fl.f.Close() }

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the file-system seam every persisted artifact goes through: page
+// files, lexicons, manifests, blobs and the document store. Production
+// code uses OS (the real file system); fault-injection tests substitute a
+// FaultFS that can fail or tear any operation deterministically. The
+// interface is deliberately minimal — exactly the operations the engine's
+// write protocol needs, so every write/sync boundary is also a potential
+// injected-crash boundary.
+type FS interface {
+	// Create opens path read-write, creating it and truncating any
+	// existing content.
+	Create(path string) (File, error)
+	// Open opens an existing file read-write.
+	Open(path string) (File, error)
+	// ReadFile returns the whole content of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates the directory path with any missing parents.
+	MkdirAll(path string) error
+	// Stat returns file metadata.
+	Stat(path string) (os.FileInfo, error)
+	// SyncDir fsyncs the directory itself, making renames within it
+	// durable (the "parent-dir fsync" step of the atomic-write protocol).
+	SyncDir(path string) error
+}
+
+// File is the per-file handle behind FS: positioned reads and writes plus
+// durability and close. *os.File satisfies it directly.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// OS is the real file system.
+var OS FS = osFS{}
+
+// DefaultFS returns fs, or the real file system when fs is nil — the
+// idiom every layer uses to make the FS parameter optional.
+func DefaultFS(fs FS) FS {
+	if fs == nil {
+		return OS
+	}
+	return fs
+}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Open(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// TempPath returns the temp-file name the atomic-write protocol uses for
+// path. It is deterministic so fault-injection runs replay identically.
+func TempPath(path string) string {
+	return filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+}

@@ -14,8 +14,8 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -28,41 +28,63 @@ type PageID uint32
 // InvalidPage is a sentinel PageID that never refers to a real page.
 const InvalidPage = PageID(^uint32(0))
 
+// ErrIO marks device-level I/O failures (as opposed to cancellation,
+// budget exhaustion, or semantic errors). The query layer treats a shard
+// failure as retryable — and a shard as degradable — only when its error
+// wraps ErrIO: a device can recover or be routed around, a semantic
+// error would just recur on every shard.
+var ErrIO = errors.New("I/O error")
+
 // PageFile is a file organized as an array of fixed-size pages. It is safe
 // for concurrent use.
 type PageFile struct {
 	mu       sync.Mutex
-	f        *os.File
+	fs       FS
+	f        File
 	path     string
 	numPages uint32
 	stats    Stats
 }
 
-// CreatePageFile creates (truncating) a page file at path.
+// CreatePageFile creates (truncating) a page file at path on the real
+// file system.
 func CreatePageFile(path string) (*PageFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreatePageFileFS(nil, path)
+}
+
+// CreatePageFileFS creates (truncating) a page file at path on fs
+// (nil = the real file system).
+func CreatePageFileFS(fs FS, path string) (*PageFile, error) {
+	fs = DefaultFS(fs)
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", path, err)
 	}
-	return &PageFile{f: f, path: path}, nil
+	return &PageFile{fs: fs, f: f, path: path}, nil
 }
 
-// OpenPageFile opens an existing page file read-write.
+// OpenPageFile opens an existing page file read-write on the real file
+// system.
 func OpenPageFile(path string) (*PageFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenPageFileFS(nil, path)
+}
+
+// OpenPageFileFS opens an existing page file read-write on fs (nil = the
+// real file system).
+func OpenPageFileFS(fs FS, path string) (*PageFile, error) {
+	fs = DefaultFS(fs)
+	st, err := fs.Stat(path)
 	if err != nil {
-		return nil, fmt.Errorf("storage: open %s: %w", path, err)
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
 		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
 	}
 	if st.Size()%PageSize != 0 {
-		f.Close()
 		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
 	}
-	return &PageFile{f: f, path: path, numPages: uint32(st.Size() / PageSize)}, nil
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	return &PageFile{fs: fs, f: f, path: path, numPages: uint32(st.Size() / PageSize)}, nil
 }
 
 // Path returns the file path.
@@ -102,43 +124,45 @@ func (pf *PageFile) ReadPageExec(ec *ExecContext, id PageID, buf []byte) error {
 	pf.mu.Unlock()
 	_, err := pf.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	if err != nil {
-		return fmt.Errorf("storage: read page %d of %s: %w", id, pf.path, err)
+		return fmt.Errorf("storage: read page %d of %s: %w: %w", id, pf.path, ErrIO, err)
 	}
 	return nil
 }
 
 // WritePage writes buf (at least PageSize bytes) to page id, which must
-// already exist.
+// already exist. Stats count the write only if it succeeds.
 func (pf *PageFile) WritePage(id PageID, buf []byte) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("storage: write buffer too small (%d)", len(buf))
 	}
 	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	if uint32(id) >= pf.numPages {
-		pf.mu.Unlock()
 		return fmt.Errorf("storage: write of page %d beyond end (%d pages)", id, pf.numPages)
 	}
-	pf.stats.Writes++
-	pf.mu.Unlock()
 	if _, err := pf.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
-		return fmt.Errorf("storage: write page %d of %s: %w", id, pf.path, err)
+		return fmt.Errorf("storage: write page %d of %s: %w: %w", id, pf.path, ErrIO, err)
 	}
+	pf.stats.Writes++
 	return nil
 }
 
-// AppendPage appends buf as a new page and returns its ID.
+// AppendPage appends buf as a new page and returns its ID. The page count
+// (and write stats) advance only after the write succeeds, so a failed
+// append leaves no phantom page behind — the file size stays a multiple
+// of PageSize and a reopen sees exactly the pages that were written.
 func (pf *PageFile) AppendPage(buf []byte) (PageID, error) {
 	if len(buf) < PageSize {
 		return 0, fmt.Errorf("storage: append buffer too small (%d)", len(buf))
 	}
 	pf.mu.Lock()
+	defer pf.mu.Unlock()
 	id := PageID(pf.numPages)
+	if _, err := pf.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return 0, fmt.Errorf("storage: append page to %s: %w: %w", pf.path, ErrIO, err)
+	}
 	pf.numPages++
 	pf.stats.Writes++
-	pf.mu.Unlock()
-	if _, err := pf.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
-		return 0, fmt.Errorf("storage: append page to %s: %w", pf.path, err)
-	}
 	return id, nil
 }
 
@@ -158,6 +182,13 @@ func (pf *PageFile) ResetStats() {
 
 // Size returns the file size in bytes.
 func (pf *PageFile) Size() int64 { return int64(pf.NumPages()) * PageSize }
+
+// Checksum streams the file and returns its size and CRC-32C, for
+// recording in a manifest at build time. Call after Sync, before any
+// further writes.
+func (pf *PageFile) Checksum() (FileSum, error) {
+	return ChecksumFile(pf.fs, pf.path)
+}
 
 // Sync flushes the file to stable storage.
 func (pf *PageFile) Sync() error { return pf.f.Sync() }

@@ -25,14 +25,17 @@ type engineMetrics struct {
 	reg  *obs.Registry
 	slow *obs.SlowLog
 
-	pageReads *obs.Counter
-	seqReads  *obs.Counter
-	randReads *obs.Counter
-	cacheHits *obs.Counter
-	slowTotal *obs.Counter
-	switches  *obs.Counter
-	shards    *obs.Gauge
-	inflight  *obs.Gauge
+	pageReads    *obs.Counter
+	seqReads     *obs.Counter
+	randReads    *obs.Counter
+	cacheHits    *obs.Counter
+	slowTotal    *obs.Counter
+	switches     *obs.Counter
+	degraded     *obs.Counter
+	shardRetries *obs.Counter
+	shards       *obs.Gauge
+	unhealthy    *obs.Gauge
+	inflight     *obs.Gauge
 }
 
 // Metric family names and help strings, shared by the per-query
@@ -63,16 +66,19 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 	}
 	r := obs.NewRegistry()
 	return &engineMetrics{
-		reg:       r,
-		slow:      obs.NewSlowLog(size, threshold),
-		pageReads: r.Counter("xrank_page_reads_total", "Device page reads attributed to queries."),
-		seqReads:  r.Counter("xrank_seq_reads_total", "Query page reads classified sequential."),
-		randReads: r.Counter("xrank_rand_reads_total", "Query page reads classified random."),
-		cacheHits: r.Counter("xrank_cache_hits_total", "Query page accesses absorbed by a buffer pool."),
-		slowTotal: r.Counter("xrank_slow_queries_total", "Queries at or above the slow-query threshold."),
-		switches:  r.Counter("xrank_hdil_switches_total", "HDIL queries where at least one shard switched to DIL."),
-		shards:    r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
-		inflight:  r.Gauge("xrank_inflight_queries", "Queries currently executing."),
+		reg:          r,
+		slow:         obs.NewSlowLog(size, threshold),
+		pageReads:    r.Counter("xrank_page_reads_total", "Device page reads attributed to queries."),
+		seqReads:     r.Counter("xrank_seq_reads_total", "Query page reads classified sequential."),
+		randReads:    r.Counter("xrank_rand_reads_total", "Query page reads classified random."),
+		cacheHits:    r.Counter("xrank_cache_hits_total", "Query page accesses absorbed by a buffer pool."),
+		slowTotal:    r.Counter("xrank_slow_queries_total", "Queries at or above the slow-query threshold."),
+		switches:     r.Counter("xrank_hdil_switches_total", "HDIL queries where at least one shard switched to DIL."),
+		degraded:     r.Counter("xrank_degraded_queries_total", "Queries served with at least one shard excluded."),
+		shardRetries: r.Counter("xrank_shard_retries_total", "Shard executions retried after a transient device fault."),
+		shards:       r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
+		unhealthy:    r.Gauge("xrank_shard_unhealthy", "Shards currently marked unhealthy and excluded from queries."),
+		inflight:     r.Gauge("xrank_inflight_queries", "Queries currently executing."),
 	}
 }
 
@@ -102,6 +108,10 @@ func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err err
 	if stats.SwitchedToDIL {
 		m.switches.Inc()
 	}
+	if stats.Degraded {
+		m.degraded.Inc()
+	}
+	m.shardRetries.Add(int64(stats.Retries))
 	if err != nil {
 		m.reg.Counter(metricQueryErrors, helpQueryErrors, "algo", algo).Inc()
 	} else {
@@ -123,6 +133,7 @@ func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err err
 		Wall:      stats.WallTime,
 		Reads:     stats.IO.Reads,
 		CacheHits: stats.IO.CacheHits,
+		Degraded:  stats.Degraded,
 		Spans:     stats.Trace,
 	}
 	if err != nil {

@@ -1,24 +1,36 @@
 package xrank
 
 import (
+	"bytes"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 
 	"xrank/internal/index"
+	"xrank/internal/storage"
 )
 
 // Engine persistence. Build writes, next to the index files:
 //
-//	engine.json — config + document manifest
-//	ranks.bin   — float64 ElemRanks by global element index
-//	docs/       — the raw source documents
+//	engine.json — config + document manifest (checksummed envelope)
+//	ranks.bin   — float64 ElemRanks by global element index (checksummed blob)
+//	docs/       — the raw source documents (sizes/CRCs in the manifest)
 //
-// OpenEngine reloads all three; parsing is deterministic, so the rebuilt
-// in-memory collection has identical Dewey IDs and global indexes.
+// Everything goes through the atomic-write protocol (temp file → fsync →
+// rename → parent-dir fsync), and engine.json — the open entry point — is
+// written last, after the index, the document store and ranks.bin are all
+// durable. A crash anywhere in Build therefore leaves either no
+// engine.json (the directory doesn't open; the previous index directory,
+// if any, is untouched) or a complete consistent one.
+//
+// OpenEngine reloads all three, verifying every checksum up front;
+// parsing is deterministic, so the rebuilt in-memory collection has
+// identical Dewey IDs and global indexes.
+
+// ranksMagic identifies ranks.bin's blob type ("XRNK").
+const ranksMagic = 0x584b4e52
 
 type engineManifest struct {
 	Config Config     `json:"config"`
@@ -26,8 +38,9 @@ type engineManifest struct {
 }
 
 func (e *Engine) persist(dir string) error {
+	fs := e.fs()
 	docsDir := filepath.Join(dir, "docs")
-	if err := os.MkdirAll(docsDir, 0o755); err != nil {
+	if err := fs.MkdirAll(docsDir); err != nil {
 		return err
 	}
 	for i := range e.docs {
@@ -37,98 +50,108 @@ func (e *Engine) persist(dir string) error {
 			ext = ".html"
 		}
 		d.File = fmt.Sprintf("%06d%s", i, ext)
-		if err := os.WriteFile(filepath.Join(docsDir, d.File), d.raw, 0o644); err != nil {
+		if err := storage.WriteFileAtomic(fs, filepath.Join(docsDir, d.File), d.raw); err != nil {
 			return err
 		}
+		d.Size = int64(len(d.raw))
+		d.CRC32 = storage.Checksum(d.raw)
 		d.raw = nil // the store owns the bytes now
 	}
 
-	if err := e.persistManifest(dir); err != nil {
-		return err
-	}
-
-	rf, err := os.Create(filepath.Join(dir, "ranks.bin"))
-	if err != nil {
-		return err
-	}
 	buf := make([]byte, 8*len(e.ranks))
 	for i, r := range e.ranks {
 		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(r))
 	}
-	if _, err := rf.Write(buf); err != nil {
-		rf.Close()
+	if err := storage.WriteBlobAtomic(fs, filepath.Join(dir, "ranks.bin"), ranksMagic, buf); err != nil {
 		return err
 	}
-	return rf.Close()
+
+	// engine.json last: it is the commit point OpenEngine keys off.
+	return e.persistManifest(dir)
 }
 
-// persistManifest writes (or rewrites, after DeleteDoc) engine.json.
+// persistManifest writes (or atomically rewrites, after DeleteDoc)
+// engine.json.
 func (e *Engine) persistManifest(dir string) error {
-	mf, err := os.Create(filepath.Join(dir, "engine.json"))
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(mf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(engineManifest{Config: e.cfg, Docs: e.docs}); err != nil {
-		mf.Close()
-		return err
-	}
-	return mf.Close()
+	return storage.WriteManifestAtomic(e.fs(), filepath.Join(dir, "engine.json"),
+		engineManifest{Config: e.cfg, Docs: e.docs})
 }
 
 // OpenEngine reopens an engine previously built with IndexDir set (or a
 // still-existing temporary directory). The source documents are reparsed
-// from the directory's document store.
+// from the directory's document store. Every persisted artifact —
+// manifest, ranks, documents, index files — is checksum-verified before
+// use: a torn or corrupted directory fails with a precise
+// "xrank: corrupt <file>" error rather than opening silently wrong.
 func OpenEngine(dir string) (*Engine, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, "engine.json"))
-	if err != nil {
+	return OpenEngineFS(dir, nil)
+}
+
+// OpenEngineFS is OpenEngine reading through fs (nil means the real file
+// system) — the seam the fault-injection and crash-recovery tests use.
+func OpenEngineFS(dir string, fs storage.FS) (*Engine, error) {
+	fs = storage.DefaultFS(fs)
+	var man engineManifest
+	if err := storage.ReadManifest(fs, filepath.Join(dir, "engine.json"), &man); err != nil {
 		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
 	}
-	var man engineManifest
-	if err := json.Unmarshal(mb, &man); err != nil {
-		return nil, fmt.Errorf("xrank: bad engine.json: %w", err)
-	}
 	man.Config.IndexDir = dir
+	man.Config.FS = fs
 	e := NewEngine(&man.Config)
 	for _, d := range man.Docs {
-		f, err := os.Open(filepath.Join(dir, "docs", d.File))
+		data, err := fs.ReadFile(filepath.Join(dir, "docs", d.File))
 		if err != nil {
-			return nil, err
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("xrank: %w engine.json: document store is missing %s (document %q)",
+					storage.ErrCorrupt, d.File, d.Name)
+			}
+			return nil, fmt.Errorf("xrank: open document %s: %w", d.File, err)
+		}
+		if int64(len(data)) != d.Size || storage.Checksum(data) != d.CRC32 {
+			return nil, fmt.Errorf("xrank: %w docs/%s: size %d crc %08x, manifest says size %d crc %08x",
+				storage.ErrCorrupt, d.File, len(data), storage.Checksum(data), d.Size, d.CRC32)
 		}
 		if d.HTML {
-			_, err = e.col.AddHTML(d.Name, f, nil)
+			_, err = e.col.AddHTML(d.Name, bytes.NewReader(data), nil)
 		} else {
-			_, err = e.col.AddXML(d.Name, f, nil)
+			_, err = e.col.AddXML(d.Name, bytes.NewReader(data), nil)
 		}
-		f.Close()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("xrank: reparse %s: %w", d.File, err)
 		}
 	}
 	e.docs = man.Docs
 	for _, d := range man.Docs {
-		if d.Deleted {
-			if e.deleted == nil {
-				e.deleted = make(map[uint32]bool)
-			}
-			e.deleted[e.col.DocByName(d.Name).ID] = true
+		if !d.Deleted {
+			continue
 		}
+		doc := e.col.DocByName(d.Name)
+		if doc == nil {
+			// A hand-edited manifest can tombstone a name the store never
+			// produced; surface that instead of dereferencing nil.
+			return nil, fmt.Errorf("xrank: %w engine.json: deleted document %q is not in the collection",
+				storage.ErrCorrupt, d.Name)
+		}
+		if e.deleted == nil {
+			e.deleted = make(map[uint32]bool)
+		}
+		e.deleted[doc.ID] = true
 	}
 
-	rb, err := os.ReadFile(filepath.Join(dir, "ranks.bin"))
+	rb, err := storage.ReadBlob(fs, filepath.Join(dir, "ranks.bin"), ranksMagic)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
 	}
 	if len(rb) != 8*e.col.NumElements() {
-		return nil, fmt.Errorf("xrank: ranks.bin holds %d bytes for %d elements", len(rb), e.col.NumElements())
+		return nil, fmt.Errorf("xrank: %w ranks.bin: %d payload bytes for %d elements",
+			storage.ErrCorrupt, len(rb), e.col.NumElements())
 	}
 	e.ranks = make([]float64, e.col.NumElements())
 	for i := range e.ranks {
 		e.ranks[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb[i*8:]))
 	}
 
-	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages, FS: e.cfg.FS})
 	if err != nil {
 		return nil, err
 	}

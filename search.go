@@ -118,6 +118,16 @@ type QueryStats struct {
 	SwitchedToDIL bool          // HDIL only: true if any shard switched
 	Shards        int           // index partitions the query fanned out over
 
+	// Degraded reports that the query completed without some shards:
+	// transient device faults survived the retry budget, or shards already
+	// marked unhealthy were skipped. The results are the correct top-k of
+	// the healthy shards only. FailedShards lists the excluded shards;
+	// Retries counts the shard executions retried after transient faults
+	// (including ones that then succeeded).
+	Degraded     bool
+	FailedShards []int
+	Retries      int
+
 	// Trace holds the per-stage spans recorded while the query ran:
 	// engine stages (tokenize, execute, materialize), algorithm stages
 	// (e.g. dil.open, dil.merge, rdil.rounds, hdil.switch), and on a
@@ -196,17 +206,28 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 	}
 	ec.SetSpanRecorder(trace)
 	stats := &QueryStats{Algorithm: opts.Algorithm, Keywords: keywords}
+	report := &query.ShardReport{}
 
 	e.met.queryStarted()
-	out, err := e.searchLoop(keywords, opts, ec, stats)
+	out, err := e.searchLoop(keywords, opts, ec, report, stats)
 
 	// The single finish point: successful and failed queries alike get
-	// their wall time, I/O attribution and span trace, and are recorded
-	// into the engine's metrics registry and slow-query log.
+	// their wall time, I/O attribution, span trace and degradation facts,
+	// and are recorded into the engine's metrics registry and slow-query
+	// log.
 	stats.WallTime = time.Since(start)
 	stats.IO = ec.Stats()
 	stats.SimulatedTime = storage.DefaultCostModel().SimulatedTime(stats.IO)
 	stats.Trace = trace.Spans()
+	stats.Degraded = report.Degraded()
+	stats.FailedShards = report.FailedShards()
+	stats.Retries = report.Retries()
+	e.met.unhealthy.Set(int64(e.ix.UnhealthyCount()))
+	if err == nil && stats.Degraded && e.cfg.FailOnDegraded {
+		// Strict mode: a partial answer is an error. Decided before
+		// queryFinished so the metrics and slow log see the failure.
+		err = fmt.Errorf("%w (shards %v)", ErrDegraded, stats.FailedShards)
+	}
 	e.met.queryFinished(algoLabel(opts), q, stats, err)
 	if err != nil {
 		return nil, nil, err
@@ -219,7 +240,7 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 // shrink the raw result set, so it over-fetches when either is active;
 // if a full raw result set still collapses below topM, it retries once
 // with a larger factor (see the overfetch constants).
-func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.ExecContext, stats *QueryStats) ([]SearchResult, error) {
+func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.ExecContext, report *query.ShardReport, stats *QueryStats) ([]SearchResult, error) {
 	overfetch := len(e.cfg.AnswerTags) > 0 || e.hasTombstones()
 	mult := 1
 	if overfetch {
@@ -242,6 +263,10 @@ func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.E
 			qopts.Scoring = query.ScoreTFIDF
 		}
 		qopts.Exec = ec
+		qopts.Report = report
+		qopts.Retries = e.cfg.ShardRetries
+		qopts.RetryBackoff = time.Duration(e.cfg.ShardRetryBackoffMillis) * time.Millisecond
+		qopts.FailureThreshold = e.cfg.ShardFailureThreshold
 
 		endExec := ec.StartSpan("execute")
 		rs, naive, err := e.runQuery(keywords, opts, qopts, stats)

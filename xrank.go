@@ -23,6 +23,7 @@ package xrank
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -103,6 +104,29 @@ type Config struct {
 	// SlowLogSize caps how many entries the slow-query ring log keeps
 	// (default 128); older entries are overwritten.
 	SlowLogSize int
+
+	// FailOnDegraded makes queries fail with ErrDegraded instead of
+	// returning partial results when index shards had to be excluded
+	// (device faults, unhealthy shards). The default serves the healthy
+	// remainder with QueryStats.Degraded set.
+	FailOnDegraded bool
+	// ShardRetries is how many times a shard execution is retried after a
+	// transient device fault before the shard is excluded from the query.
+	// Zero selects the default (2); negative disables retries.
+	ShardRetries int
+	// ShardRetryBackoffMillis is the wait before the first shard retry in
+	// milliseconds, doubling per attempt. Zero selects the default (5).
+	ShardRetryBackoffMillis int
+	// ShardFailureThreshold is the consecutive post-retry failure count at
+	// which a shard is marked unhealthy and excluded from subsequent
+	// queries until ResetShardHealth. Zero selects the default (3);
+	// negative disables marking.
+	ShardFailureThreshold int
+
+	// FS is the file system every persisted artifact goes through (nil =
+	// the real file system). Fault-injection and crash-simulation tests
+	// substitute a storage.FaultFS. Not persisted in the manifest.
+	FS storage.FS `json:"-"`
 }
 
 func (c *Config) fill() {
@@ -120,6 +144,15 @@ func (c *Config) fill() {
 // ErrBudgetExceeded is returned (wrapped) by SearchContext when a query
 // exhausts its SearchOptions.MaxPageReads budget of device page reads.
 var ErrBudgetExceeded = storage.ErrBudgetExceeded
+
+// ErrDegraded is returned (wrapped) by SearchContext when index shards
+// had to be excluded from the query and Config.FailOnDegraded demands
+// all-or-nothing answers.
+var ErrDegraded = errors.New("xrank: degraded: unhealthy shards excluded")
+
+// ErrCorrupt is wrapped by every checksum, size or format-version
+// mismatch OpenEngine detects in persisted state.
+var ErrCorrupt = storage.ErrCorrupt
 
 // Engine is an XRANK search engine over one document collection.
 //
@@ -154,6 +187,10 @@ type docEntry struct {
 	File    string `json:"file"`
 	HTML    bool   `json:"html"`
 	Deleted bool   `json:"deleted,omitempty"`
+	// Size and CRC32 checksum the document-store file so OpenEngine can
+	// detect a truncated or bit-rotted source document before reparsing it.
+	Size  int64  `json:"size"`
+	CRC32 uint32 `json:"crc32"`
 
 	raw []byte `json:"-"` // pending document-store bytes (until Build)
 }
@@ -287,6 +324,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 		MaxPositions:  e.cfg.MaxPositions,
 		SkipNaive:     e.cfg.SkipNaive,
 		CompressDewey: e.cfg.CompressDewey,
+		FS:            e.cfg.FS,
 	}, e.cfg.Shards)
 	if err != nil {
 		return nil, err
@@ -298,7 +336,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	if err := e.persist(dir); err != nil {
 		return nil, err
 	}
-	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages})
+	ix, err := index.OpenSharded(dir, index.OpenOptions{PoolPages: e.cfg.PoolPages, FS: e.cfg.FS})
 	if err != nil {
 		return nil, err
 	}
@@ -371,6 +409,35 @@ func (e *Engine) ShardIOStats() []storage.Stats {
 	}
 	return e.ix.ShardIOStats()
 }
+
+// ShardHealth returns every shard's availability snapshot, in shard
+// order (nil before Build): whether it serves queries, its
+// consecutive-failure streak, and the last error that excluded it.
+func (e *Engine) ShardHealth() []index.ShardHealth {
+	if e.ix == nil {
+		return nil
+	}
+	return e.ix.Health()
+}
+
+// ResetShardHealth returns every shard to the healthy state — the
+// operator's lever after replacing or remounting a failed device.
+func (e *Engine) ResetShardHealth() {
+	if e.ix == nil {
+		return
+	}
+	e.ix.ResetHealth()
+	e.met.unhealthy.Set(0)
+}
+
+// SetFailOnDegraded flips Config.FailOnDegraded at runtime (the serve
+// command's -fail-on-degraded flag overrides the persisted config). Call
+// before serving queries; it is not synchronized with in-flight searches.
+func (e *Engine) SetFailOnDegraded(v bool) { e.cfg.FailOnDegraded = v }
+
+// fs returns the engine's file system (the real one unless Config.FS
+// substitutes a faulty double).
+func (e *Engine) fs() storage.FS { return storage.DefaultFS(e.cfg.FS) }
 
 // ElemRank returns the computed ElemRank of the element identified by the
 // dotted Dewey ID (e.g. "0.2.1"), or an error if it does not exist.
