@@ -1,0 +1,228 @@
+package xrank
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The result-cache differential harness: an engine serving from the
+// result cache (with coalescing enabled) must stay BIT-IDENTICAL — exact
+// struct equality, scores included — to a cache-free control engine
+// across a randomized interleaving of Search, DeleteDoc and Update, at
+// shard counts 1 and 8. A cached result is only ever the verbatim copy
+// of a result the control would also compute, so unlike the
+// update-differential harness there is no score tolerance here.
+
+// cacheDiffEngines is one cached/control engine pair that the operation
+// stream mutates in lockstep.
+type cacheDiffEngines struct {
+	cached  *Engine
+	control *Engine
+}
+
+func buildCacheDiffPair(t *testing.T, dir string, shards int, pool map[string]string, docs []string) cacheDiffEngines {
+	t.Helper()
+	build := func(sub string, cacheBytes int64, coalesce bool) *Engine {
+		e := NewEngine(&Config{
+			IndexDir:        filepath.Join(dir, sub),
+			Shards:          shards,
+			CacheBytes:      cacheBytes,
+			CoalesceQueries: coalesce,
+		})
+		for _, name := range docs {
+			if err := e.AddXML(name, strings.NewReader(pool[name])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Build(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		return e
+	}
+	return cacheDiffEngines{
+		cached:  build("cached", 1<<20, true),
+		control: build("control", 0, false),
+	}
+}
+
+// searchBoth runs one query on both engines and asserts exact equality,
+// returning the cached engine's stats.
+func (p cacheDiffEngines) searchBoth(t *testing.T, tag, q string, opts SearchOptions) *QueryStats {
+	t.Helper()
+	ra, sa, errA := p.cached.SearchDetailed(q, opts)
+	rb, _, errB := p.control.SearchDetailed(q, opts)
+	if errA != nil || errB != nil {
+		t.Fatalf("%s %s %q: errs %v / %v", tag, searchLabel(opts), q, errA, errB)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("%s %s %q: %d results vs %d from control", tag, searchLabel(opts), q, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("%s %s %q result %d not bit-identical:\ncached  %+v\ncontrol %+v",
+				tag, searchLabel(opts), q, i, ra[i], rb[i])
+		}
+	}
+	return sa
+}
+
+func TestCacheDifferential(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(20030609 + shards)))
+			pool := make(map[string]string)
+			for n := 0; n < 12; n++ {
+				pool[fmt.Sprintf("doc%02d", n)] = diffDoc(rng, n)
+			}
+			live := []string{"doc00", "doc01", "doc02", "doc03", "doc04", "doc05"}
+			next := 6
+			base := t.TempDir()
+			p := buildCacheDiffPair(t, filepath.Join(base, "r0"), shards, pool, live)
+
+			round := 0
+			for op := 0; op < 40; op++ {
+				tag := fmt.Sprintf("op %d", op)
+				switch k := rng.Intn(10); {
+				case k < 7:
+					// Search: a small repeating query set so hits accumulate,
+					// often re-issued immediately to guarantee hot pairs
+					// regardless of how the stream interleaves invalidations.
+					q := diffQueries[rng.Intn(len(diffQueries))]
+					opts := diffAlgos[rng.Intn(len(diffAlgos))]
+					opts.TopM = 25
+					p.searchBoth(t, tag, q, opts)
+					if rng.Intn(2) == 0 {
+						if st := p.searchBoth(t, tag+" repeat", q, opts); !st.Cached {
+							t.Fatalf("%s: immediate repeat of %s %q was not served from cache", tag, searchLabel(opts), q)
+						}
+					}
+				case k < 9:
+					// DeleteDoc on both engines; the generation bump must
+					// force the very next identical query to execute fresh.
+					if len(live) < 2 {
+						continue
+					}
+					victim := live[rng.Intn(len(live))]
+					if err := p.cached.DeleteDoc(victim); err != nil {
+						t.Fatal(err)
+					}
+					if err := p.control.DeleteDoc(victim); err != nil {
+						t.Fatal(err)
+					}
+					keep := live[:0]
+					for _, n := range live {
+						if n != victim {
+							keep = append(keep, n)
+						}
+					}
+					live = keep
+					q := diffQueries[rng.Intn(len(diffQueries))]
+					if st := p.searchBoth(t, tag+" post-delete", q, SearchOptions{Algorithm: AlgoDIL, TopM: 25}); st.Cached {
+						t.Fatalf("%s: query %q served from cache across a DeleteDoc generation bump", tag, q)
+					}
+				default:
+					// Update both engines into fresh directories with the same
+					// addition; each successor starts with an empty cache.
+					if next >= 12 {
+						continue
+					}
+					round++
+					name := fmt.Sprintf("doc%02d", next)
+					next++
+					dir := filepath.Join(base, fmt.Sprintf("r%d", round))
+					nc, err := p.cached.Update(filepath.Join(dir, "cached"),
+						map[string]io.Reader{name: strings.NewReader(pool[name])})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { nc.Close() })
+					ctl, err := p.control.Update(filepath.Join(dir, "control"),
+						map[string]io.Reader{name: strings.NewReader(pool[name])})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { ctl.Close() })
+					p = cacheDiffEngines{cached: nc, control: ctl}
+					live = append(live, name)
+				}
+			}
+
+			// The stream must actually have exercised the cache.
+			cs := p.cached.CacheStats()
+			if !cs.Enabled || cs.Hits == 0 {
+				t.Fatalf("differential stream never hit the cache: %+v", cs)
+			}
+			if ctl := p.control.CacheStats(); ctl.Enabled || ctl.Hits != 0 {
+				t.Fatalf("control engine has a live cache: %+v", ctl)
+			}
+
+			// Term canonicalization end to end: a permuted, duplicated
+			// spelling of a just-executed query is a hit.
+			opts := SearchOptions{Algorithm: AlgoDIL, TopM: 25}
+			p.searchBoth(t, "canonical warm", "alpha beta", opts)
+			if st := p.searchBoth(t, "canonical permuted", "beta alpha beta", opts); !st.Cached {
+				t.Fatal("permuted duplicate spelling of a warm query missed the cache")
+			}
+		})
+	}
+}
+
+// TestCacheStaleNeverServed pins the generation protocol directly: a hit
+// is served, then every invalidation source (DeleteDoc, ColdCache) must
+// prevent further hits until a fresh execution repopulates the cache.
+func TestCacheStaleNeverServed(t *testing.T) {
+	pool := make(map[string]string)
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 6; n++ {
+		pool[fmt.Sprintf("doc%02d", n)] = diffDoc(rng, n)
+	}
+	e := NewEngine(&Config{IndexDir: t.TempDir(), CacheBytes: 1 << 20})
+	for n := 0; n < 6; n++ {
+		name := fmt.Sprintf("doc%02d", n)
+		if err := e.AddXML(name, strings.NewReader(pool[name])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	search := func(tag string) *QueryStats {
+		t.Helper()
+		_, st, err := e.SearchDetailed("alpha beta", SearchOptions{TopM: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		return st
+	}
+	if st := search("cold"); st.Cached {
+		t.Fatal("first query served from an empty cache")
+	}
+	if st := search("warm"); !st.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+	if err := e.DeleteDoc("doc01"); err != nil {
+		t.Fatal(err)
+	}
+	if st := search("post-delete"); st.Cached {
+		t.Fatal("stale result served across DeleteDoc")
+	}
+	if st := search("rewarm"); !st.Cached {
+		t.Fatal("post-delete result was not re-cached")
+	}
+	if err := e.ColdCache(); err != nil {
+		t.Fatal(err)
+	}
+	if st := search("post-coldcache"); st.Cached {
+		t.Fatal("stale result served across ColdCache")
+	}
+	if st := e.CacheStats(); st.Stale < 2 {
+		t.Fatalf("expected >= 2 stale drops, got %+v", st)
+	}
+}

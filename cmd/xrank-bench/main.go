@@ -8,7 +8,9 @@
 //
 // Experiments: elemrank (E1), space (E2 + E2b), fig10 (E3), fig11 (E4),
 // topm (E5), quality (E6), ablation (E7a-d), crossover (E8), warm (E9),
-// shard (E10, also written to -shardjson for CI trend tracking).
+// shard (E10, also written to -shardjson for CI trend tracking), cache
+// (E11, the result-cache hit-ratio/hot-cold experiment, written to
+// -cachejson).
 //
 // E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
 // run on the long-list performance corpus (see internal/datagen/perfgen),
@@ -41,6 +43,10 @@ func main() {
 		shardScale  = flag.Float64("shardscale", 4.0, "shard-experiment corpus scale factor")
 		shardJSON   = flag.String("shardjson", "BENCH_shard.json", "where the shard experiment writes its JSON report (empty: skip)")
 		baseline    = flag.String("baseline", "", "committed BENCH_shard.json to guard against (empty: no guard); exits 2 and emits a GitHub warning annotation on a >25% median-latency regression")
+
+		cacheDocs  = flag.Int("cachedocs", 6, "XMark-shaped documents in the cache-experiment corpus")
+		cacheScale = flag.Float64("cachescale", 2.0, "cache-experiment corpus scale factor")
+		cacheJSON  = flag.String("cachejson", "BENCH_cache.json", "where the cache experiment writes its JSON report (empty: skip)")
 	)
 	flag.Parse()
 
@@ -49,7 +55,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard"} {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache"} {
 			want[e] = true
 		}
 	}
@@ -217,6 +223,21 @@ func main() {
 				fmt.Printf("::warning title=bench regression::shard-bench %s\n", g)
 				os.Exit(2)
 			}
+		}
+	}
+	if want["cache"] {
+		t, rep, err := bench.E11Cache(ws+"/cacheexp", *cacheDocs, *cacheScale, *seed, *topM)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("cache hot/cold: %.0fx (hit %dµs vs cold %dµs at top-%d)\n",
+			rep.HotSpeedup, rep.HotMicros, rep.ColdMicros, *topM)
+		if *cacheJSON != "" {
+			if err := rep.WriteJSON(*cacheJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *cacheJSON)
 		}
 	}
 }

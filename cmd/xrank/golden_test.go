@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"xrank"
+	"xrank/internal/cache"
 )
 
 // Golden-file tests pin the HTTP API's response shapes. Timing-dependent
@@ -49,9 +50,13 @@ func checkGolden(t *testing.T, name string, got []byte) {
 
 // volatileNumKeys are JSON fields whose values depend on wall-clock
 // timing or cache state; they are zeroed before golden comparison.
+// "bytes" (result-cache occupancy) is deterministic for a fixed corpus
+// but tracks every snippet byte, which would make unrelated corpus edits
+// churn the golden.
 var volatileNumKeys = map[string]bool{
 	"wall_us": true, "wall_ns": true, "dur_ns": true,
 	"io_reads": true, "cache_hits": true, "seq_reads": true, "rand_reads": true,
+	"bytes": true,
 }
 
 // volatileStrKeys are timestamp-valued fields, replaced by "T".
@@ -102,6 +107,7 @@ var metricsVolatile = []*regexp.Regexp{
 	regexp.MustCompile(`^(xrank_\w+_bucket\{[^}]*\}) \d+$`),
 	regexp.MustCompile(`^(xrank_\w+_sum(\{[^}]*\})?) [0-9.eE+-]+$`),
 	regexp.MustCompile(`^(xrank_(?:page_reads|seq_reads|rand_reads|cache_hits)_total) \d+$`),
+	regexp.MustCompile(`^(xrank_cache_result_bytes) \d+$`),
 }
 
 func normalizeMetrics(body []byte) []byte {
@@ -129,7 +135,9 @@ func get(t *testing.T, mux http.Handler, url string) *httptest.ResponseRecorder 
 func TestGoldenAPI(t *testing.T) {
 	e := newTestEngine(t)
 	e.SlowLog().SetThreshold(0) // log every query
-	mux := newMux(e, muxOptions{metrics: true})
+	e.ConfigureResultCache(1 << 20)
+	e.SetCoalesceQueries(true)
+	mux := newMux(e, muxOptions{metrics: true, admission: cache.NewAdmission(4, 8)})
 
 	// 1. A budget of one device read cannot satisfy a cold RDIL query
 	//    (B+-tree probes alone need more): deterministic 503. This must
@@ -181,6 +189,41 @@ func TestGoldenAPI(t *testing.T) {
 		t.Errorf("metrics content type = %q", ct)
 	}
 	checkGolden(t, "metrics.golden", normalizeMetrics(rec.Body.Bytes()))
+
+	// 7. The exact query from step 3 again: a result-cache hit, marked in
+	//    the response and, since the threshold is zero, in the slow log.
+	rec = get(t, mux, "/api/search?q=xql+language&m=5&algo=dil")
+	if rec.Code != 200 {
+		t.Fatalf("cached search: status %d: %s", rec.Code, rec.Body)
+	}
+	checkGolden(t, "search_cached.golden", normalizeJSON(t, rec.Body.Bytes()))
+	if rec = get(t, mux, "/api/slowlog?limit=1"); !bytes.Contains(rec.Body.Bytes(), []byte(`"cached":true`)) {
+		t.Errorf("slow log's newest entry is not marked cached: %s", rec.Body)
+	}
+
+	// 8. Cache and admission introspection after the whole sequence.
+	rec = get(t, mux, "/api/cache")
+	if rec.Code != 200 {
+		t.Fatalf("cache stats: status %d", rec.Code)
+	}
+	checkGolden(t, "cache.golden", normalizeJSON(t, rec.Body.Bytes()))
+
+	// 9. A saturated admission controller with no queue sheds
+	//    deterministically: 429, Retry-After, JSON body.
+	adm := cache.NewAdmission(1, -1)
+	if err := adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Release()
+	busy := newMux(e, muxOptions{admission: adm})
+	rec = get(t, busy, "/api/search?q=xql")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("shed request: status %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("shed request Retry-After = %q, want \"1\"", ra)
+	}
+	checkGolden(t, "shed.golden", normalizeJSON(t, rec.Body.Bytes()))
 }
 
 // TestMuxOptions checks that the opt-in endpoints stay off by default.

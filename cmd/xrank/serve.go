@@ -15,7 +15,14 @@ import (
 	"time"
 
 	"xrank"
+	"xrank/internal/cache"
 )
+
+// serveCacheBytesDefault is the result-cache size the serve command uses
+// when neither the -cache-bytes flag nor the persisted engine config
+// picks one. Serving is exactly the workload the cache exists for, so it
+// is on by default here (the engine library keeps it opt-in).
+const serveCacheBytesDefault = 32 << 20
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -25,6 +32,10 @@ func cmdServe(args []string) error {
 	metrics := fs.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/")
 	failDegraded := fs.Bool("fail-on-degraded", false, "fail queries (503) instead of serving partial results when shards are excluded")
+	cacheBytes := fs.Int64("cache-bytes", -1, "result cache size in bytes (0 disables; -1 = engine config, or 32 MiB if unset)")
+	coalesce := fs.Bool("coalesce", true, "coalesce concurrent identical queries into a single execution")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /api/search requests (0 = engine config; negative disables admission control)")
+	admissionQueue := fs.Int("admission-queue", 0, "admission wait-queue length (0 = engine config or 2x max-inflight; negative disables queueing)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
@@ -42,14 +53,37 @@ func cmdServe(args []string) error {
 		}
 		e.SlowLog().SetThreshold(d)
 	}
+	cfg := e.Config()
+	bytes := *cacheBytes
+	if bytes < 0 {
+		bytes = cfg.CacheBytes
+		if bytes <= 0 {
+			bytes = serveCacheBytesDefault
+		}
+	}
+	e.ConfigureResultCache(bytes)
+	e.SetCoalesceQueries(*coalesce)
+	inflight := *maxInflight
+	if inflight == 0 {
+		inflight = cfg.MaxInflightQueries
+	}
+	queue := *admissionQueue
+	if queue == 0 {
+		queue = cfg.AdmissionQueue
+	}
+	var adm *cache.Admission
+	if inflight > 0 {
+		adm = cache.NewAdmission(inflight, queue)
+	}
 	log.Printf("xrank: serving on %s (index %s)", *addr, *dir)
-	return http.ListenAndServe(*addr, newMux(e, muxOptions{metrics: *metrics, pprof: *pprofOn}))
+	return http.ListenAndServe(*addr, newMux(e, muxOptions{metrics: *metrics, pprof: *pprofOn, admission: adm}))
 }
 
 // muxOptions selects the optional observability endpoints.
 type muxOptions struct {
-	metrics bool // serve /metrics (Prometheus text exposition)
-	pprof   bool // serve /debug/pprof/ (opt-in: exposes runtime internals)
+	metrics   bool             // serve /metrics (Prometheus text exposition)
+	pprof     bool             // serve /debug/pprof/ (opt-in: exposes runtime internals)
+	admission *cache.Admission // bound /api/search concurrency (nil: unbounded)
 }
 
 // withRecovery wraps a handler so a panicking request logs the stack,
@@ -77,6 +111,12 @@ func withRecovery(e *xrank.Engine, next http.Handler) http.Handler {
 // panic-recovery middleware.
 func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
 	mux := http.NewServeMux()
+	// Admission metrics live in the engine registry so one /metrics scrape
+	// covers the whole serving path.
+	admAdmitted := e.Metrics().Counter("xrank_admission_admitted_total", "Search requests admitted past the concurrency limiter.")
+	admShed := e.Metrics().Counter("xrank_admission_shed_total", "Search requests shed with 429: limiter saturated and queue full.")
+	admExpired := e.Metrics().Counter("xrank_admission_expired_total", "Search requests whose deadline expired while queued (503).")
+	admWaiting := e.Metrics().Gauge("xrank_admission_queued", "Search requests currently waiting for an execution slot.")
 	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
@@ -124,6 +164,33 @@ func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
 			}
 			budget = v
 		}
+		// Admission gate: parameters are validated above (rejecting a
+		// malformed request never costs a slot), and ctx already carries
+		// the request's deadline so time queued counts against it.
+		if adm := opts.admission; adm != nil {
+			admWaiting.Add(1)
+			err := adm.Acquire(ctx)
+			admWaiting.Add(-1)
+			if err != nil {
+				status := http.StatusServiceUnavailable
+				if errors.Is(err, cache.ErrQueueFull) {
+					status = http.StatusTooManyRequests
+					admShed.Inc()
+				} else {
+					admExpired.Inc()
+				}
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(status)
+				json.NewEncoder(w).Encode(map[string]interface{}{
+					"error":               err.Error(),
+					"retry_after_seconds": 1,
+				})
+				return
+			}
+			admAdmitted.Inc()
+			defer adm.Release()
+		}
 		results, stats, err := e.SearchContext(ctx, q, xrank.SearchOptions{
 			TopM: m, Algorithm: algo, MaxPageReads: budget,
 		})
@@ -140,11 +207,23 @@ func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
 			"cache_hits": stats.IO.CacheHits,
 			"shards":     stats.Shards,
 			"degraded":   stats.Degraded,
+			"cached":     stats.Cached,
 			"results":    results,
+		}
+		if stats.Coalesced {
+			resp["coalesced"] = true
 		}
 		if stats.Degraded {
 			resp["failed_shards"] = stats.FailedShards
 		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/api/cache", func(w http.ResponseWriter, r *http.Request) {
+		resp := map[string]interface{}{"cache": e.CacheStats()}
+		if opts.admission != nil {
+			resp["admission"] = opts.admission.Stats()
+		}
+		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(resp)
 	})
 	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {

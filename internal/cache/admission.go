@@ -1,0 +1,114 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Admission.Acquire when the concurrency
+// limit is reached and the wait queue is at capacity: the request is
+// shed immediately (HTTP layers answer 429 + Retry-After) instead of
+// piling onto a server that is already saturated.
+var ErrQueueFull = errors.New("cache: admission queue full")
+
+// Admission is a bounded concurrency semaphore with a deadline-aware
+// wait queue — the server's load-shedding valve. Up to maxInflight
+// requests run at once; up to queue more wait for a slot, each honoring
+// its own context (a queued request whose deadline expires leaves the
+// queue with ctx.Err() rather than occupying it dead). Anything beyond
+// that is rejected with ErrQueueFull.
+//
+// The state machine per request:
+//
+//	Acquire ── slot free ──────────────→ admitted ── Release → done
+//	   │
+//	   └─ saturated ─ queue has room ──→ queued ─ slot freed → admitted
+//	   │                                   └─ ctx done → expired (503)
+//	   └─ saturated ─ queue full ──────→ shed (429)
+type Admission struct {
+	slots    chan struct{}
+	queueCap int64
+	queued   atomic.Int64
+
+	admitted atomic.Int64
+	shedFull atomic.Int64
+	expired  atomic.Int64
+}
+
+// NewAdmission creates a controller admitting maxInflight concurrent
+// requests (minimum 1) with a wait queue of queue requests: 0 selects
+// the default of 2×maxInflight, negative disables queueing (saturated
+// means shed).
+func NewAdmission(maxInflight, queue int) *Admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	switch {
+	case queue == 0:
+		queue = 2 * maxInflight
+	case queue < 0:
+		queue = 0
+	}
+	return &Admission{slots: make(chan struct{}, maxInflight), queueCap: int64(queue)}
+}
+
+// Acquire obtains an execution slot, waiting in the queue if the
+// controller is saturated. It returns nil (caller must Release), an
+// error wrapping ErrQueueFull (request shed), or ctx.Err() (the
+// caller's deadline or cancellation fired while queued).
+func (a *Admission) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: don't occupy a slot for a request whose
+		// client already gave up.
+		a.expired.Add(1)
+		return err
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	if q := a.queued.Add(1); q > a.queueCap {
+		a.queued.Add(-1)
+		a.shedFull.Add(1)
+		return ErrQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.expired.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release frees the slot obtained by a successful Acquire.
+func (a *Admission) Release() { <-a.slots }
+
+// AdmissionStats is a point-in-time snapshot of the controller.
+type AdmissionStats struct {
+	MaxInflight int   `json:"max_inflight"`
+	QueueCap    int   `json:"queue_capacity"`
+	Inflight    int   `json:"inflight"`
+	Queued      int   `json:"queued"`
+	Admitted    int64 `json:"admitted"`
+	ShedFull    int64 `json:"shed_queue_full"`
+	Expired     int64 `json:"shed_expired"`
+}
+
+// Stats snapshots the controller's counters and occupancy.
+func (a *Admission) Stats() AdmissionStats {
+	return AdmissionStats{
+		MaxInflight: cap(a.slots),
+		QueueCap:    int(a.queueCap),
+		Inflight:    len(a.slots),
+		Queued:      int(a.queued.Load()),
+		Admitted:    a.admitted.Load(),
+		ShedFull:    a.shedFull.Load(),
+		Expired:     a.expired.Load(),
+	}
+}

@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(2, -1) // no queue
+	ctx := context.Background()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Saturated, no queue: immediate shed.
+	if err := a.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third acquire err = %v, want ErrQueueFull", err)
+	}
+	a.Release()
+	if err := a.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := a.Stats()
+	if st.Admitted != 3 || st.ShedFull != 1 || st.Inflight != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionQueueAdmitsWhenSlotFrees(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(context.Background()) }()
+	// The queued request must be blocked, not failed.
+	select {
+	case err := <-got:
+		t.Fatalf("queued request returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued request err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never admitted after release")
+	}
+}
+
+func TestAdmissionQueueDeadline(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- a.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel() // the queued caller's own context dies
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued caller err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled queued caller never returned")
+	}
+	if st := a.Stats(); st.Expired != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The queue slot was freed: a fresh caller can still queue and win.
+	a.Release()
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionDeadOnArrival(t *testing.T) {
+	a := NewAdmission(4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-on-arrival err = %v", err)
+	}
+	if st := a.Stats(); st.Inflight != 0 || st.Admitted != 0 {
+		t.Fatalf("dead request consumed a slot: %+v", st)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- a.Acquire(context.Background()) }()
+	// Wait for the queue slot to be occupied.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never occupied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-queue acquire err = %v, want ErrQueueFull", err)
+	}
+	a.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued caller err = %v", err)
+	}
+}
+
+// TestAdmissionConcurrencyBound hammers the controller under -race and
+// asserts the inflight bound is never exceeded.
+func TestAdmissionConcurrencyBound(t *testing.T) {
+	const bound = 4
+	a := NewAdmission(bound, 1000)
+	var (
+		mu      sync.Mutex
+		cur     int
+		maxSeen int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := a.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > maxSeen {
+				maxSeen = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			a.Release()
+		}()
+	}
+	wg.Wait()
+	if maxSeen > bound {
+		t.Fatalf("observed %d concurrent holders, bound %d", maxSeen, bound)
+	}
+	if st := a.Stats(); st.Admitted != 64 || st.Inflight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,202 @@
+// Package cache implements the engine's whole-query reuse and overload
+// protection layer: a sharded, byte-bounded LRU result cache keyed by a
+// canonicalized query fingerprint and guarded by the engine's generation
+// counter (Get/Put carry the generation, so bumping it invalidates every
+// entry in O(1)); a singleflight group that coalesces concurrent
+// identical queries into one execution; and an admission controller —
+// a bounded concurrency semaphore with a deadline-aware wait queue —
+// that sheds load instead of collapsing under burst traffic.
+//
+// The package is engine-agnostic: values are opaque `any` payloads with
+// caller-supplied byte sizes, so the same machinery could cache postings
+// fragments or materialized answer sets.
+package cache
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// entry is one cached value on a shard's intrusive LRU list.
+type entry struct {
+	key        string
+	val        any
+	size       int64
+	gen        uint64
+	prev, next *entry // nil-terminated; head is most recently used
+}
+
+// lruShard is one lock-striped slice of the cache.
+type lruShard struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	m        map[string]*entry
+	head     *entry
+	tail     *entry
+}
+
+func (s *lruShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruShard) pushFront(e *entry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *lruShard) remove(e *entry) {
+	s.unlink(e)
+	delete(s.m, e.key)
+	s.bytes -= e.size
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Capacity  int64 `json:"capacity_bytes"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"` // includes stale lookups
+	Stale     int64 `json:"stale"`  // entries dropped on lookup after a generation bump
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is a sharded, byte-bounded LRU map from canonical query keys to
+// opaque values. All methods are safe for concurrent use. Entries carry
+// the generation they were stored under; a lookup with a newer
+// generation treats the entry as stale and drops it, so bumping the
+// generation invalidates the whole cache without touching any entry.
+type Cache struct {
+	shards []*lruShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stale     atomic.Int64
+	evictions atomic.Int64
+}
+
+// defaultShards is the lock-stripe count; capacity splits evenly.
+const defaultShards = 16
+
+// New creates a cache bounded to roughly capacity bytes, striped over
+// nShards locks (<= 0 selects 16). Each stripe gets capacity/nShards
+// bytes; a value larger than its stripe's bound is not stored.
+func New(capacity int64, nShards int) *Cache {
+	if nShards <= 0 {
+		nShards = defaultShards
+	}
+	if capacity < int64(nShards) {
+		capacity = int64(nShards)
+	}
+	c := &Cache{shards: make([]*lruShard, nShards)}
+	for i := range c.shards {
+		c.shards[i] = &lruShard{capacity: capacity / int64(nShards), m: make(map[string]*entry)}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *lruShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum64()%uint64(len(c.shards))]
+}
+
+// Get returns the value stored under key at generation gen. stale
+// reports that an entry existed but was dropped because it predates gen
+// (a generation bump invalidated it); stale lookups count as misses.
+func (c *Cache) Get(key string, gen uint64) (val any, ok, stale bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e := s.m[key]
+	switch {
+	case e == nil:
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false, false
+	case e.gen != gen:
+		s.remove(e)
+		s.mu.Unlock()
+		c.stale.Add(1)
+		c.misses.Add(1)
+		return nil, false, true
+	default:
+		s.unlink(e)
+		s.pushFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true, false
+	}
+}
+
+// Put stores val (of the given byte size) under key at generation gen,
+// evicting least-recently-used entries on the key's stripe as needed,
+// and returns how many entries were evicted. A value larger than the
+// stripe's capacity is not stored (the cache would just thrash).
+func (c *Cache) Put(key string, val any, size int64, gen uint64) (evicted int) {
+	s := c.shardFor(key)
+	if size > s.capacity {
+		return 0
+	}
+	s.mu.Lock()
+	if old := s.m[key]; old != nil {
+		s.remove(old)
+	}
+	e := &entry{key: key, val: val, size: size, gen: gen}
+	s.m[key] = e
+	s.bytes += size
+	s.pushFront(e)
+	for s.bytes > s.capacity && s.tail != nil {
+		s.remove(s.tail)
+		evicted++
+	}
+	s.mu.Unlock()
+	c.evictions.Add(int64(evicted))
+	return evicted
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache's counters and occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Capacity += s.capacity
+		st.Bytes += s.bytes
+		st.Entries += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(1<<20, 4)
+	if _, ok, stale := c.Get("a", 0); ok || stale {
+		t.Fatalf("empty cache: ok=%v stale=%v", ok, stale)
+	}
+	c.Put("a", "va", 10, 0)
+	v, ok, _ := c.Get("a", 0)
+	if !ok || v.(string) != "va" {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// Replacement keeps one entry and the newest value.
+	c.Put("a", "vb", 12, 0)
+	if v, _, _ := c.Get("a", 0); v.(string) != "vb" {
+		t.Fatalf("after replace: %v", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Bytes != 12 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheGenerationInvalidation(t *testing.T) {
+	c := New(1<<20, 1)
+	c.Put("k", 1, 8, 7)
+	if _, ok, _ := c.Get("k", 7); !ok {
+		t.Fatal("same generation should hit")
+	}
+	// A generation bump makes every prior entry stale in O(1): nothing
+	// was touched, the lookup itself drops the entry.
+	v, ok, stale := c.Get("k", 8)
+	if ok || !stale || v != nil {
+		t.Fatalf("stale lookup: v=%v ok=%v stale=%v", v, ok, stale)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not dropped: Len=%d", c.Len())
+	}
+	// And the old-generation slot is simply gone, not resurrectable.
+	if _, ok, stale := c.Get("k", 7); ok || stale {
+		t.Fatalf("re-lookup at old gen: ok=%v stale=%v", ok, stale)
+	}
+	st := c.Stats()
+	if st.Stale != 1 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheByteBoundEviction(t *testing.T) {
+	// One stripe so LRU order is global and deterministic.
+	c := New(100, 1)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 20, 0) // fills exactly
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	c.Get("k0", 0)
+	if ev := c.Put("k5", 5, 20, 0); ev != 1 {
+		t.Fatalf("evicted %d entries, want 1", ev)
+	}
+	if _, ok, _ := c.Get("k1", 0); ok {
+		t.Fatal("k1 (LRU) should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4", "k5"} {
+		if _, ok, _ := c.Get(k, 0); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if st := c.Stats(); st.Bytes != 100 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheOversizedValueNotStored(t *testing.T) {
+	c := New(64, 1)
+	if ev := c.Put("big", "x", 65, 0); ev != 0 {
+		t.Fatalf("oversized put evicted %d", ev)
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized value was stored")
+	}
+}
+
+func TestCacheMultiEvictionOnLargePut(t *testing.T) {
+	c := New(100, 1)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 20, 0)
+	}
+	// 100 resident + 90 incoming: every 20-byte entry must go before
+	// the total fits under the 100-byte bound again.
+	if ev := c.Put("wide", 9, 90, 0); ev != 5 {
+		t.Fatalf("evicted %d entries, want 5", ev)
+	}
+	if _, ok, _ := c.Get("wide", 0); !ok {
+		t.Fatal("wide entry missing")
+	}
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("bytes %d over capacity", st.Bytes)
+	}
+}
+
+func TestCacheStriping(t *testing.T) {
+	// Many keys must spread over the stripes rather than piling onto one.
+	c := New(1<<20, 8)
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i, 16, 0)
+	}
+	occupied := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		if len(s.m) > 0 {
+			occupied++
+		}
+		s.mu.Unlock()
+	}
+	if occupied < 4 {
+		t.Fatalf("256 keys landed on only %d/8 stripes", occupied)
+	}
+}

@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec is everything that determines a query's result set, in the form
+// the engine resolved it (engine-level defaults already applied). Key
+// canonicalizes it so that semantically identical queries collide:
+//
+//   - duplicate terms are redundant under both conjunctive and
+//     disjunctive semantics (the processors deduplicate, keeping the
+//     first occurrence), so they are dropped;
+//   - term order never affects scores — per-keyword contributions are
+//     summed and the proximity window is set-based — so terms sort
+//     lexicographically, each keeping the weight that was aligned with
+//     it (weights pair with distinct terms in order of first
+//     appearance, exactly as query.Options.Weights is defined);
+//   - an all-ones weight vector means the same as no weights at all.
+//
+// Every option that can change the result set is encoded unambiguously
+// (quoted terms, exact hex floats), so distinct options never collide.
+type Spec struct {
+	// Terms are the tokenized keywords in query order, duplicates and all.
+	Terms []string
+	// Weights aligns with the distinct terms in order of first
+	// appearance; nil (or all ones) means unweighted. A vector whose
+	// length does not match the distinct-term count is encoded verbatim:
+	// such a query fails validation anyway, and a malformed spec must
+	// still never collide with a well-formed one.
+	Weights []float64
+	// Algo labels the processor ("DIL", "HDIL", ..., "Disjunctive").
+	Algo string
+	// TopM is the resolved result count.
+	TopM int
+	// Decay is the resolved per-level rank decay.
+	Decay float64
+	// Proximity is the resolved proximity-factor switch.
+	Proximity bool
+	// SumAgg selects f=sum occurrence aggregation.
+	SumAgg bool
+	// TFIDF selects tf-idf scoring.
+	TFIDF bool
+}
+
+// Key renders the canonical cache key. Two Specs produce the same key
+// iff they describe the same result computation.
+func (s Spec) Key() string {
+	terms, weights := s.canonicalTerms()
+	var b strings.Builder
+	b.Grow(64 + 16*len(terms))
+	b.WriteString("q1|a=")
+	b.WriteString(strconv.Quote(s.Algo))
+	b.WriteString("|m=")
+	b.WriteString(strconv.Itoa(s.TopM))
+	b.WriteString("|d=")
+	b.WriteString(strconv.FormatFloat(s.Decay, 'x', -1, 64))
+	b.WriteString("|p=")
+	b.WriteString(strconv.FormatBool(s.Proximity))
+	b.WriteString("|s=")
+	b.WriteString(strconv.FormatBool(s.SumAgg))
+	b.WriteString("|t=")
+	b.WriteString(strconv.FormatBool(s.TFIDF))
+	for i, t := range terms {
+		b.WriteString("|k=")
+		b.WriteString(strconv.Quote(t))
+		if weights != nil {
+			b.WriteString(":")
+			b.WriteString(strconv.FormatFloat(weights[i], 'x', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// canonicalTerms deduplicates (first occurrence wins, pairing each
+// distinct term with its weight) and sorts term/weight pairs by term.
+// The returned weights slice is nil when the vector is absent,
+// all-ones, or misaligned (misaligned vectors are appended verbatim by
+// Key through a sentinel term so they cannot collide).
+func (s Spec) canonicalTerms() ([]string, []float64) {
+	type tw struct {
+		term   string
+		weight float64
+	}
+	seen := make(map[string]bool, len(s.Terms))
+	pairs := make([]tw, 0, len(s.Terms))
+	for _, t := range s.Terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		pairs = append(pairs, tw{term: t, weight: 1})
+	}
+	weighted := false
+	if len(s.Weights) == len(pairs) && len(s.Weights) > 0 {
+		for i := range pairs {
+			pairs[i].weight = s.Weights[i]
+			if s.Weights[i] != 1 {
+				weighted = true
+			}
+		}
+	} else if len(s.Weights) > 0 {
+		// Misaligned vector: keep it distinguishable without pretending
+		// it pairs with any term.
+		weighted = true
+		pairs = append(pairs, tw{term: "\x00misaligned", weight: float64(len(s.Weights))})
+		for i, w := range s.Weights {
+			pairs = append(pairs, tw{term: "\x00w" + strconv.Itoa(i), weight: w})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].term < pairs[j].term })
+	terms := make([]string, len(pairs))
+	var weights []float64
+	if weighted {
+		weights = make([]float64, len(pairs))
+	}
+	for i, p := range pairs {
+		terms[i] = p.term
+		if weighted {
+			weights[i] = p.weight
+		}
+	}
+	return terms, weights
+}

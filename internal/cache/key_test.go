@@ -1,0 +1,79 @@
+package cache
+
+import "testing"
+
+func baseSpec() Spec {
+	return Spec{
+		Terms:     []string{"xml", "ranked", "search"},
+		Algo:      "HDIL",
+		TopM:      10,
+		Decay:     0.75,
+		Proximity: true,
+	}
+}
+
+func TestKeyTermOrderAndDuplicates(t *testing.T) {
+	want := baseSpec().Key()
+	equivalent := []Spec{
+		{Terms: []string{"search", "xml", "ranked"}, Algo: "HDIL", TopM: 10, Decay: 0.75, Proximity: true},
+		{Terms: []string{"ranked", "xml", "xml", "search", "ranked"}, Algo: "HDIL", TopM: 10, Decay: 0.75, Proximity: true},
+		{Terms: []string{"xml", "ranked", "search"}, Weights: []float64{1, 1, 1}, Algo: "HDIL", TopM: 10, Decay: 0.75, Proximity: true},
+	}
+	for i, s := range equivalent {
+		if got := s.Key(); got != want {
+			t.Errorf("equivalent spec %d: key %q != %q", i, got, want)
+		}
+	}
+}
+
+func TestKeyWeightsFollowTerms(t *testing.T) {
+	a := baseSpec()
+	a.Weights = []float64{2, 1, 3} // xml=2 ranked=1 search=3
+	b := baseSpec()
+	b.Terms = []string{"search", "ranked", "xml"}
+	b.Weights = []float64{3, 1, 2} // same term→weight mapping
+	if a.Key() != b.Key() {
+		t.Errorf("reordered weighted query should collide:\n%q\n%q", a.Key(), b.Key())
+	}
+	c := baseSpec()
+	c.Weights = []float64{3, 1, 2} // different mapping
+	if a.Key() == c.Key() {
+		t.Error("different weight assignment must not collide")
+	}
+}
+
+func TestKeyDistinctOptionsDiffer(t *testing.T) {
+	base := baseSpec()
+	mutations := []func(*Spec){
+		func(s *Spec) { s.Algo = "DIL" },
+		func(s *Spec) { s.Algo = "Disjunctive" },
+		func(s *Spec) { s.TopM = 11 },
+		func(s *Spec) { s.Decay = 0.5 },
+		func(s *Spec) { s.Proximity = false },
+		func(s *Spec) { s.SumAgg = true },
+		func(s *Spec) { s.TFIDF = true },
+		func(s *Spec) { s.Terms = append([]string{"extra"}, s.Terms...) },
+		func(s *Spec) { s.Weights = []float64{2, 1, 1} },
+		func(s *Spec) { s.Weights = []float64{1, 1} }, // misaligned ≠ unweighted
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, mutate := range mutations {
+		s := baseSpec()
+		s.Terms = append([]string(nil), s.Terms...)
+		mutate(&s)
+		k := s.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %d collides with %d: %q", i, prev, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestKeyQuotingIsUnambiguous(t *testing.T) {
+	// Terms containing the separators must not forge another spec's key.
+	a := Spec{Terms: []string{`x|k="y"`}, Algo: "DIL", TopM: 10, Decay: 0.75}
+	b := Spec{Terms: []string{"x", "y"}, Algo: "DIL", TopM: 10, Decay: 0.75}
+	if a.Key() == b.Key() {
+		t.Errorf("separator-bearing term forged a key: %q", a.Key())
+	}
+}

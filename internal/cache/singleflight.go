@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress shared execution.
+type flight struct {
+	done    chan struct{} // closed when val/err are set
+	val     any
+	err     error
+	waiters int                // callers currently blocked on done
+	cancel  context.CancelFunc // cancels the execution context
+}
+
+// Group coalesces concurrent calls with the same key into a single
+// execution (singleflight). The zero value is ready to use.
+//
+// Cancellation is waiter-side: the execution runs under its own context
+// detached from any caller's, so one caller's deadline expiring makes
+// that caller return ctx.Err() without killing the shared flight. Only
+// when every caller has abandoned the flight is its context cancelled —
+// nobody wants the answer, so the execution aborts at its next
+// cancellation check instead of burning I/O.
+type Group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// Do executes fn under key, coalescing with any in-progress call for
+// the same key. fn receives the flight's own context (see Group).
+//
+// leader reports that this caller created the flight and carried it to
+// completion: exactly one caller per execution returns leader=true, and
+// only if it was not cancelled while waiting. Every other caller either
+// shares the flight's outcome (val/err) or, if its own ctx ends first,
+// returns ctx.Err() with leader=false.
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, leader bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	created := false
+	if !ok {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel}
+		g.flights[key] = f
+		created = true
+		go func() {
+			v, e := fn(fctx)
+			g.mu.Lock()
+			f.val, f.err = v, e
+			// Unpublish before completing: callers arriving after this
+			// point start a fresh flight instead of reading a stale one.
+			// Guarded by identity — an abandoned flight was already
+			// unpublished, and the key may carry a successor by now.
+			if g.flights[key] == f {
+				delete(g.flights, key)
+			}
+			g.mu.Unlock()
+			close(f.done)
+			cancel()
+		}()
+	}
+	f.waiters++
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, f.err, created
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		if abandoned && g.flights[key] == f {
+			// Unpublish before cancelling: the doomed execution is about
+			// to abort with a cancellation error, and a caller arriving
+			// later must start a fresh flight rather than inherit it.
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		if abandoned {
+			// Last caller out: nobody is waiting for this execution
+			// anymore, so cancel it.
+			f.cancel()
+		}
+		return nil, ctx.Err(), false
+	}
+}

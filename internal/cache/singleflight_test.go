@@ -1,0 +1,226 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalesceExactlyOnce is the coalescing contract under -race: many
+// goroutines issue the same key while some waiters' contexts are
+// cancelled mid-flight. The cancelled waiters get ctx.Err() promptly,
+// every survivor gets the shared result, and the function ran exactly
+// once.
+func TestCoalesceExactlyOnce(t *testing.T) {
+	var g Group
+	var executions atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	fn := func(ctx context.Context) (any, error) {
+		executions.Add(1)
+		close(started)
+		<-release
+		return "answer", nil
+	}
+
+	const survivors, cancelled = 12, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, survivors+cancelled)
+
+	// The leader plus the surviving waiters.
+	for i := 0; i < survivors; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := g.Do(context.Background(), "q", fn)
+			if err != nil || v.(string) != "answer" {
+				errs <- errorsJoin("survivor", v, err)
+			}
+		}()
+	}
+	<-started // the flight is running; joiners from here on coalesce
+
+	// Waiters whose own context dies while the flight is in progress.
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	var cwg sync.WaitGroup
+	for i := 0; i < cancelled; i++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			v, err, leader := g.Do(cancelCtx, "q", fn)
+			if !errors.Is(err, context.Canceled) || v != nil || leader {
+				errs <- errorsJoin("cancelled waiter", v, err)
+			}
+		}()
+	}
+	// Give the cancelled waiters time to join the flight, then cut them
+	// loose while the flight is still blocked on release.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	cwg.Wait() // they must return without the flight completing
+
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("flight ran %d times, want exactly 1", n)
+	}
+
+	// The key is free again: the next call starts a fresh flight.
+	release = make(chan struct{})
+	close(release)
+	started = make(chan struct{}, 1)
+	v, err, leader := g.Do(context.Background(), "q", func(ctx context.Context) (any, error) {
+		executions.Add(1)
+		return "second", nil
+	})
+	if err != nil || v.(string) != "second" || !leader {
+		t.Fatalf("fresh flight: v=%v err=%v leader=%v", v, err, leader)
+	}
+	if n := executions.Load(); n != 2 {
+		t.Fatalf("fresh flight did not execute (total %d)", n)
+	}
+}
+
+func errorsJoin(who string, v any, err error) error {
+	return errors.New(who + ": unexpected outcome: " + valString(v) + " / " + errString(err))
+}
+
+func valString(v any) string {
+	if v == nil {
+		return "<nil>"
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return "?"
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// TestCoalesceAbandonedFlightCancelled: when every caller abandons the
+// flight, its execution context is cancelled so the work stops.
+func TestCoalesceAbandonedFlightCancelled(t *testing.T) {
+	var g Group
+	flightDone := make(chan error, 1)
+	started := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done() // only an abandoned flight unblocks this
+			flightDone <- fctx.Err()
+			return nil, fctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoning caller err = %v", err)
+		}
+	}()
+	<-started
+	cancel() // the only caller leaves → the flight must be cancelled
+	select {
+	case err := <-flightDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("flight context err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context never cancelled after all callers left")
+	}
+}
+
+// TestCoalesceAbandonedFlightUnpublished: once every caller has
+// abandoned a flight, a NEW caller must start a fresh execution rather
+// than join the doomed (already-cancelled) one and inherit its
+// cancellation error.
+func TestCoalesceAbandonedFlightUnpublished(t *testing.T) {
+	var g Group
+	started := make(chan struct{})
+	doomedExited := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	abandonerDone := make(chan struct{})
+	go func() {
+		defer close(abandonerDone)
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done()
+			close(doomedExited)
+			return nil, fctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoning caller err = %v", err)
+		}
+	}()
+	<-started
+	cancel()
+	<-abandonerDone // the abandoner has unpublished and cancelled the flight
+
+	v, err, leader := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || v.(string) != "fresh" || !leader {
+		t.Fatalf("post-abandon caller: v=%v err=%v leader=%v (joined the doomed flight?)", v, err, leader)
+	}
+	select {
+	case <-doomedExited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("doomed flight never observed its cancellation")
+	}
+}
+
+// TestCoalesceSharedError: a failing flight hands the same error to all
+// coalesced callers.
+func TestCoalesceSharedError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make(chan error, 4)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+		results <- err
+	}()
+	<-started
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// If this caller loses the race to join (the flight resolved
+			// first), it legitimately starts a fresh flight — which fails
+			// the same way, so the assertion below holds either way.
+			_, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				return nil, boom
+			})
+			results <- err
+		}()
+	}
+	// Let the three waiters join before the flight resolves; sharing is
+	// still correct either way, but this exercises the coalesced path.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(results)
+	for err := range results {
+		if !errors.Is(err, boom) {
+			t.Errorf("caller err = %v, want boom", err)
+		}
+	}
+}

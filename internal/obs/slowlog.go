@@ -15,6 +15,8 @@ type SlowLogEntry struct {
 	Reads     int64         `json:"io_reads"`
 	CacheHits int64         `json:"cache_hits"`
 	Degraded  bool          `json:"degraded,omitempty"` // served with shards excluded
+	Cached    bool          `json:"cached,omitempty"`   // served from the result cache
+	Coalesced bool          `json:"coalesced,omitempty"` // shared another caller's execution
 	Err       string        `json:"error,omitempty"`
 	Spans     []Span        `json:"spans,omitempty"`
 }

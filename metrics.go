@@ -36,6 +36,18 @@ type engineMetrics struct {
 	shards       *obs.Gauge
 	unhealthy    *obs.Gauge
 	inflight     *obs.Gauge
+
+	// Result-cache and coalescing series. The xrank_cache_hits_total
+	// family above predates the result cache and counts buffer-pool page
+	// hits; these count whole-query reuse ("result" in the name keeps
+	// the two apart).
+	resultHits      *obs.Counter
+	resultMisses    *obs.Counter
+	resultStale     *obs.Counter
+	resultEvictions *obs.Counter
+	resultBytes     *obs.Gauge
+	resultEntries   *obs.Gauge
+	coalesced       *obs.Counter
 }
 
 // Metric family names and help strings, shared by the per-query
@@ -79,6 +91,14 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 		shards:       r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
 		unhealthy:    r.Gauge("xrank_shard_unhealthy", "Shards currently marked unhealthy and excluded from queries."),
 		inflight:     r.Gauge("xrank_inflight_queries", "Queries currently executing."),
+
+		resultHits:      r.Counter("xrank_cache_result_hits_total", "Queries answered from the result cache."),
+		resultMisses:    r.Counter("xrank_cache_result_misses_total", "Cacheable queries that missed the result cache."),
+		resultStale:     r.Counter("xrank_cache_result_stale_total", "Result-cache lookups that dropped an entry from an older generation."),
+		resultEvictions: r.Counter("xrank_cache_result_evictions_total", "Result-cache entries evicted to stay under the byte bound."),
+		resultBytes:     r.Gauge("xrank_cache_result_bytes", "Bytes resident in the result cache."),
+		resultEntries:   r.Gauge("xrank_cache_result_entries", "Entries resident in the result cache."),
+		coalesced:       r.Counter("xrank_coalesced_queries_total", "Queries served by joining another caller's in-flight execution."),
 	}
 }
 
@@ -134,6 +154,8 @@ func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err err
 		Reads:     stats.IO.Reads,
 		CacheHits: stats.IO.CacheHits,
 		Degraded:  stats.Degraded,
+		Cached:    stats.Cached,
+		Coalesced: stats.Coalesced,
 		Spans:     stats.Trace,
 	}
 	if err != nil {

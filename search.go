@@ -7,6 +7,7 @@ import (
 	"time"
 	"unicode/utf8"
 
+	"xrank/internal/cache"
 	"xrank/internal/dewey"
 	"xrank/internal/obs"
 	"xrank/internal/query"
@@ -118,6 +119,15 @@ type QueryStats struct {
 	SwitchedToDIL bool          // HDIL only: true if any shard switched
 	Shards        int           // index partitions the query fanned out over
 
+	// Cached reports the results were served from the engine's result
+	// cache: no index I/O happened on behalf of this call, and IO,
+	// SimulatedTime and the execution spans of Trace are zero/absent.
+	// Coalesced reports the results were shared from another caller's
+	// concurrent identical execution (the I/O is attributed to that
+	// execution, not this call). At most one of the two is set.
+	Cached    bool
+	Coalesced bool
+
 	// Degraded reports that the query completed without some shards:
 	// transient device faults survived the retry budget, or shards already
 	// marked unhealthy were skipped. The results are the correct top-k of
@@ -179,6 +189,13 @@ const (
 // expiration of ctx aborts the query at its next page access or
 // merge-loop boundary with ctx's error; exceeding opts.MaxPageReads
 // aborts it with an error wrapping ErrBudgetExceeded.
+//
+// With Config.CacheBytes > 0 a repeated query may be answered from the
+// result cache (QueryStats.Cached); with Config.CoalesceQueries
+// concurrent identical queries share one execution
+// (QueryStats.Coalesced). Build, DeleteDoc and ColdCache invalidate all
+// cached results; degraded results are never cached. Queries with
+// opts.ColdCache or a page-read budget always execute fresh.
 func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions) ([]SearchResult, *QueryStats, error) {
 	if e.ix == nil {
 		return nil, nil, fmt.Errorf("xrank: engine not built")
@@ -196,10 +213,178 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 		opts.TopM = 10
 	}
 	if opts.ColdCache {
+		// A cold measurement must not be answered from the result cache
+		// either: bump the generation so prior results read as stale.
+		e.gen.Add(1)
 		if err := e.ix.ColdCache(); err != nil {
 			return nil, nil, err
 		}
 	}
+
+	// Result-cache and coalescing eligibility. ColdCache queries are
+	// measurements and must execute. Budgeted queries execute too: the
+	// budget changes whether a query errors, not what it returns, so
+	// sharing one execution (or its cached result) across callers with
+	// different budgets would serve the wrong outcome.
+	shareable := !opts.ColdCache && opts.MaxPageReads == 0
+	if !shareable || (e.rcache == nil && !e.cfg.CoalesceQueries) {
+		return e.executeQuery(ctx, q, keywords, opts, trace, start)
+	}
+
+	// The generation is captured before the lookup and before execution
+	// starts: a Build/DeleteDoc/ColdCache that lands mid-flight bumps the
+	// counter past gen, so the entry stored below is already stale and can
+	// never be served.
+	gen := e.gen.Load()
+	key := e.cacheKey(keywords, opts)
+
+	if e.rcache != nil {
+		if v, ok, stale := e.rcache.Get(key, gen); ok {
+			return e.serveShared(v.(*flightEntry), q, keywords, opts, trace, start, true)
+		} else if stale {
+			e.met.resultStale.Inc()
+		}
+		e.met.resultMisses.Inc()
+	}
+
+	if !e.cfg.CoalesceQueries {
+		out, stats, err := e.executeQuery(ctx, q, keywords, opts, trace, start)
+		if err == nil && !stats.Degraded {
+			e.storeResult(key, gen, &flightEntry{results: copyResults(out), shards: stats.Shards})
+		}
+		return out, stats, err
+	}
+
+	// Coalesced path: the flight runs executeQuery under its own context
+	// (waiter-side cancellation, see cache.Group), records its own
+	// metrics, and publishes an immutable flightEntry for the cache and
+	// for every coalesced caller. leaderOut/leaderStats hand the
+	// execution's own results back to the creator without a copy; the
+	// close of the flight's done channel orders the writes before the
+	// creator's read.
+	var (
+		leaderOut   []SearchResult
+		leaderStats *QueryStats
+	)
+	v, err, leader := e.flights.Do(ctx, key, func(fctx context.Context) (any, error) {
+		out, stats, err := e.executeQuery(fctx, q, keywords, opts, trace, start)
+		if err != nil {
+			return nil, err
+		}
+		fv := &flightEntry{results: copyResults(out), shards: stats.Shards}
+		if !stats.Degraded {
+			e.storeResult(key, gen, fv)
+		}
+		leaderOut, leaderStats = out, stats
+		return fv, nil
+	})
+	switch {
+	case err == nil && leader:
+		return leaderOut, leaderStats, nil
+	case err == nil:
+		return e.serveShared(v.(*flightEntry), q, keywords, opts, trace, start, false)
+	case leader:
+		// The execution itself already recorded the failure.
+		return nil, nil, err
+	default:
+		// A waiter that ends with an error — the shared flight failed, or
+		// this caller's own ctx died while waiting — is still a served
+		// request: account it like any failed query.
+		stats := &QueryStats{Algorithm: opts.Algorithm, Keywords: keywords, Coalesced: true}
+		e.met.queryStarted()
+		e.met.coalesced.Inc()
+		stats.WallTime = time.Since(start)
+		stats.Trace = trace.Spans()
+		e.met.queryFinished(algoLabel(opts), q, stats, err)
+		return nil, nil, err
+	}
+}
+
+// flightEntry is the immutable value shared through the result cache and
+// between coalesced callers: nothing mutates it after creation, and
+// every shared serving copies results out (callers own their slices).
+type flightEntry struct {
+	results []SearchResult
+	shards  int
+}
+
+// size estimates the entry's resident bytes for the cache's byte bound.
+func (f *flightEntry) size(key string) int64 {
+	n := int64(len(key)) + 128 // entry, map slot and struct overhead
+	for i := range f.results {
+		r := &f.results[i]
+		n += int64(len(r.DeweyID)+len(r.Doc)+len(r.Path)+len(r.Tag)+len(r.Snippet)) + 64
+	}
+	return n
+}
+
+func copyResults(rs []SearchResult) []SearchResult {
+	return append([]SearchResult(nil), rs...)
+}
+
+// cacheKey canonicalizes one query for the result cache and the
+// coalescing group, with engine-level defaults resolved so that e.g. an
+// explicit opts.Decay equal to the engine default still collides.
+func (e *Engine) cacheKey(keywords []string, opts SearchOptions) string {
+	decay := opts.Decay
+	if decay == 0 {
+		decay = e.cfg.Decay
+	}
+	return cache.Spec{
+		Terms:     keywords,
+		Weights:   opts.Weights,
+		Algo:      algoLabel(opts),
+		TopM:      opts.TopM,
+		Decay:     decay,
+		Proximity: !opts.ProximityOff,
+		SumAgg:    opts.SumAggregation,
+		TFIDF:     opts.TFIDF,
+	}.Key()
+}
+
+// storeResult puts one completed query's entry into the result cache
+// (no-op when disabled) and refreshes the cache gauges.
+func (e *Engine) storeResult(key string, gen uint64, fv *flightEntry) {
+	if e.rcache == nil {
+		return
+	}
+	if ev := e.rcache.Put(key, fv, fv.size(key), gen); ev > 0 {
+		e.met.resultEvictions.Add(int64(ev))
+	}
+	cs := e.rcache.Stats()
+	e.met.resultBytes.Set(cs.Bytes)
+	e.met.resultEntries.Set(int64(cs.Entries))
+}
+
+// serveShared answers one caller without executing: from the result
+// cache (cached=true) or from another caller's completed flight. The
+// request is fully accounted — one queries_total increment, its own
+// wall time and slow-log entry — with zero I/O, since the index reads
+// happened elsewhere (or never, for a cache hit).
+func (e *Engine) serveShared(fv *flightEntry, q string, keywords []string, opts SearchOptions, trace *obs.Trace, start time.Time, cached bool) ([]SearchResult, *QueryStats, error) {
+	stats := &QueryStats{
+		Algorithm: opts.Algorithm,
+		Keywords:  keywords,
+		Shards:    fv.shards,
+		Cached:    cached,
+		Coalesced: !cached,
+	}
+	e.met.queryStarted()
+	if cached {
+		e.met.resultHits.Inc()
+	} else {
+		e.met.coalesced.Inc()
+	}
+	stats.WallTime = time.Since(start)
+	stats.Trace = trace.Spans()
+	e.met.queryFinished(algoLabel(opts), q, stats, nil)
+	return copyResults(fv.results), stats, nil
+}
+
+// executeQuery runs one query for real — private execution context, I/O
+// attribution, metrics and slow-log recording — continuing the trace and
+// clock the caller started at tokenization.
+func (e *Engine) executeQuery(ctx context.Context, q string, keywords []string, opts SearchOptions, trace *obs.Trace, start time.Time) ([]SearchResult, *QueryStats, error) {
 	ec := storage.NewExecContext(ctx)
 	if opts.MaxPageReads > 0 {
 		ec.SetBudget(opts.MaxPageReads)

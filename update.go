@@ -40,6 +40,12 @@ func (e *Engine) DeleteDoc(name string) error {
 			}
 			e.deleted[d.ID] = true
 			e.mu.Unlock()
+			// Bump the cache generation only after the tombstone is
+			// visible: a query that misses the cache from here on filters
+			// the document, and anything cached before the bump reads as
+			// stale. The other order would let a pre-delete result be
+			// re-served after the delete.
+			e.gen.Add(1)
 			return e.persistManifest(e.cfg.IndexDir)
 		}
 	}

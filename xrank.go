@@ -29,8 +29,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"xrank/internal/cache"
 	"xrank/internal/elemrank"
 	"xrank/internal/index"
 	"xrank/internal/query"
@@ -123,6 +125,30 @@ type Config struct {
 	// negative disables marking.
 	ShardFailureThreshold int
 
+	// CacheBytes bounds the in-memory query result cache: repeated
+	// queries with the same canonical fingerprint (normalized keywords +
+	// algorithm + k + ranking options) are answered from memory without
+	// touching the index. Entries are guarded by the engine's generation
+	// counter — DeleteDoc, Build and ColdCache bump it, so a stale
+	// result is never served. Zero (the default) disables the cache;
+	// the serve command enables a 32 MiB cache unless told otherwise.
+	// Degraded (partial-shard) results are never cached.
+	CacheBytes int64
+	// CoalesceQueries collapses concurrent identical queries into one
+	// execution (singleflight): N callers asking the same canonical
+	// query share one merge, each still honoring its own context
+	// deadline. Off by default; the serve command turns it on.
+	CoalesceQueries bool
+	// MaxInflightQueries and AdmissionQueue are the HTTP server's
+	// admission-control defaults (overridable by serve flags): at most
+	// MaxInflightQueries /api/search requests execute concurrently, up
+	// to AdmissionQueue more wait for a slot (0 selects 2× the inflight
+	// bound, negative disables queueing), and the rest are shed with
+	// 429 + Retry-After. Zero MaxInflightQueries disables admission
+	// control. The engine itself does not enforce these; see cmd/xrank.
+	MaxInflightQueries int
+	AdmissionQueue     int
+
 	// FS is the file system every persisted artifact goes through (nil =
 	// the real file system). Fault-injection and crash-simulation tests
 	// substitute a storage.FaultFS. Not persisted in the manifest.
@@ -180,6 +206,18 @@ type Engine struct {
 	// deleted holds tombstoned document IDs; their elements are filtered
 	// from results at query time (Section 4.5).
 	deleted map[uint32]bool
+
+	// gen is the cache-invalidation generation: result-cache entries
+	// are stored under the generation current when their execution
+	// began, and served only while it is still current. Build,
+	// DeleteDoc and ColdCache bump it — O(1) whole-cache invalidation.
+	gen atomic.Uint64
+	// rcache is the query result cache (nil when Config.CacheBytes
+	// leaves it disabled).
+	rcache *cache.Cache
+	// flights coalesces concurrent identical queries when
+	// Config.CoalesceQueries is set.
+	flights cache.Group
 }
 
 type docEntry struct {
@@ -217,7 +255,11 @@ func NewEngine(cfg *Config) *Engine {
 		c = *cfg
 	}
 	c.fill()
-	return &Engine{cfg: c, col: xmldoc.NewCollection(), met: newEngineMetrics(&c)}
+	e := &Engine{cfg: c, col: xmldoc.NewCollection(), met: newEngineMetrics(&c)}
+	if c.CacheBytes > 0 {
+		e.rcache = cache.New(c.CacheBytes, 0)
+	}
+	return e
 }
 
 // AddXML parses and adds an XML document under a collection-unique name
@@ -343,6 +385,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	e.ix = ix
 	e.built = true
 	e.met.shards.Set(int64(ix.NumShards()))
+	e.gen.Add(1) // anything cached against the pre-build engine is void
 	return info, nil
 }
 
@@ -369,6 +412,9 @@ func (e *Engine) ColdCache() error {
 	if e.ix == nil {
 		return fmt.Errorf("xrank: not built")
 	}
+	// A cold measurement must not be answered from the result cache
+	// either: bump the generation so prior results read as stale.
+	e.gen.Add(1)
 	return e.ix.ColdCache()
 }
 
@@ -434,6 +480,75 @@ func (e *Engine) ResetShardHealth() {
 // command's -fail-on-degraded flag overrides the persisted config). Call
 // before serving queries; it is not synchronized with in-flight searches.
 func (e *Engine) SetFailOnDegraded(v bool) { e.cfg.FailOnDegraded = v }
+
+// ConfigureResultCache replaces the query result cache with one bounded
+// to the given byte size (<= 0 disables it), discarding all cached
+// results. Like SetFailOnDegraded it is a pre-serving knob: call it
+// before queries are in flight.
+func (e *Engine) ConfigureResultCache(bytes int64) {
+	e.cfg.CacheBytes = bytes
+	if bytes > 0 {
+		e.rcache = cache.New(bytes, 0)
+	} else {
+		e.rcache = nil
+	}
+}
+
+// SetCoalesceQueries flips Config.CoalesceQueries at runtime (the serve
+// command's -coalesce flag). Call before serving queries.
+func (e *Engine) SetCoalesceQueries(v bool) { e.cfg.CoalesceQueries = v }
+
+// Generation returns the engine's cache-invalidation generation. Build,
+// DeleteDoc and ColdCache bump it; result-cache entries from an older
+// generation are never served.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
+
+// CacheStats describes the query result cache and coalescing activity.
+type CacheStats struct {
+	// Enabled reports whether a result cache is configured.
+	Enabled bool `json:"enabled"`
+	// Capacity, Bytes and Entries describe occupancy; Hits, Misses,
+	// Stale and Evictions are cumulative counters (Stale counts lookups
+	// that found an entry from an older generation and dropped it).
+	Capacity  int64 `json:"capacity_bytes"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stale     int64 `json:"stale"`
+	Evictions int64 `json:"evictions"`
+	// Coalesced counts queries served by joining another caller's
+	// in-flight execution rather than running their own.
+	Coalesced int64 `json:"coalesced"`
+	// Generation is the current cache-invalidation generation.
+	Generation uint64 `json:"generation"`
+}
+
+// CacheStats snapshots the result cache's counters (all zero, Enabled
+// false, when the cache is disabled; Coalesced counts even then).
+func (e *Engine) CacheStats() CacheStats {
+	st := CacheStats{
+		Coalesced:  e.met.coalesced.Value(),
+		Generation: e.gen.Load(),
+	}
+	if e.rcache == nil {
+		return st
+	}
+	cs := e.rcache.Stats()
+	st.Enabled = true
+	st.Capacity = cs.Capacity
+	st.Bytes = cs.Bytes
+	st.Entries = cs.Entries
+	st.Hits = cs.Hits
+	st.Misses = cs.Misses
+	st.Stale = cs.Stale
+	st.Evictions = cs.Evictions
+	return st
+}
+
+// Config returns a copy of the engine's effective configuration (the
+// serve command reads the admission-control defaults from it).
+func (e *Engine) Config() Config { return e.cfg }
 
 // fs returns the engine's file system (the real one unless Config.FS
 // substitutes a faulty double).
