@@ -102,12 +102,20 @@ func TestCacheDifferential(t *testing.T) {
 						}
 					}
 				case k < 9:
-					// DeleteDoc on both engines; the generation bump must
-					// force the very next identical query to execute fresh.
+					// DeleteDoc on both engines. Invalidation is per document
+					// now: a warm query whose results mention the victim must
+					// execute fresh afterwards, while every query's results
+					// stay bit-identical to the control (asserted by
+					// searchBoth as usual).
 					if len(live) < 2 {
 						continue
 					}
 					victim := live[rng.Intn(len(live))]
+					var vn int
+					fmt.Sscanf(victim, "doc%d", &vn)
+					uq := fmt.Sprintf("uniq%d", vn)
+					uopts := SearchOptions{Algorithm: AlgoDIL, TopM: 25}
+					p.searchBoth(t, tag+" warm victim", uq, uopts)
 					if err := p.cached.DeleteDoc(victim); err != nil {
 						t.Fatal(err)
 					}
@@ -121,10 +129,11 @@ func TestCacheDifferential(t *testing.T) {
 						}
 					}
 					live = keep
-					q := diffQueries[rng.Intn(len(diffQueries))]
-					if st := p.searchBoth(t, tag+" post-delete", q, SearchOptions{Algorithm: AlgoDIL, TopM: 25}); st.Cached {
-						t.Fatalf("%s: query %q served from cache across a DeleteDoc generation bump", tag, q)
+					if st := p.searchBoth(t, tag+" post-delete victim", uq, uopts); st.Cached {
+						t.Fatalf("%s: victim marker query %q served from cache across its DeleteDoc", tag, uq)
 					}
+					q := diffQueries[rng.Intn(len(diffQueries))]
+					p.searchBoth(t, tag+" post-delete", q, SearchOptions{Algorithm: AlgoDIL, TopM: 25})
 				default:
 					// Update both engines into fresh directories with the same
 					// addition; each successor starts with an empty cache.
@@ -172,9 +181,11 @@ func TestCacheDifferential(t *testing.T) {
 	}
 }
 
-// TestCacheStaleNeverServed pins the generation protocol directly: a hit
-// is served, then every invalidation source (DeleteDoc, ColdCache) must
-// prevent further hits until a fresh execution repopulates the cache.
+// TestCacheStaleNeverServed pins the invalidation protocol directly:
+// DeleteDoc evicts exactly the cached entries whose results mention the
+// victim (unrelated hot entries keep hitting), a fresh execution
+// repopulates the cache, and ColdCache still invalidates everything via
+// the generation bump.
 func TestCacheStaleNeverServed(t *testing.T) {
 	pool := make(map[string]string)
 	rng := rand.New(rand.NewSource(1))
@@ -193,36 +204,52 @@ func TestCacheStaleNeverServed(t *testing.T) {
 	}
 	defer e.Close()
 
-	search := func(tag string) *QueryStats {
+	search := func(tag, q string) ([]SearchResult, *QueryStats) {
 		t.Helper()
-		_, st, err := e.SearchDetailed("alpha beta", SearchOptions{TopM: 10})
+		rs, st, err := e.SearchDetailed(q, SearchOptions{TopM: 10})
 		if err != nil {
 			t.Fatalf("%s: %v", tag, err)
 		}
-		return st
+		return rs, st
 	}
-	if st := search("cold"); st.Cached {
+	// uniqN occurs only in docN, so "uniq1" results mention exactly doc01
+	// and "uniq2" exactly doc02.
+	if _, st := search("cold victim", "uniq1"); st.Cached {
 		t.Fatal("first query served from an empty cache")
 	}
-	if st := search("warm"); !st.Cached {
+	if _, st := search("warm victim", "uniq1"); !st.Cached {
 		t.Fatal("repeat query missed the cache")
+	}
+	search("warm unrelated", "uniq2")
+	if _, st := search("warm unrelated", "uniq2"); !st.Cached {
+		t.Fatal("repeat unrelated query missed the cache")
 	}
 	if err := e.DeleteDoc("doc01"); err != nil {
 		t.Fatal(err)
 	}
-	if st := search("post-delete"); st.Cached {
-		t.Fatal("stale result served across DeleteDoc")
+	rs, st := search("post-delete victim", "uniq1")
+	if st.Cached {
+		t.Fatal("stale result served across DeleteDoc of its only document")
 	}
-	if st := search("rewarm"); !st.Cached {
+	if len(rs) != 0 {
+		t.Fatalf("deleted document still surfaced: %+v", rs)
+	}
+	if _, st := search("post-delete unrelated", "uniq2"); !st.Cached {
+		t.Fatal("DeleteDoc of doc01 evicted the unrelated doc02 entry")
+	}
+	if _, st := search("rewarm victim", "uniq1"); !st.Cached {
 		t.Fatal("post-delete result was not re-cached")
 	}
 	if err := e.ColdCache(); err != nil {
 		t.Fatal(err)
 	}
-	if st := search("post-coldcache"); st.Cached {
+	if _, st := search("post-coldcache", "uniq2"); st.Cached {
 		t.Fatal("stale result served across ColdCache")
 	}
-	if st := e.CacheStats(); st.Stale < 2 {
-		t.Fatalf("expected >= 2 stale drops, got %+v", st)
+	if st := e.CacheStats(); st.Stale < 1 {
+		t.Fatalf("expected >= 1 stale drop, got %+v", st)
+	}
+	if st := e.CacheStats(); st.Evictions < 1 {
+		t.Fatalf("expected >= 1 per-document eviction, got %+v", st)
 	}
 }

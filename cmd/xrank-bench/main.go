@@ -10,7 +10,8 @@
 // topm (E5), quality (E6), ablation (E7a-d), crossover (E8), warm (E9),
 // shard (E10, also written to -shardjson for CI trend tracking), cache
 // (E11, the result-cache hit-ratio/hot-cold experiment, written to
-// -cachejson).
+// -cachejson), ingest (E12, incremental segment-ingestion throughput vs
+// a full rebuild, written to -ingestjson).
 //
 // E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
 // run on the long-list performance corpus (see internal/datagen/perfgen),
@@ -47,6 +48,12 @@ func main() {
 		cacheDocs  = flag.Int("cachedocs", 6, "XMark-shaped documents in the cache-experiment corpus")
 		cacheScale = flag.Float64("cachescale", 2.0, "cache-experiment corpus scale factor")
 		cacheJSON  = flag.String("cachejson", "BENCH_cache.json", "where the cache experiment writes its JSON report (empty: skip)")
+
+		ingestDocs    = flag.Int("ingestdocs", 4, "XMark-shaped documents in the ingest-experiment initial build")
+		ingestBatches = flag.Int("ingestbatches", 6, "AddDocs batches the ingest experiment flushes")
+		ingestBatch   = flag.Int("ingestbatch", 2, "documents per ingest batch")
+		ingestScale   = flag.Float64("ingestscale", 2.0, "ingest-experiment corpus scale factor")
+		ingestJSON    = flag.String("ingestjson", "BENCH_ingest.json", "where the ingest experiment writes its JSON report (empty: skip)")
 	)
 	flag.Parse()
 
@@ -55,7 +62,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache"} {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache", "ingest"} {
 			want[e] = true
 		}
 	}
@@ -238,6 +245,21 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *cacheJSON)
+		}
+	}
+	if want["ingest"] {
+		t, rep, err := bench.E12Ingest(ws+"/ingestexp", *ingestDocs, *ingestBatches, *ingestBatch, *ingestScale, *seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("ingest: %.1f docs/sec incremental; avg flush %dms vs %dms full rebuild (%.1fx)\n",
+			rep.DocsPerSec, rep.AvgAddMillis, rep.RebuildMillis, rep.SpeedupVsRebuild)
+		if *ingestJSON != "" {
+			if err := rep.WriteJSON(*ingestJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *ingestJSON)
 		}
 	}
 }

@@ -36,6 +36,9 @@ func cmdServe(args []string) error {
 	coalesce := fs.Bool("coalesce", true, "coalesce concurrent identical queries into a single execution")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing /api/search requests (0 = engine config; negative disables admission control)")
 	admissionQueue := fs.Int("admission-queue", 0, "admission wait-queue length (0 = engine config or 2x max-inflight; negative disables queueing)")
+	maxSegments := fs.Int("max-segments", 0, "compact when more than this many index segments accumulate (0 = engine config or 4; negative disables the compactor)")
+	compactInterval := fs.Int("compact-interval-ms", 0, "background compactor check interval in milliseconds (0 = engine config or 1000)")
+	compactBudget := fs.Int64("compact-budget-pages", 0, "max pages of write I/O one compaction may issue (0 = engine config or unmetered)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
@@ -75,6 +78,26 @@ func cmdServe(args []string) error {
 	if inflight > 0 {
 		adm = cache.NewAdmission(inflight, queue)
 	}
+	segLimit := *maxSegments
+	if segLimit == 0 {
+		segLimit = cfg.MaxSegments
+		if segLimit == 0 {
+			segLimit = 4
+		}
+	}
+	if segLimit > 0 {
+		interval := *compactInterval
+		if interval == 0 {
+			interval = cfg.CompactIntervalMillis
+		}
+		budgetPages := *compactBudget
+		if budgetPages == 0 {
+			budgetPages = cfg.CompactBudgetPages
+		}
+		if err := e.StartCompactor(time.Duration(interval)*time.Millisecond, segLimit, budgetPages); err != nil {
+			return err
+		}
+	}
 	log.Printf("xrank: serving on %s (index %s)", *addr, *dir)
 	return http.ListenAndServe(*addr, newMux(e, muxOptions{metrics: *metrics, pprof: *pprofOn, admission: adm}))
 }
@@ -106,7 +129,7 @@ func withRecovery(e *xrank.Engine, next http.Handler) http.Handler {
 }
 
 // newMux builds the HTTP API: /api/search, /api/ancestors, /api/shards,
-// /api/slowlog, a minimal HTML search page at /, and — per opts —
+// /api/segments, /api/slowlog, a minimal HTML search page at /, and — per opts —
 // /metrics and /debug/pprof/. The whole mux sits behind the
 // panic-recovery middleware.
 func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
@@ -256,6 +279,22 @@ func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
 			"num_shards": e.NumShards(),
 			"unhealthy":  unhealthy,
 			"shards":     shards,
+		})
+	})
+	mux.HandleFunc("/api/segments", func(w http.ResponseWriter, r *http.Request) {
+		segs := e.Segments()
+		stale := 0
+		for _, s := range segs {
+			if s.Stale {
+				stale++
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"num_segments": len(segs),
+			"rank_version": e.RankVersion(),
+			"stale":        stale,
+			"segments":     segs,
 		})
 	})
 	mux.HandleFunc("/api/slowlog", func(w http.ResponseWriter, r *http.Request) {

@@ -172,6 +172,50 @@ func (c *Cache) Put(key string, val any, size int64, gen uint64) (evicted int) {
 	return evicted
 }
 
+// Delete removes the entry stored under key, reporting whether one
+// existed. The removal counts as an eviction.
+func (c *Cache) Delete(key string) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e := s.m[key]
+	if e != nil {
+		s.remove(e)
+	}
+	s.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	c.evictions.Add(1)
+	return true
+}
+
+// EvictMatching removes every entry for which pred returns true and
+// returns how many were removed. The engine uses it for per-document
+// invalidation: a DeleteDoc evicts only the cached results that mention
+// the tombstoned document, leaving unrelated hot entries untouched.
+// pred runs under the stripe lock and must not call back into the cache.
+func (c *Cache) EvictMatching(pred func(key string, val any) bool) int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var doomed []*entry
+		for _, e := range s.m {
+			if pred(e.key, e.val) {
+				doomed = append(doomed, e)
+			}
+		}
+		for _, e := range doomed {
+			s.remove(e)
+		}
+		s.mu.Unlock()
+		n += len(doomed)
+	}
+	if n > 0 {
+		c.evictions.Add(int64(n))
+	}
+	return n
+}
+
 // Len returns the number of live entries.
 func (c *Cache) Len() int {
 	n := 0

@@ -78,18 +78,20 @@ func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildO
 	if shards <= 1 {
 		return Build(c, ranks, dir, opts)
 	}
-	if opts.DocFilter != nil {
-		return nil, fmt.Errorf("index: BuildSharded with a caller DocFilter")
-	}
 	fs := storage.DefaultFS(opts.FS)
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("index: mkdir %s: %w", dir, err)
 	}
+	// A caller DocFilter (a segmented engine restricting the build to a
+	// delta's documents) composes with the shard placement predicate.
+	base := opts.DocFilter
 	var total BuildStats
 	for s := 0; s < shards; s++ {
 		so := opts
 		sn := s
-		so.DocFilter = func(doc uint32) bool { return ShardOf(doc, shards) == sn }
+		so.DocFilter = func(doc uint32) bool {
+			return (base == nil || base(doc)) && ShardOf(doc, shards) == sn
+		}
 		st, err := Build(c, ranks, shardDir(dir, s), so)
 		if err != nil {
 			return nil, fmt.Errorf("index: shard %d: %w", s, err)
@@ -110,7 +112,7 @@ func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildO
 		total.NaiveRankList += st.NaiveRankList
 		total.NaiveIndex += st.NaiveIndex
 	}
-	total.Meta.Terms = countDistinctTerms(c)
+	total.Meta.Terms = countDistinctTerms(c, base)
 	// shards.json is the sharded layout's commit point: every shard
 	// directory above is fully durable (each ends with its own atomic
 	// meta.json), so once this manifest lands the whole index opens.
@@ -121,11 +123,15 @@ func BuildSharded(c *xmldoc.Collection, ranks []float64, dir string, opts BuildO
 	return &total, nil
 }
 
-// countDistinctTerms counts the collection's vocabulary (per-shard term
-// counts overlap, so the aggregate can't just sum them).
-func countDistinctTerms(c *xmldoc.Collection) int {
+// countDistinctTerms counts the vocabulary of the documents passing
+// filter (per-shard term counts overlap, so the aggregate can't just sum
+// them). A nil filter covers the whole collection.
+func countDistinctTerms(c *xmldoc.Collection, filter func(doc uint32) bool) int {
 	seen := make(map[string]struct{})
 	for _, d := range c.Docs {
+		if filter != nil && !filter(d.ID) {
+			continue
+		}
 		for _, e := range d.Elements {
 			for _, tok := range e.Tokens {
 				seen[tok.Term] = struct{}{}

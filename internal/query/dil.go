@@ -28,6 +28,15 @@ func normalizeKeywords(keywords []string) ([]string, error) {
 	return out, nil
 }
 
+// NormalizeKeywords exposes the canonical keyword normalization —
+// deduplication preserving first appearance — so callers aligning
+// per-keyword data (e.g. an engine summing global document frequencies
+// across index segments for Options.DFs) index it exactly as the query
+// processors do.
+func NormalizeKeywords(keywords []string) ([]string, error) {
+	return normalizeKeywords(keywords)
+}
+
 // tfidfBase builds the per-occurrence rank function for ScoreTFIDF: a
 // sublinear term-frequency weight times the keyword's inverse element
 // frequency. df is the per-keyword list length (elements directly
@@ -91,7 +100,7 @@ func DIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 	h := newResultHeap(opts.TopM)
 	m := newMerger(streams, opts)
 	if opts.Scoring == ScoreTFIDF {
-		m.base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
+		m.base = tfidfBase(opts.numElements(ix.Meta.NumElements), opts.dfsOr(dfs))
 	}
 	endMerge := opts.Exec.StartSpan("dil.merge")
 	if err := m.run(func(id dewey.ID, score float64) {

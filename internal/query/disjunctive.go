@@ -61,8 +61,12 @@ func Disjunctive(ix *index.Index, keywords []string, opts Options) ([]Result, er
 		return nil, nil
 	}
 	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
+	if opts.Rank != nil {
+		rank := opts.Rank
+		base = func(_ int, p *index.Posting) float64 { return rank(p) }
+	}
 	if opts.Scoring == ScoreTFIDF {
-		base = tfidfBase(ix.Meta.NumElements, dfs)
+		base = tfidfBase(opts.numElements(ix.Meta.NumElements), dfs)
 	}
 
 	h := newResultHeap(opts.TopM)

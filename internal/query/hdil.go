@@ -45,6 +45,9 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 	if opts.Scoring == ScoreTFIDF {
 		return nil, trace, fmt.Errorf("query: HDIL's ranked lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
 	}
+	if opts.Rank != nil {
+		return nil, trace, fmt.Errorf("query: HDIL's ranked lists are ordered by their stored ranks; a rank override needs DIL")
+	}
 	keywords, err := normalizeKeywords(keywords)
 	if err != nil {
 		return nil, trace, err

@@ -106,11 +106,16 @@ type merger struct {
 }
 
 func newMerger(streams []postingStream, opts Options) *merger {
+	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
+	if opts.Rank != nil {
+		rank := opts.Rank
+		base = func(_ int, p *index.Posting) float64 { return rank(p) }
+	}
 	return &merger{
 		opts:    opts,
 		n:       len(streams),
 		streams: streams,
-		base:    func(_ int, p *index.Posting) float64 { return float64(p.Rank) },
+		base:    base,
 	}
 }
 

@@ -57,8 +57,12 @@ func NaiveID(ix *index.Index, keywords []string, opts Options) ([]Result, error)
 	}
 	endOpen()
 	base := func(_ int, p *index.Posting) float64 { return float64(p.Rank) }
+	if opts.Rank != nil {
+		rank := opts.Rank
+		base = func(_ int, p *index.Posting) float64 { return rank(p) }
+	}
 	if opts.Scoring == ScoreTFIDF {
-		base = tfidfBase(ix.Meta.NumElements, opts.dfsOr(dfs))
+		base = tfidfBase(opts.numElements(ix.Meta.NumElements), opts.dfsOr(dfs))
 	}
 	h := newResultHeap(opts.TopM)
 	prox := make([][]uint32, n)
@@ -148,6 +152,9 @@ func NaiveRank(ix *index.Index, keywords []string, opts Options) ([]Result, erro
 	}
 	if opts.Scoring == ScoreTFIDF {
 		return nil, fmt.Errorf("query: Naive-Rank lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
+	}
+	if opts.Rank != nil {
+		return nil, fmt.Errorf("query: Naive-Rank lists are ordered by their stored ranks; a rank override needs Naive-ID")
 	}
 	keywords, err := normalizeKeywords(keywords)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xrank/internal/dewey"
+	"xrank/internal/index"
 	"xrank/internal/storage"
 )
 
@@ -86,6 +87,18 @@ type Options struct {
 	// partitioned one; the sharded executors pass the collection-global
 	// counts here so scores stay identical across shard counts.
 	DFs []int
+	// NumElements optionally overrides the element count N_e used by
+	// ScoreTFIDF's idf term. Defaults to the index's own Meta.NumElements;
+	// segmented engines pass the collection-global count so tf-idf scores
+	// stay identical to an unsegmented build.
+	NumElements int
+	// Rank optionally overrides the ElemRank read from each posting. A
+	// segmented engine sets it on segments whose baked ranks predate the
+	// newest ElemRank computation, substituting the current global value.
+	// Only the full-scan processors (DIL, Naive-ID, Disjunctive) accept
+	// it: the threshold algorithms traverse rank-ordered lists whose order
+	// the override would silently invalidate.
+	Rank func(p *index.Posting) float64
 	// Exec optionally attaches a per-query execution context. Every
 	// algorithm passes it down to its cursors, probers and lookups (so
 	// the query's I/O is attributed to exactly this query even under
@@ -191,6 +204,15 @@ func (o *Options) checkWeights(n int) error {
 func (o *Options) dfsOr(local []int) []int {
 	if o.DFs != nil {
 		return o.DFs
+	}
+	return local
+}
+
+// numElements returns the caller-supplied global element count when set
+// (segmented execution), else the index's own.
+func (o *Options) numElements(local int) int {
+	if o.NumElements > 0 {
+		return o.NumElements
 	}
 	return local
 }

@@ -207,6 +207,9 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 	if opts.Scoring == ScoreTFIDF {
 		return nil, fmt.Errorf("query: RDIL lists are ElemRank-ordered; tf-idf scoring needs DIL or Naive-ID")
 	}
+	if opts.Rank != nil {
+		return nil, fmt.Errorf("query: RDIL lists are ordered by their stored ranks; a rank override needs DIL")
+	}
 	keywords, err := normalizeKeywords(keywords)
 	if err != nil {
 		return nil, err

@@ -239,6 +239,34 @@ func (ec *ExecContext) pageRead(id PageID) error {
 	return nil
 }
 
+// Charge debits pages page-equivalents from the family's read budget
+// without attributing a device read to the stats classifier. The
+// compactor uses it (through BudgetFS) to meter segment-merge writes
+// with the same budget machinery queries use for reads: once the pool
+// is exhausted every further Charge — and every page read sharing the
+// family — fails with an error wrapping ErrBudgetExceeded. A nil
+// receiver, a non-positive charge, or an unset budget is a no-op.
+func (ec *ExecContext) Charge(pages int64) error {
+	if ec == nil || pages <= 0 {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		return err
+	}
+	sh := ec.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.err != nil {
+		return sh.err
+	}
+	if sh.maxReads > 0 && sh.reads >= sh.maxReads {
+		sh.err = fmt.Errorf("%w (limit %d device page reads)", ErrBudgetExceeded, sh.maxReads)
+		return sh.err
+	}
+	sh.reads += pages
+	return nil
+}
+
 // cacheHit accounts one buffer-pool hit against this query. Hits are not
 // budgeted, but a cancelled or already-over-budget query still stops here
 // so that fully cached queries remain cancellable.

@@ -54,6 +54,47 @@ func (c *Collection) attach(doc *Document) {
 	c.byName[doc.Name] = doc
 }
 
+// AddXMLVersion parses an XML document from r and appends it even when
+// the name already exists: the new document shadows the old one in
+// DocByName while the old one keeps its ID and Dewey space. Segmented
+// engines use this for document replacement — the shadowed version is
+// tombstoned, not renumbered.
+func (c *Collection) AddXMLVersion(name string, r io.Reader, opts *ParseOptions) (*Document, error) {
+	doc, err := ParseXML(uint32(len(c.Docs)), name, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(doc)
+	return doc, nil
+}
+
+// AddHTMLVersion is AddXMLVersion for HTML content.
+func (c *Collection) AddHTMLVersion(name string, r io.Reader, opts *ParseOptions) (*Document, error) {
+	doc, err := ParseHTML(uint32(len(c.Docs)), name, r, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.attach(doc)
+	return doc, nil
+}
+
+// Clone returns a shallow copy sharing the (immutable) documents but
+// owning its own Docs slice and name map, so versions can be appended
+// without disturbing readers of the original.
+func (c *Collection) Clone() *Collection {
+	nc := &Collection{
+		Docs:   make([]*Document, len(c.Docs)),
+		byName: make(map[string]*Document, len(c.byName)),
+		total:  c.total,
+	}
+	copy(nc.Docs, c.Docs)
+	// Rebuild in attach order so the newest version of a name wins.
+	for _, d := range nc.Docs {
+		nc.byName[d.Name] = d
+	}
+	return nc
+}
+
 // DocByName returns the document with the given name, or nil.
 func (c *Collection) DocByName(name string) *Document { return c.byName[name] }
 

@@ -37,6 +37,11 @@ type engineMetrics struct {
 	unhealthy    *obs.Gauge
 	inflight     *obs.Gauge
 
+	// Segment lifecycle series (see segment.go and compact.go).
+	segments        *obs.Gauge
+	compactions     *obs.Counter
+	compactionBytes *obs.Counter
+
 	// Result-cache and coalescing series. The xrank_cache_hits_total
 	// family above predates the result cache and counts buffer-pool page
 	// hits; these count whole-query reuse ("result" in the name keeps
@@ -91,6 +96,10 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 		shards:       r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
 		unhealthy:    r.Gauge("xrank_shard_unhealthy", "Shards currently marked unhealthy and excluded from queries."),
 		inflight:     r.Gauge("xrank_inflight_queries", "Queries currently executing."),
+
+		segments:        r.Gauge("xrank_segments", "Live index segments the engine merges at query time."),
+		compactions:     r.Counter("xrank_compactions_total", "Segment compactions completed."),
+		compactionBytes: r.Counter("xrank_compaction_bytes_total", "Bytes of merged index files written by compactions."),
 
 		resultHits:      r.Counter("xrank_cache_result_hits_total", "Queries answered from the result cache."),
 		resultMisses:    r.Counter("xrank_cache_result_misses_total", "Cacheable queries that missed the result cache."),

@@ -58,11 +58,7 @@ func (e *Engine) persist(dir string) error {
 		d.raw = nil // the store owns the bytes now
 	}
 
-	buf := make([]byte, 8*len(e.ranks))
-	for i, r := range e.ranks {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(r))
-	}
-	if err := storage.WriteBlobAtomic(fs, filepath.Join(dir, "ranks.bin"), ranksMagic, buf); err != nil {
+	if err := storage.WriteBlobAtomic(fs, filepath.Join(dir, ranksFile(0)), ranksMagic, encodeRanks(e.ranks)); err != nil {
 		return err
 	}
 
@@ -91,6 +87,14 @@ func OpenEngine(dir string) (*Engine, error) {
 // system) — the seam the fault-injection and crash-recovery tests use.
 func OpenEngineFS(dir string, fs storage.FS) (*Engine, error) {
 	fs = storage.DefaultFS(fs)
+	// segments.json supersedes engine.json's document list once the
+	// engine has gone segmented (first AddDocs); its presence selects
+	// the layout.
+	if _, serr := fs.Stat(filepath.Join(dir, fileSegments)); serr == nil {
+		return openSegmentedEngine(dir, fs)
+	} else if !os.IsNotExist(serr) {
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, serr)
+	}
 	var man engineManifest
 	if err := storage.ReadManifest(fs, filepath.Join(dir, "engine.json"), &man); err != nil {
 		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
@@ -155,8 +159,96 @@ func OpenEngineFS(dir string, fs storage.FS) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.ix = ix
+	e.initBaseSegment(ix)
 	e.built = true
 	e.met.shards.Set(int64(ix.NumShards()))
+	return e, nil
+}
+
+// openSegmentedEngine reopens a directory whose commit point is
+// segments.json: engine.json supplies only the Config (its document
+// list froze at the last pre-segmentation write), while the segments
+// manifest carries the authoritative document manifest, tombstones,
+// rank version and segment set.
+func openSegmentedEngine(dir string, fs storage.FS) (*Engine, error) {
+	var man engineManifest
+	if err := storage.ReadManifest(fs, filepath.Join(dir, "engine.json"), &man); err != nil {
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
+	}
+	var sm segmentsManifest
+	if err := storage.ReadManifest(fs, filepath.Join(dir, fileSegments), &sm); err != nil {
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
+	}
+	if err := validateSegmentsManifest(&sm); err != nil {
+		return nil, fmt.Errorf("xrank: %w %s: %v", storage.ErrCorrupt, fileSegments, err)
+	}
+	man.Config.IndexDir = dir
+	man.Config.FS = fs
+	e := NewEngine(&man.Config)
+	// Reparse every document-store entry in manifest order — including
+	// tombstoned and shadowed versions. Document IDs are positional, so
+	// dropping a dead entry would renumber every later document and
+	// desynchronize the collection from the segments' Dewey spaces.
+	for i, d := range sm.Docs {
+		data, err := fs.ReadFile(filepath.Join(dir, "docs", d.File))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("xrank: %w %s: document store is missing %s (document %q)",
+					storage.ErrCorrupt, fileSegments, d.File, d.Name)
+			}
+			return nil, fmt.Errorf("xrank: open document %s: %w", d.File, err)
+		}
+		if int64(len(data)) != d.Size || storage.Checksum(data) != d.CRC32 {
+			return nil, fmt.Errorf("xrank: %w docs/%s: size %d crc %08x, manifest says size %d crc %08x",
+				storage.ErrCorrupt, d.File, len(data), storage.Checksum(data), d.Size, d.CRC32)
+		}
+		if d.HTML {
+			_, err = e.col.AddHTMLVersion(d.Name, bytes.NewReader(data), nil)
+		} else {
+			_, err = e.col.AddXMLVersion(d.Name, bytes.NewReader(data), nil)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xrank: reparse %s: %w", d.File, err)
+		}
+		if d.Deleted {
+			if e.deleted == nil {
+				e.deleted = make(map[uint32]bool)
+			}
+			e.deleted[uint32(i)] = true
+		}
+	}
+	e.docs = sm.Docs
+
+	rb, err := storage.ReadBlob(fs, filepath.Join(dir, ranksFile(sm.RankVer)), ranksMagic)
+	if err != nil {
+		return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
+	}
+	if len(rb) != 8*e.col.NumElements() {
+		return nil, fmt.Errorf("xrank: %w %s: %d payload bytes for %d elements",
+			storage.ErrCorrupt, ranksFile(sm.RankVer), len(rb), e.col.NumElements())
+	}
+	e.ranks = decodeRanks(rb)
+
+	for _, se := range sm.Segments {
+		segPath := dir
+		if se.Dir != baseSegmentDir {
+			segPath = filepath.Join(dir, se.Dir)
+		}
+		ix, err := index.OpenSharded(segPath, index.OpenOptions{PoolPages: e.cfg.PoolPages, FS: e.cfg.FS})
+		if err != nil {
+			for _, s := range e.segs {
+				s.ix.Close()
+			}
+			return nil, fmt.Errorf("xrank: open segment %d (%s): %w", se.ID, se.Dir, err)
+		}
+		e.segs = append(e.segs, &engineSegment{id: se.ID, dir: se.Dir, rankVer: se.RankVer, docs: se.Docs, ix: ix})
+	}
+	e.ix = e.segs[0].ix
+	e.rankVer = sm.RankVer
+	e.nextSeg = sm.NextSeg
+	e.segmented = true
+	e.built = true
+	e.met.shards.Set(int64(e.ix.NumShards()))
+	e.met.segments.Set(int64(len(e.segs)))
 	return e, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"xrank/internal/cache"
 	"xrank/internal/dewey"
+	"xrank/internal/index"
 	"xrank/internal/obs"
 	"xrank/internal/query"
 	"xrank/internal/storage"
@@ -118,6 +119,7 @@ type QueryStats struct {
 	SimulatedTime time.Duration // under the default cost model
 	SwitchedToDIL bool          // HDIL only: true if any shard switched
 	Shards        int           // index partitions the query fanned out over
+	Segments      int           // live index segments merged by the query
 
 	// Cached reports the results were served from the engine's result
 	// cache: no index I/O happened on behalf of this call, and IO,
@@ -193,11 +195,12 @@ const (
 // With Config.CacheBytes > 0 a repeated query may be answered from the
 // result cache (QueryStats.Cached); with Config.CoalesceQueries
 // concurrent identical queries share one execution
-// (QueryStats.Coalesced). Build, DeleteDoc and ColdCache invalidate all
-// cached results; degraded results are never cached. Queries with
+// (QueryStats.Coalesced). Build, AddDocs and ColdCache invalidate all
+// cached results; DeleteDoc evicts exactly the entries mentioning the
+// deleted document; degraded results are never cached. Queries with
 // opts.ColdCache or a page-read budget always execute fresh.
 func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions) ([]SearchResult, *QueryStats, error) {
-	if e.ix == nil {
+	if !e.built {
 		return nil, nil, fmt.Errorf("xrank: engine not built")
 	}
 	trace := obs.NewTrace()
@@ -213,10 +216,9 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 		opts.TopM = 10
 	}
 	if opts.ColdCache {
-		// A cold measurement must not be answered from the result cache
-		// either: bump the generation so prior results read as stale.
-		e.gen.Add(1)
-		if err := e.ix.ColdCache(); err != nil {
+		// ColdCache bumps the generation too, so a cold measurement is
+		// never answered from the result cache.
+		if err := e.ColdCache(); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -240,7 +242,15 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 
 	if e.rcache != nil {
 		if v, ok, stale := e.rcache.Get(key, gen); ok {
-			return e.serveShared(v.(*flightEntry), q, keywords, opts, trace, start, true)
+			fv := v.(*flightEntry)
+			if e.docsLive(fv.docs) {
+				return e.serveShared(fv, q, keywords, opts, trace, start, true)
+			}
+			// An execution that started before a DeleteDoc can store its
+			// entry after the per-document eviction swept the cache; the
+			// liveness check catches that race at serving time.
+			e.rcache.Delete(key)
+			e.met.resultStale.Inc()
 		} else if stale {
 			e.met.resultStale.Inc()
 		}
@@ -250,7 +260,7 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 	if !e.cfg.CoalesceQueries {
 		out, stats, err := e.executeQuery(ctx, q, keywords, opts, trace, start)
 		if err == nil && !stats.Degraded {
-			e.storeResult(key, gen, &flightEntry{results: copyResults(out), shards: stats.Shards})
+			e.storeResult(key, gen, newFlightEntry(out, stats.Shards))
 		}
 		return out, stats, err
 	}
@@ -271,7 +281,7 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 		if err != nil {
 			return nil, err
 		}
-		fv := &flightEntry{results: copyResults(out), shards: stats.Shards}
+		fv := newFlightEntry(out, stats.Shards)
 		if !stats.Degraded {
 			e.storeResult(key, gen, fv)
 		}
@@ -303,9 +313,28 @@ func (e *Engine) SearchContext(ctx context.Context, q string, opts SearchOptions
 // flightEntry is the immutable value shared through the result cache and
 // between coalesced callers: nothing mutates it after creation, and
 // every shared serving copies results out (callers own their slices).
+// docs lists the distinct document names the results mention, so
+// DeleteDoc can evict exactly the entries that involve the tombstoned
+// document.
 type flightEntry struct {
 	results []SearchResult
+	docs    []string
 	shards  int
+}
+
+// newFlightEntry snapshots one completed execution's results for
+// sharing, collecting the distinct document names in order of first
+// appearance.
+func newFlightEntry(out []SearchResult, shards int) *flightEntry {
+	fv := &flightEntry{results: copyResults(out), shards: shards}
+	seen := make(map[string]bool, len(out))
+	for i := range out {
+		if d := out[i].Doc; !seen[d] {
+			seen[d] = true
+			fv.docs = append(fv.docs, d)
+		}
+	}
+	return fv
 }
 
 // size estimates the entry's resident bytes for the cache's byte bound.
@@ -315,7 +344,31 @@ func (f *flightEntry) size(key string) int64 {
 		r := &f.results[i]
 		n += int64(len(r.DeweyID)+len(r.Doc)+len(r.Path)+len(r.Tag)+len(r.Snippet)) + 64
 	}
+	for _, d := range f.docs {
+		n += int64(len(d)) + 24
+	}
 	return n
+}
+
+// docsLive reports whether every named document is still live (present
+// and not tombstoned). Serving a cached entry re-checks this so a
+// result set mentioning a deleted document is never served, even if its
+// store raced past the per-document eviction.
+func (e *Engine) docsLive(names []string) bool {
+	if len(names) == 0 {
+		return true
+	}
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, n := range names {
+		d := e.col.DocByName(n)
+		if d == nil || e.deleted[d.ID] {
+			return false
+		}
+	}
+	return true
 }
 
 func copyResults(rs []SearchResult) []SearchResult {
@@ -385,6 +438,13 @@ func (e *Engine) serveShared(fv *flightEntry, q string, keywords []string, opts 
 // attribution, metrics and slow-log recording — continuing the trace and
 // clock the caller started at tokenization.
 func (e *Engine) executeQuery(ctx context.Context, q string, keywords []string, opts SearchOptions, trace *obs.Trace, start time.Time) ([]SearchResult, *QueryStats, error) {
+	// The snapshot read lock pins the segment set (and the collection,
+	// ranks and manifest backing it) for the whole execution: AddDocs
+	// and CompactOnce swap those fields only under the write lock, so no
+	// cursor opened below can observe a retired segment or a torn
+	// snapshot.
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
 	ec := storage.NewExecContext(ctx)
 	if opts.MaxPageReads > 0 {
 		ec.SetBudget(opts.MaxPageReads)
@@ -476,16 +536,28 @@ func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.E
 }
 
 // runQuery dispatches to the selected query processor, reporting whether
-// the results are naive (element-granularity) IDs. Every processor goes
-// through its sharded executor: on a flat (1-shard) index that is a
-// direct call on this goroutine; on a partitioned index it fans out one
-// merge per shard under the engine's worker-pool bound, with per-shard
-// child execution contexts derived from qopts.Exec.
+// the results are naive (element-granularity) IDs. A fully compacted
+// engine (one segment at the current rank version) takes the direct
+// path; otherwise the query runs against every live segment and merges
+// the per-segment top-m's (see runSegmented).
 func (e *Engine) runQuery(keywords []string, opts SearchOptions, qopts query.Options, stats *QueryStats) ([]query.Result, bool, error) {
+	stats.Segments = len(e.segs)
 	stats.Shards = e.ix.NumShards()
+	if len(e.segs) == 1 && e.segs[0].rankVer == e.rankVer {
+		return e.runOn(e.ix, keywords, opts, qopts, stats)
+	}
+	return e.runSegmented(keywords, opts, qopts, stats)
+}
+
+// runOn runs one query processor against one segment's index. Every
+// processor goes through its sharded executor: on a flat (1-shard)
+// index that is a direct call on this goroutine; on a partitioned index
+// it fans out one merge per shard under the engine's worker-pool bound,
+// with per-shard child execution contexts derived from qopts.Exec.
+func (e *Engine) runOn(ix *index.Sharded, keywords []string, opts SearchOptions, qopts query.Options, stats *QueryStats) ([]query.Result, bool, error) {
 	workers := e.cfg.ShardWorkers
 	if opts.Disjunctive {
-		rs, err := query.DisjunctiveSharded(e.ix, keywords, qopts, workers)
+		rs, err := query.DisjunctiveSharded(ix, keywords, qopts, workers)
 		return rs, false, err
 	}
 	var (
@@ -494,24 +566,115 @@ func (e *Engine) runQuery(keywords []string, opts SearchOptions, qopts query.Opt
 	)
 	switch opts.Algorithm {
 	case AlgoDIL:
-		rs, err = query.DILSharded(e.ix, keywords, qopts, workers)
+		rs, err = query.DILSharded(ix, keywords, qopts, workers)
 	case AlgoRDIL:
-		rs, err = query.RDILSharded(e.ix, keywords, qopts, workers)
+		rs, err = query.RDILSharded(ix, keywords, qopts, workers)
 	case AlgoHDIL:
 		var trace *query.HDILTrace
-		rs, trace, err = query.HDILSharded(e.ix, keywords, qopts, workers, storage.DefaultCostModel())
+		rs, trace, err = query.HDILSharded(ix, keywords, qopts, workers, storage.DefaultCostModel())
 		if trace != nil {
-			stats.SwitchedToDIL = trace.SwitchedToDIL
+			stats.SwitchedToDIL = stats.SwitchedToDIL || trace.SwitchedToDIL
 		}
 	case AlgoNaiveID:
-		rs, err = query.NaiveIDSharded(e.ix, keywords, qopts, workers)
+		rs, err = query.NaiveIDSharded(ix, keywords, qopts, workers)
 	case AlgoNaiveRank:
-		rs, err = query.NaiveRankSharded(e.ix, keywords, qopts, workers)
+		rs, err = query.NaiveRankSharded(ix, keywords, qopts, workers)
 	default:
 		err = fmt.Errorf("xrank: unknown algorithm %d", opts.Algorithm)
 	}
 	naive := opts.Algorithm == AlgoNaiveID || opts.Algorithm == AlgoNaiveRank
 	return rs, naive, err
+}
+
+// runSegmented runs the query against every live segment and merges the
+// per-segment top-m's. Each document lives in exactly one segment and
+// every scoring decision is intra-document, so each segment's exact
+// top-m makes the merged result exact — identical to a from-scratch
+// rebuild over the same documents.
+//
+// Segments whose baked ElemRanks predate the current rank version are
+// queried with a rank override substituting the live values (rounded
+// through float32, matching what a rebuild would bake). Their
+// rank-ordered lists are sorted by the outdated ranks, which makes the
+// threshold algorithms unsound there, so stale segments route RDIL and
+// HDIL to DIL and Naive-Rank to Naive-ID — same results, document-order
+// execution. TFIDF needs no rank override (it never reads the baked
+// ranks) but does need collection-global document frequencies and
+// element counts, computed here by summing per-segment list lengths.
+func (e *Engine) runSegmented(keywords []string, opts SearchOptions, qopts query.Options, stats *QueryStats) ([]query.Result, bool, error) {
+	naive := !opts.Disjunctive && (opts.Algorithm == AlgoNaiveID || opts.Algorithm == AlgoNaiveRank)
+	if opts.TFIDF {
+		kws, err := query.NormalizeKeywords(keywords)
+		if err != nil {
+			return nil, naive, err
+		}
+		dfs := make([]int, len(kws))
+		for i, kw := range kws {
+			for _, s := range e.segs {
+				if naive {
+					dfs[i] += s.ix.NaiveCount(kw)
+				} else {
+					dfs[i] += s.ix.DILCount(kw)
+				}
+			}
+		}
+		qopts.DFs = dfs
+		qopts.NumElements = e.col.NumElements()
+	}
+	perSeg := make([][]query.Result, 0, len(e.segs))
+	for _, s := range e.segs {
+		so := qopts
+		sopts := opts
+		if s.rankVer != e.rankVer {
+			if !opts.TFIDF {
+				so.Rank = e.rankOverride(naive)
+			}
+			switch {
+			case opts.Disjunctive:
+				// The disjunctive merge is document-ordered; the override
+				// alone suffices.
+			case opts.Algorithm == AlgoRDIL || opts.Algorithm == AlgoHDIL:
+				sopts.Algorithm = AlgoDIL
+			case opts.Algorithm == AlgoNaiveRank:
+				sopts.Algorithm = AlgoNaiveID
+			}
+		}
+		rs, _, err := e.runOn(s.ix, keywords, sopts, so, stats)
+		if err != nil {
+			return nil, naive, err
+		}
+		perSeg = append(perSeg, rs)
+	}
+	return query.MergeTopM(perSeg, qopts.TopM), naive, nil
+}
+
+// rankOverride returns the posting-rank substitute for stale segments:
+// the current global ElemRank of the posting's element, rounded through
+// float32 exactly as index building would bake it.
+func (e *Engine) rankOverride(naive bool) func(p *index.Posting) float64 {
+	col, ranks := e.col, e.ranks
+	if naive {
+		return func(p *index.Posting) float64 {
+			if int(p.Elem) < 0 || int(p.Elem) >= len(ranks) {
+				return 0
+			}
+			return float64(float32(ranks[p.Elem]))
+		}
+	}
+	return func(p *index.Posting) float64 {
+		if len(p.ID) == 0 || int(p.ID[0]) >= len(col.Docs) {
+			return 0
+		}
+		el := col.Docs[p.ID[0]].ElementAt(p.ID)
+		if el == nil {
+			return 0
+		}
+		g := col.GlobalIndex(el)
+		if g < 0 || g >= len(ranks) {
+			return 0
+		}
+		return float64(float32(ranks[g]))
+	}
 }
 
 // materialize converts internal results to SearchResults, applying answer

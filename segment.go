@@ -1,0 +1,451 @@
+package xrank
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xrank/internal/index"
+	"xrank/internal/storage"
+	"xrank/internal/xmldoc"
+)
+
+// Segment-based incremental indexing. The paper handles additions by
+// rebuilding (Section 4.5); this layer amortizes that: the index built
+// by Build becomes segment 0, and each AddDocs batch goes into a small
+// immutable delta segment built over just the new documents. Queries
+// merge the per-segment top-m's (every scoring decision is
+// intra-document and every document lives in exactly one segment, so
+// the merge is exact), and a compactor periodically folds the segments
+// back into one (see compact.go).
+//
+// ElemRank is global: adding any document changes N_d and the link
+// graph, so every element's rank moves with each batch. Each segment
+// therefore records the rank version its postings were baked under;
+// segments at an older version are "stale" and queries substitute the
+// current global ElemRanks at merge time (rounded through float32,
+// matching what a rebuild would bake into the postings — scores stay
+// bit-identical to a from-scratch build). Because the rank-ordered
+// lists of a stale segment are sorted by outdated ranks, the threshold
+// algorithms are unsound there; stale segments route RDIL/HDIL to DIL
+// and Naive-Rank to Naive-ID.
+//
+// Durability: document-store files, the versioned ranks blob and the
+// delta segment's index files are all written first (inert orphans
+// until referenced); segments.json is then atomically replaced and is
+// the sole commit point. A crash anywhere leaves the previous manifest
+// — and thus the previous engine state — fully intact.
+
+// fileSegments is the segmented layout's manifest and commit point.
+const fileSegments = "segments.json"
+
+// baseSegmentDir marks the segment living directly in the index
+// directory (the original Build output).
+const baseSegmentDir = "."
+
+// engineSegment is one live immutable segment.
+type engineSegment struct {
+	id      int
+	dir     string // baseSegmentDir or "seg-NNNNNN", relative to IndexDir
+	rankVer int    // ElemRank version the postings were baked under
+	docs    []uint32
+	ix      *index.Sharded
+}
+
+func (s *engineSegment) path(indexDir string) string {
+	if s.dir == baseSegmentDir {
+		return indexDir
+	}
+	return filepath.Join(indexDir, s.dir)
+}
+
+// segmentEntry is one segment in the persisted manifest.
+type segmentEntry struct {
+	ID      int      `json:"id"`
+	Dir     string   `json:"dir"`
+	RankVer int      `json:"rank_ver"`
+	Docs    []uint32 `json:"docs"`
+}
+
+// segmentsManifest is the segments.json payload. Once it exists it
+// supersedes engine.json's document list (engine.json keeps supplying
+// the Config, which never changes after Build).
+type segmentsManifest struct {
+	NextSeg  int            `json:"next_seg"`
+	RankVer  int            `json:"rank_ver"`
+	Docs     []docEntry     `json:"docs"`
+	Segments []segmentEntry `json:"segments"`
+}
+
+// validateSegmentsManifest checks the structural invariants a
+// well-formed manifest must satisfy: at least one segment, unique IDs
+// below NextSeg, sane directory names, and the segments partitioning
+// the document list exactly. The fuzz target drives this directly.
+func validateSegmentsManifest(sm *segmentsManifest) error {
+	if len(sm.Segments) == 0 {
+		return fmt.Errorf("no segments")
+	}
+	if sm.RankVer < 0 {
+		return fmt.Errorf("negative rank_ver %d", sm.RankVer)
+	}
+	owner := make([]bool, len(sm.Docs))
+	ids := make(map[int]bool, len(sm.Segments))
+	for _, seg := range sm.Segments {
+		if seg.ID < 0 || seg.ID >= sm.NextSeg {
+			return fmt.Errorf("segment id %d outside [0, next_seg %d)", seg.ID, sm.NextSeg)
+		}
+		if ids[seg.ID] {
+			return fmt.Errorf("duplicate segment id %d", seg.ID)
+		}
+		ids[seg.ID] = true
+		if seg.Dir != baseSegmentDir &&
+			(seg.Dir == "" || seg.Dir == ".." || strings.ContainsAny(seg.Dir, `/\`)) {
+			return fmt.Errorf("segment %d: invalid dir %q", seg.ID, seg.Dir)
+		}
+		if seg.RankVer < 0 || seg.RankVer > sm.RankVer {
+			return fmt.Errorf("segment %d: rank_ver %d outside [0, %d]", seg.ID, seg.RankVer, sm.RankVer)
+		}
+		for _, d := range seg.Docs {
+			if int(d) >= len(owner) {
+				return fmt.Errorf("segment %d: document %d beyond the %d-entry manifest", seg.ID, d, len(owner))
+			}
+			if owner[d] {
+				return fmt.Errorf("document %d owned by two segments", d)
+			}
+			owner[d] = true
+		}
+	}
+	for d, ok := range owner {
+		if !ok {
+			return fmt.Errorf("document %d not owned by any segment", d)
+		}
+	}
+	return nil
+}
+
+// ranksFile names the ElemRank blob for one rank version. Version 0 is
+// the legacy Build output; later versions are written by AddDocs, each
+// under a fresh name so the previous blob stays intact until the
+// manifest referencing the new one has committed.
+func ranksFile(ver int) string {
+	if ver == 0 {
+		return "ranks.bin"
+	}
+	return fmt.Sprintf("ranks-%06d.bin", ver)
+}
+
+func segmentDirName(id int) string { return fmt.Sprintf("seg-%06d", id) }
+
+// initBaseSegment registers ix — a freshly built or reopened
+// whole-collection index living directly in IndexDir — as segment 0.
+func (e *Engine) initBaseSegment(ix *index.Sharded) {
+	ids := make([]uint32, e.col.NumDocs())
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	e.ix = ix
+	e.segs = []*engineSegment{{id: 0, dir: baseSegmentDir, rankVer: 0, docs: ids, ix: ix}}
+	e.rankVer = 0
+	e.nextSeg = 1
+	e.met.segments.Set(1)
+}
+
+// writeSegmentsManifest atomically replaces segments.json with sm.
+func (e *Engine) writeSegmentsManifest(sm *segmentsManifest) error {
+	return storage.WriteManifestAtomic(e.fs(), filepath.Join(e.cfg.IndexDir, fileSegments), sm)
+}
+
+// persistSegments rewrites segments.json from the engine's current
+// state (the DeleteDoc path). Callers hold updateMu.
+func (e *Engine) persistSegments() error {
+	sm := &segmentsManifest{NextSeg: e.nextSeg, RankVer: e.rankVer, Docs: e.docs}
+	for _, s := range e.segs {
+		sm.Segments = append(sm.Segments, segmentEntry{ID: s.id, Dir: s.dir, RankVer: s.rankVer, Docs: s.docs})
+	}
+	return e.writeSegmentsManifest(sm)
+}
+
+// encodeRanks serializes ElemRanks for a versioned ranks blob.
+func encodeRanks(ranks []float64) []byte {
+	buf := make([]byte, 8*len(ranks))
+	for i, r := range ranks {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(r))
+	}
+	return buf
+}
+
+func decodeRanks(rb []byte) []float64 {
+	ranks := make([]float64, len(rb)/8)
+	for i := range ranks {
+		ranks[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb[i*8:]))
+	}
+	return ranks
+}
+
+func isHTMLName(name string) bool {
+	ext := filepath.Ext(name)
+	return ext == ".html" || ext == ".htm"
+}
+
+// AddDocs incrementally adds documents to a built engine: the batch is
+// parsed into the collection, global ElemRanks are recomputed (adding
+// any document moves every element's rank), and a delta segment
+// covering just the new documents is built and committed via
+// segments.json — the full index is NOT rebuilt. A name that already
+// exists replaces that document: the old version is tombstoned and the
+// new one takes over its name. Names ending in .html/.htm parse as
+// HTML. On error the engine is unchanged (half-written files are
+// orphans no manifest references).
+//
+// Scores after AddDocs are bit-identical to a from-scratch rebuild
+// over the same documents; see the package comments above on stale
+// segments. The whole result cache is invalidated (every cached score
+// predates the new ElemRanks).
+func (e *Engine) AddDocs(add map[string]io.Reader) error {
+	if !e.built {
+		return fmt.Errorf("xrank: AddDocs before Build")
+	}
+	if len(add) == 0 {
+		return nil
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+
+	names := make([]string, 0, len(add))
+	for n := range add {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Parse everything into a copy-on-write clone first: a parse error
+	// must leave the live collection untouched.
+	col2 := e.col.Clone()
+	docs2 := append([]docEntry(nil), e.docs...)
+	var shadowed []uint32
+	newIDs := make(map[uint32]bool, len(names))
+	var segDocs []uint32
+	for _, n := range names {
+		raw, err := io.ReadAll(add[n])
+		if err != nil {
+			return fmt.Errorf("xrank: read %s: %w", n, err)
+		}
+		if old := col2.DocByName(n); old != nil && !docs2[old.ID].Deleted {
+			shadowed = append(shadowed, old.ID)
+		}
+		html := isHTMLName(n)
+		var d *xmldoc.Document
+		if html {
+			d, err = col2.AddHTMLVersion(n, bytes.NewReader(raw), nil)
+		} else {
+			d, err = col2.AddXMLVersion(n, bytes.NewReader(raw), nil)
+		}
+		if err != nil {
+			return err
+		}
+		newIDs[d.ID] = true
+		segDocs = append(segDocs, d.ID)
+		docs2 = append(docs2, docEntry{Name: n, HTML: html, raw: raw})
+	}
+
+	res, _, err := e.computeRanks(col2)
+	if err != nil {
+		return err
+	}
+	ranks2 := res.Scores
+	rankVer2 := e.rankVer + 1
+
+	// Durable but uncommitted: document-store files, the new ranks blob
+	// and the delta segment. All land under fresh names, so until
+	// segments.json flips they are invisible orphans.
+	fs := e.fs()
+	dir := e.cfg.IndexDir
+	docsDir := filepath.Join(dir, "docs")
+	if err := fs.MkdirAll(docsDir); err != nil {
+		return err
+	}
+	for i := len(e.docs); i < len(docs2); i++ {
+		d := &docs2[i]
+		ext := ".xml"
+		if d.HTML {
+			ext = ".html"
+		}
+		d.File = fmt.Sprintf("%06d%s", i, ext)
+		if err := storage.WriteFileAtomic(fs, filepath.Join(docsDir, d.File), d.raw); err != nil {
+			return err
+		}
+		d.Size = int64(len(d.raw))
+		d.CRC32 = storage.Checksum(d.raw)
+		d.raw = nil
+	}
+	if err := storage.WriteBlobAtomic(fs, filepath.Join(dir, ranksFile(rankVer2)), ranksMagic, encodeRanks(ranks2)); err != nil {
+		return err
+	}
+
+	segID := e.nextSeg
+	segDirName := segmentDirName(segID)
+	segPath := filepath.Join(dir, segDirName)
+	if err := fs.MkdirAll(segPath); err != nil {
+		return err
+	}
+	if _, err := index.BuildSharded(col2, ranks2, segPath, index.BuildOptions{
+		RankFraction:  e.cfg.RankFraction,
+		MaxPositions:  e.cfg.MaxPositions,
+		SkipNaive:     e.cfg.SkipNaive,
+		CompressDewey: e.cfg.CompressDewey,
+		DocFilter:     func(doc uint32) bool { return newIDs[doc] },
+		FS:            e.cfg.FS,
+	}, e.cfg.Shards); err != nil {
+		return fmt.Errorf("xrank: delta segment: %w", err)
+	}
+	six, err := index.OpenSharded(segPath, index.OpenOptions{PoolPages: e.cfg.PoolPages, FS: e.cfg.FS})
+	if err != nil {
+		return fmt.Errorf("xrank: delta segment: %w", err)
+	}
+
+	for _, id := range shadowed {
+		docs2[id].Deleted = true
+	}
+	newSeg := &engineSegment{id: segID, dir: segDirName, rankVer: rankVer2, docs: segDocs, ix: six}
+	segs2 := append(append([]*engineSegment(nil), e.segs...), newSeg)
+	sm := &segmentsManifest{NextSeg: segID + 1, RankVer: rankVer2, Docs: docs2}
+	for _, s := range segs2 {
+		sm.Segments = append(sm.Segments, segmentEntry{ID: s.id, Dir: s.dir, RankVer: s.rankVer, Docs: s.docs})
+	}
+	// Commit point. Before this write the old state is intact; after it
+	// a reopen sees the batch.
+	if err := e.writeSegmentsManifest(sm); err != nil {
+		six.Close()
+		return err
+	}
+
+	// Swap the queryable snapshot. Queries hold the read lock end to
+	// end, so acquiring the write lock means no query observes a torn
+	// mix of old and new fields (or a tombstone-free shadowed version).
+	e.snapMu.Lock()
+	e.mu.Lock()
+	if e.deleted == nil && len(shadowed) > 0 {
+		e.deleted = make(map[uint32]bool)
+	}
+	for _, id := range shadowed {
+		e.deleted[id] = true
+	}
+	e.mu.Unlock()
+	oldRankVer := e.rankVer
+	e.col = col2
+	e.ranks = ranks2
+	e.rankVer = rankVer2
+	e.nextSeg = segID + 1
+	e.docs = docs2
+	e.segs = segs2
+	e.segmented = true
+	e.snapMu.Unlock()
+
+	// Every element's ElemRank changed, so every cached score is wrong:
+	// this is the one update that still voids the whole result cache.
+	e.gen.Add(1)
+	// Best-effort retirement of the superseded ranks blob; a crash here
+	// leaves an orphan, not an inconsistency.
+	fs.Remove(filepath.Join(dir, ranksFile(oldRankVer)))
+	e.met.segments.Set(int64(len(segs2)))
+	return nil
+}
+
+// AddDoc is AddDocs for a single document.
+func (e *Engine) AddDoc(name string, r io.Reader) error {
+	return e.AddDocs(map[string]io.Reader{name: r})
+}
+
+// SegmentInfo describes one live segment (the /api/segments payload).
+type SegmentInfo struct {
+	ID      int    `json:"id"`
+	Dir     string `json:"dir"`
+	RankVer int    `json:"rank_ver"`
+	// Stale reports the segment's baked ElemRanks predate the current
+	// rank version (queries substitute the live values).
+	Stale    bool `json:"stale"`
+	Docs     int  `json:"docs"`
+	LiveDocs int  `json:"live_docs"`
+	Shards   int  `json:"shards"`
+}
+
+// Segments returns the live segments in commit order (nil before
+// Build).
+func (e *Engine) Segments() []SegmentInfo {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]SegmentInfo, 0, len(e.segs))
+	for _, s := range e.segs {
+		live := 0
+		for _, id := range s.docs {
+			if !e.deleted[id] {
+				live++
+			}
+		}
+		out = append(out, SegmentInfo{
+			ID:       s.id,
+			Dir:      s.dir,
+			RankVer:  s.rankVer,
+			Stale:    s.rankVer != e.rankVer,
+			Docs:     len(s.docs),
+			LiveDocs: live,
+			Shards:   s.ix.NumShards(),
+		})
+	}
+	return out
+}
+
+// SegmentCount returns the number of live segments (0 before Build).
+func (e *Engine) SegmentCount() int {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
+	return len(e.segs)
+}
+
+// RankVersion returns the current global ElemRank version (0 after
+// Build, incremented by every AddDocs batch).
+func (e *Engine) RankVersion() int {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
+	return e.rankVer
+}
+
+// addVersion and deleteDocID are test seams: the differential harness
+// replays an engine's full document history (including shadowed and
+// tombstoned versions, preserving document IDs) into a from-scratch
+// engine and then re-applies the tombstones by ID.
+
+func (e *Engine) addVersion(name string, raw []byte, html bool) error {
+	if e.built {
+		return fmt.Errorf("xrank: collection is sealed after Build")
+	}
+	var err error
+	if html {
+		_, err = e.col.AddHTMLVersion(name, bytes.NewReader(raw), nil)
+	} else {
+		_, err = e.col.AddXMLVersion(name, bytes.NewReader(raw), nil)
+	}
+	if err != nil {
+		return err
+	}
+	e.docs = append(e.docs, docEntry{Name: name, HTML: html, raw: raw})
+	return nil
+}
+
+func (e *Engine) deleteDocID(id uint32) {
+	e.mu.Lock()
+	if e.deleted == nil {
+		e.deleted = make(map[uint32]bool)
+	}
+	e.deleted[id] = true
+	e.mu.Unlock()
+	if int(id) < len(e.docs) {
+		e.docs[id].Deleted = true
+	}
+}

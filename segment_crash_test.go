@@ -1,0 +1,252 @@
+package xrank
+
+import (
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+// Crash matrices for the segmented layout's two new commit boundaries:
+// the delta-segment flush (AddDocs) and the compaction swap, both of
+// which commit by atomically replacing segments.json. Unlike DeleteDoc's
+// single-file manifest rewrite, these mutate the index directory in
+// place, so each replay starts from a pristine recursive copy.
+//
+// One asymmetry with the older matrices: both operations end with
+// best-effort retirement (the superseded ranks blob, the merged-away
+// segments' files) AFTER the commit point. A crash landing there leaves
+// the operation reporting success — or, for a failed parent-directory
+// fsync just after the rename, reporting failure with the manifest
+// already durable. The matrices therefore accept either op outcome and
+// pin the real invariant: a reopen sees exactly the old state or the new
+// state, never a third, and success implies the new state.
+
+// copyDir recursively copies a committed index directory so a crash
+// replay can mutate it destructively.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, path)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+const segCrashDoc = `<book id="7"><title>incremental xml search addition</title>
+ <chapter><t>keyword retrieval appendix</t><p>the xql language appendix</p></chapter>
+ <cite ref="2">see also</cite></book>`
+
+// TestCrashMatrixAddDocs kills the delta-segment flush at every write
+// boundary: document-store files, the versioned ranks blob, the segment
+// index files, and the segments.json swap itself.
+func TestCrashMatrixAddDocs(t *testing.T) {
+	docs := crashCorpus()
+
+	pristine := t.TempDir()
+	b := NewEngine(&Config{IndexDir: pristine, Shards: 2})
+	addCorpus(t, b, docs)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	preSig := crashSig(t, b)
+	b.Close()
+
+	// Clean post-state on a copy, round-tripped through a reopen so the
+	// reference signature is what the crash replays' reopens must match.
+	postDir := filepath.Join(t.TempDir(), "post")
+	copyDir(t, pristine, postDir)
+	pe, err := OpenEngine(postDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	pe.Close()
+	pe, err = OpenEngine(postDir)
+	if err != nil {
+		t.Fatalf("reopen after clean AddDocs: %v", err)
+	}
+	if got := pe.SegmentCount(); got != 2 {
+		t.Fatalf("clean AddDocs reopened with %d segments, want 2", got)
+	}
+	postSig := crashSig(t, pe)
+	pe.Close()
+	if reflect.DeepEqual(preSig, postSig) {
+		t.Fatal("adding doc7 does not change any signature query; the matrix would prove nothing")
+	}
+
+	// Sizing run: the same batch through a fault-free FaultFS.
+	szDir := filepath.Join(t.TempDir(), "sz")
+	copyDir(t, pristine, szDir)
+	sizing := storage.NewFaultFS(nil, 11)
+	se, err := OpenEngineFS(szDir, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	if got := crashSig(t, se); !reflect.DeepEqual(got, postSig) {
+		t.Fatal("fault-free FaultFS AddDocs differs from the plain AddDocs")
+	}
+	se.Close()
+	n := sizing.WriteOps()
+	if n < 10 {
+		t.Fatalf("AddDocs counted only %d write boundaries", n)
+	}
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		dirK := filepath.Join(t.TempDir(), "k")
+		copyDir(t, pristine, dirK)
+		ffs := storage.NewFaultFS(nil, 11+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		aerr := e.AddDoc("doc7.xml", strings.NewReader(segCrashDoc))
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			// The pre-state was fully committed before the crash armed, so
+			// the directory must never become unopenable.
+			t.Fatalf("crash at op %d/%d left the directory unopenable: %v", k, n, err)
+		}
+		got := crashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		switch {
+		case segs == 1 && reflect.DeepEqual(got, preSig):
+			if aerr == nil {
+				t.Fatalf("crash at op %d/%d: AddDocs claimed success but the reopen shows the old state", k, n)
+			}
+		case segs == 2 && reflect.DeepEqual(got, postSig):
+			// New state; the op may have reported either outcome (the crash
+			// can land in post-commit retirement or the final dir fsync).
+		default:
+			t.Fatalf("crash at op %d/%d: third state (segments=%d, op err=%v)", k, n, segs, aerr)
+		}
+	}
+}
+
+// TestCrashMatrixCompact kills the compaction — merged-segment build,
+// manifest swap, old-segment retirement — at every write boundary.
+// Compaction is score-neutral, so both sides of the boundary share one
+// signature; the state is distinguished by the segment count, and the
+// directory must open cleanly at every k.
+func TestCrashMatrixCompact(t *testing.T) {
+	docs := crashCorpus()
+
+	pristine := t.TempDir()
+	b := NewEngine(&Config{IndexDir: pristine, Shards: 2})
+	addCorpus(t, b, docs)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// A clean AddDocs gives the pristine directory two segments to merge.
+	if err := b.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	want := crashSig(t, b)
+	b.Close()
+
+	// Clean compaction on a copy must keep scores bit-identical and
+	// survive a reopen as a single segment.
+	cDir := filepath.Join(t.TempDir(), "clean")
+	copyDir(t, pristine, cDir)
+	ce, err := OpenEngine(cDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ce.CompactOnce(0)
+	if err != nil || !cs.Compacted {
+		t.Fatalf("clean compaction: %+v, %v", cs, err)
+	}
+	if got := crashSig(t, ce); !reflect.DeepEqual(got, want) {
+		t.Fatal("compaction changed query scores; it must be score-neutral")
+	}
+	ce.Close()
+	ce, err = OpenEngine(cDir)
+	if err != nil {
+		t.Fatalf("reopen after clean compaction: %v", err)
+	}
+	if got := ce.SegmentCount(); got != 1 {
+		t.Fatalf("clean compaction reopened with %d segments", got)
+	}
+	if got := crashSig(t, ce); !reflect.DeepEqual(got, want) {
+		t.Fatal("reopened compacted index differs from the pre-compaction engine")
+	}
+	ce.Close()
+
+	szDir := filepath.Join(t.TempDir(), "sz")
+	copyDir(t, pristine, szDir)
+	sizing := storage.NewFaultFS(nil, 23)
+	se, err := OpenEngineFS(szDir, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs, err := se.CompactOnce(0); err != nil || !cs.Compacted {
+		t.Fatalf("fault-free compaction: %+v, %v", cs, err)
+	}
+	if got := crashSig(t, se); !reflect.DeepEqual(got, want) {
+		t.Fatal("fault-free FaultFS compaction differs from the plain compaction")
+	}
+	se.Close()
+	n := sizing.WriteOps()
+	if n < 10 {
+		t.Fatalf("compaction counted only %d write boundaries", n)
+	}
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		dirK := filepath.Join(t.TempDir(), "k")
+		copyDir(t, pristine, dirK)
+		ffs := storage.NewFaultFS(nil, 23+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		_, cerr := e.CompactOnce(0)
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			t.Fatalf("crash at op %d/%d left the directory unopenable: %v", k, n, err)
+		}
+		got := crashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash at op %d/%d: reopened scores differ (compaction must be score-neutral)", k, n)
+		}
+		if segs != 1 && segs != 2 {
+			t.Fatalf("crash at op %d/%d: third state with %d segments", k, n, segs)
+		}
+		if cerr == nil && segs != 1 {
+			t.Fatalf("crash at op %d/%d: CompactOnce claimed success but the old manifest survived", k, n)
+		}
+	}
+}

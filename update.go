@@ -1,10 +1,13 @@
 package xrank
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"sort"
+
+	"xrank/internal/storage"
 )
 
 // Document-granularity updates (Section 4.5). The paper handles adding
@@ -12,51 +15,95 @@ import (
 // lists": deletions take effect immediately through document-ID
 // tombstones (the first Dewey component identifies the document), and
 // additions are folded in by rebuilding the indexes from the document
-// store — the classic batch/merge regime. Element-granularity insertion
-// (sparse Dewey renumbering, Tatarinov et al. [32]) is future work in the
-// paper as well.
+// store — the classic batch/merge regime. AddDocs (segment.go) amortizes
+// the addition side into immutable delta segments; Update below remains
+// the full-rebuild path that also reclaims tombstone space.
+// Element-granularity insertion (sparse Dewey renumbering, Tatarinov et
+// al. [32]) is future work in the paper as well.
 
 // DeleteDoc tombstones a document: its elements disappear from all query
 // results immediately, without touching the index files. The tombstone is
 // persisted in the engine manifest. Space is reclaimed at the next
-// Update/rebuild.
+// Update/rebuild. Under name shadowing (AddDocs replacing a document) the
+// newest version of the name is deleted.
+//
+// Cached results are invalidated per document: only entries whose result
+// sets mention the deleted document are evicted, so unrelated hot
+// queries keep their cache hits.
 func (e *Engine) DeleteDoc(name string) error {
 	if !e.built {
 		return fmt.Errorf("xrank: DeleteDoc before Build")
 	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
 	d := e.col.DocByName(name)
 	if d == nil {
 		return fmt.Errorf("xrank: no document %q", name)
 	}
-	for i := range e.docs {
-		if e.docs[i].Name == name {
-			if e.docs[i].Deleted {
-				return fmt.Errorf("xrank: document %q already deleted", name)
-			}
-			e.docs[i].Deleted = true
-			e.mu.Lock()
-			if e.deleted == nil {
-				e.deleted = make(map[uint32]bool)
-			}
-			e.deleted[d.ID] = true
-			e.mu.Unlock()
-			// Bump the cache generation only after the tombstone is
-			// visible: a query that misses the cache from here on filters
-			// the document, and anything cached before the bump reads as
-			// stale. The other order would let a pre-delete result be
-			// re-served after the delete.
-			e.gen.Add(1)
-			return e.persistManifest(e.cfg.IndexDir)
-		}
+	if int(d.ID) >= len(e.docs) {
+		return fmt.Errorf("xrank: document %q missing from manifest", name)
 	}
-	return fmt.Errorf("xrank: document %q missing from manifest", name)
+	de := &e.docs[d.ID]
+	if de.Deleted {
+		return fmt.Errorf("xrank: document %q already deleted", name)
+	}
+	de.Deleted = true
+	e.mu.Lock()
+	if e.deleted == nil {
+		e.deleted = make(map[uint32]bool)
+	}
+	e.deleted[d.ID] = true
+	e.mu.Unlock()
+	// Evict only the cached results that mention this document — after
+	// the tombstone is visible, so a racing query that misses from here
+	// on filters the document. A store racing with the eviction is
+	// caught by the serve-time liveness check (docsLive in search.go).
+	e.invalidateDocResults(name)
+	if e.segmented {
+		return e.persistSegments()
+	}
+	return e.persistManifest(e.cfg.IndexDir)
+}
+
+// invalidateDocResults drops every result-cache entry whose result set
+// mentions the named document. Entries of unknown shape are evicted
+// defensively.
+func (e *Engine) invalidateDocResults(name string) {
+	if e.rcache == nil {
+		return
+	}
+	n := e.rcache.EvictMatching(func(_ string, val any) bool {
+		fv, ok := val.(*flightEntry)
+		if !ok {
+			return true
+		}
+		for _, d := range fv.docs {
+			if d == name {
+				return true
+			}
+		}
+		return false
+	})
+	if n > 0 {
+		e.met.resultEvictions.Add(int64(n))
+	}
+	cs := e.rcache.Stats()
+	e.met.resultBytes.Set(cs.Bytes)
+	e.met.resultEntries.Set(int64(cs.Entries))
 }
 
 // DeletedDocs returns the names of tombstoned documents.
 func (e *Engine) DeletedDocs() []string {
 	var out []string
+	seen := make(map[string]bool)
 	for _, d := range e.docs {
-		if d.Deleted {
+		if d.Deleted && !seen[d.Name] {
+			// Under shadowing the name may appear again as a live newer
+			// version; only report names with no live version.
+			if live := e.col.DocByName(d.Name); live != nil && !e.docs[live.ID].Deleted {
+				continue
+			}
+			seen[d.Name] = true
 			out = append(out, d.Name)
 		}
 	}
@@ -67,7 +114,8 @@ func (e *Engine) DeletedDocs() []string {
 // (non-tombstoned) documents plus the given additions, reading the
 // existing documents from the document store. The receiver remains usable
 // and unchanged. add maps new document names to their content; names
-// ending in .html are parsed as HTML.
+// ending in .html are parsed as HTML. Unlike AddDocs this is a full
+// rebuild: it reclaims the space of tombstoned and shadowed documents.
 func (e *Engine) Update(dir string, add map[string]io.Reader) (*Engine, error) {
 	if !e.built {
 		return nil, fmt.Errorf("xrank: Update before Build")
@@ -78,20 +126,31 @@ func (e *Engine) Update(dir string, add map[string]io.Reader) (*Engine, error) {
 	cfg := e.cfg
 	cfg.IndexDir = dir
 	ne := NewEngine(&cfg)
-	for _, d := range e.docs {
+	fs := e.fs()
+	for i := range e.docs {
+		d := &e.docs[i]
 		if d.Deleted {
 			continue
 		}
-		f, err := os.Open(filepath.Join(e.cfg.IndexDir, "docs", d.File))
+		// Under shadowing only the newest version of a name is live.
+		if cur := e.col.DocByName(d.Name); cur == nil || int(cur.ID) != i {
+			continue
+		}
+		// Read back through storage.FS so fault injection covers the
+		// document-store read path, and verify against the manifest's
+		// checksum before reparsing.
+		data, err := fs.ReadFile(filepath.Join(e.cfg.IndexDir, "docs", d.File))
 		if err != nil {
 			return nil, fmt.Errorf("xrank: document store: %w", err)
 		}
-		if d.HTML {
-			err = ne.AddHTML(d.Name, f)
-		} else {
-			err = ne.AddXML(d.Name, f)
+		if int64(len(data)) != d.Size || storage.Checksum(data) != d.CRC32 {
+			return nil, fmt.Errorf("xrank: document store: %s: %w", d.File, ErrCorrupt)
 		}
-		f.Close()
+		if d.HTML {
+			err = ne.AddHTML(d.Name, bytes.NewReader(data))
+		} else {
+			err = ne.AddXML(d.Name, bytes.NewReader(data))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -101,16 +160,10 @@ func (e *Engine) Update(dir string, add map[string]io.Reader) (*Engine, error) {
 	for n := range add {
 		names = append(names, n)
 	}
-	for i := range names {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for _, n := range names {
 		var err error
-		if filepath.Ext(n) == ".html" || filepath.Ext(n) == ".htm" {
+		if isHTMLName(n) {
 			err = ne.AddHTML(n, add[n])
 		} else {
 			err = ne.AddXML(n, add[n])

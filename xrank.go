@@ -129,8 +129,9 @@ type Config struct {
 	// queries with the same canonical fingerprint (normalized keywords +
 	// algorithm + k + ranking options) are answered from memory without
 	// touching the index. Entries are guarded by the engine's generation
-	// counter — DeleteDoc, Build and ColdCache bump it, so a stale
-	// result is never served. Zero (the default) disables the cache;
+	// counter — Build, AddDocs and ColdCache bump it, while DeleteDoc
+	// evicts only the entries mentioning the deleted document, so a
+	// stale result is never served. Zero (the default) disables the cache;
 	// the serve command enables a 32 MiB cache unless told otherwise.
 	// Degraded (partial-shard) results are never cached.
 	CacheBytes int64
@@ -148,6 +149,18 @@ type Config struct {
 	// control. The engine itself does not enforce these; see cmd/xrank.
 	MaxInflightQueries int
 	AdmissionQueue     int
+
+	// MaxSegments, CompactIntervalMillis and CompactBudgetPages are the
+	// background compactor's serve-command defaults (see
+	// Engine.StartCompactor): when more than MaxSegments live segments
+	// have accumulated from incremental AddDocs batches, they are merged
+	// back into one, issuing at most CompactBudgetPages pages of write
+	// I/O per compaction (0 = unmetered). The engine itself never starts
+	// the compactor; CompactOnce is always available for explicit
+	// control. Zero MaxSegments selects the serve default (4).
+	MaxSegments           int
+	CompactIntervalMillis int
+	CompactBudgetPages    int64
 
 	// FS is the file system every persisted artifact goes through (nil =
 	// the real file system). Fault-injection and crash-simulation tests
@@ -194,11 +207,41 @@ type Engine struct {
 	cfg     Config
 	col     *xmldoc.Collection
 	ranks   []float64
-	ix      *index.Sharded
+	ix      *index.Sharded // base segment's index (segs[0].ix)
 	tempDir bool
 	built   bool
 	docs    []docEntry // document store manifest
 	met     *engineMetrics
+
+	// snapMu guards the queryable snapshot: col, ranks, ix, docs, segs,
+	// rankVer and nextSeg. Queries hold the read lock for their entire
+	// execution; AddDocs and CompactOnce take the write lock only for
+	// the in-memory field swap after their manifest has committed, so
+	// acquiring it doubles as the drain barrier proving no in-flight
+	// query still pins cursors into a retired segment. Lock order:
+	// snapMu before mu.
+	snapMu sync.RWMutex
+	// updateMu serializes the mutators (AddDocs, DeleteDoc, CompactOnce)
+	// against each other without blocking queries.
+	updateMu sync.Mutex
+
+	// segs are the live immutable index segments in commit order;
+	// segs[0] is the original Build output. See segment.go.
+	segs []*engineSegment
+	// rankVer is the global ElemRank version; each AddDocs batch
+	// recomputes every element's rank and bumps it.
+	rankVer int
+	// nextSeg is the next unused segment ID.
+	nextSeg int
+	// segmented reports segments.json exists and is the commit point
+	// (true after the first AddDocs or after reopening a segmented
+	// layout); until then engine.json alone describes the engine.
+	segmented bool
+
+	// compactStop/compactDone manage the background compactor goroutine
+	// (see StartCompactor).
+	compactStop chan struct{}
+	compactDone chan struct{}
 
 	// mu guards deleted. Queries may run concurrently; DeleteDoc may run
 	// concurrently with them.
@@ -209,8 +252,10 @@ type Engine struct {
 
 	// gen is the cache-invalidation generation: result-cache entries
 	// are stored under the generation current when their execution
-	// began, and served only while it is still current. Build,
-	// DeleteDoc and ColdCache bump it — O(1) whole-cache invalidation.
+	// began, and served only while it is still current. Build, AddDocs
+	// and ColdCache bump it — O(1) whole-cache invalidation. DeleteDoc
+	// does not: it evicts exactly the cached results that mention the
+	// tombstoned document (see invalidateDocResults).
 	gen atomic.Uint64
 	// rcache is the query result cache (nil when Config.CacheBytes
 	// leaves it disabled).
@@ -313,8 +358,35 @@ func (e *Engine) add(name string, r io.Reader, html bool) error {
 	return nil
 }
 
+// computeRanks runs the configured ElemRank computation over col. Both
+// Build and AddDocs use it: ElemRank is a global fixpoint, so every
+// incremental batch recomputes it over the whole grown collection.
+func (e *Engine) computeRanks(col *xmldoc.Collection) (*elemrank.Result, xmldoc.LinkStats, error) {
+	g, linkStats := elemrank.BuildGraph(col)
+	p := elemrank.DefaultParams()
+	p.D1, p.D2, p.D3, p.Epsilon = e.cfg.D1, e.cfg.D2, e.cfg.D3, e.cfg.Epsilon
+	switch e.cfg.ElemRankVariant {
+	case "", "final":
+		p.Variant = elemrank.VariantFinal
+	case "pagerank":
+		p.Variant = elemrank.VariantPageRank
+	case "bidirectional":
+		p.Variant = elemrank.VariantBidirectional
+	case "discriminated":
+		p.Variant = elemrank.VariantDiscriminated
+	default:
+		return nil, linkStats, fmt.Errorf("xrank: unknown ElemRank variant %q", e.cfg.ElemRankVariant)
+	}
+	res, err := elemrank.Compute(g, p)
+	if err != nil {
+		return nil, linkStats, err
+	}
+	return res, linkStats, nil
+}
+
 // Build computes ElemRanks and constructs all disk indexes. The collection
-// is sealed afterwards.
+// is sealed afterwards; incremental AddDocs batches land in delta
+// segments on top of the index Build produces (segment 0).
 func (e *Engine) Build() (*BuildInfo, error) {
 	if e.built {
 		return nil, fmt.Errorf("xrank: already built")
@@ -333,28 +405,13 @@ func (e *Engine) Build() (*BuildInfo, error) {
 
 	info := &BuildInfo{NumDocs: e.col.NumDocs(), NumElements: e.col.NumElements()}
 
-	g, linkStats := elemrank.BuildGraph(e.col)
-	info.DanglingLinks = linkStats.Dangling
-	info.ResolvedLinks = linkStats.Resolved
-	p := elemrank.DefaultParams()
-	p.D1, p.D2, p.D3, p.Epsilon = e.cfg.D1, e.cfg.D2, e.cfg.D3, e.cfg.Epsilon
-	switch e.cfg.ElemRankVariant {
-	case "", "final":
-		p.Variant = elemrank.VariantFinal
-	case "pagerank":
-		p.Variant = elemrank.VariantPageRank
-	case "bidirectional":
-		p.Variant = elemrank.VariantBidirectional
-	case "discriminated":
-		p.Variant = elemrank.VariantDiscriminated
-	default:
-		return nil, fmt.Errorf("xrank: unknown ElemRank variant %q", e.cfg.ElemRankVariant)
-	}
 	t0 := time.Now()
-	res, err := elemrank.Compute(g, p)
+	res, linkStats, err := e.computeRanks(e.col)
 	if err != nil {
 		return nil, err
 	}
+	info.DanglingLinks = linkStats.Dangling
+	info.ResolvedLinks = linkStats.Resolved
 	info.ElemRankTime = time.Since(t0)
 	info.ElemRankIterations = res.Iterations
 	info.ElemRankConverged = res.Converged
@@ -382,21 +439,27 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.ix = ix
+	e.initBaseSegment(ix)
 	e.built = true
 	e.met.shards.Set(int64(ix.NumShards()))
 	e.gen.Add(1) // anything cached against the pre-build engine is void
 	return info, nil
 }
 
-// Close releases the index files (and removes the index directory if it
-// was a temporary one).
+// Close stops the background compactor, releases every segment's index
+// files, and removes the index directory if it was a temporary one.
 func (e *Engine) Close() error {
+	e.stopCompactor()
 	var err error
-	if e.ix != nil {
-		err = e.ix.Close()
-		e.ix = nil
+	for _, s := range e.segs {
+		if cerr := s.ix.Close(); err == nil {
+			err = cerr
+		}
 	}
+	if len(e.segs) == 0 && e.ix != nil {
+		err = e.ix.Close()
+	}
+	e.segs, e.ix = nil, nil
 	if e.tempDir {
 		os.RemoveAll(e.cfg.IndexDir)
 	}
@@ -409,13 +472,21 @@ func (e *Engine) Close() error {
 // queries run is race-free but evicts their cached pages and resets the
 // global counters mid-flight (per-query QueryStats.IO is unaffected).
 func (e *Engine) ColdCache() error {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
 	if e.ix == nil {
 		return fmt.Errorf("xrank: not built")
 	}
 	// A cold measurement must not be answered from the result cache
 	// either: bump the generation so prior results read as stale.
 	e.gen.Add(1)
-	return e.ix.ColdCache()
+	var err error
+	for _, s := range e.segs {
+		if cerr := s.ix.ColdCache(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // IOStats returns cumulative page-level I/O statistics since the last
@@ -423,10 +494,13 @@ func (e *Engine) ColdCache() error {
 // under concurrency, use the QueryStats returned by SearchContext
 // instead of diffing IOStats snapshots.
 func (e *Engine) IOStats() storage.Stats {
-	if e.ix == nil {
-		return storage.Stats{}
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
+	var st storage.Stats
+	for _, s := range e.segs {
+		st.Add(s.ix.IOStats())
 	}
-	return e.ix.IOStats()
+	return st
 }
 
 // Collection and index accessors for the benchmark harness and tests.
@@ -440,6 +514,8 @@ func (e *Engine) NumElements() int { return e.col.NumElements() }
 // NumShards returns the number of index partitions (1 for a flat index,
 // 0 before Build).
 func (e *Engine) NumShards() int {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
 	if e.ix == nil {
 		return 0
 	}
@@ -447,9 +523,12 @@ func (e *Engine) NumShards() int {
 }
 
 // ShardIOStats returns cumulative page-level I/O statistics per shard
-// since the last ColdCache, in shard order (nil before Build). Like
-// IOStats, these are engine-global counters summed over every query.
+// of the base segment since the last ColdCache, in shard order (nil
+// before Build). Like IOStats, these are engine-global counters summed
+// over every query.
 func (e *Engine) ShardIOStats() []storage.Stats {
+	e.snapMu.RLock()
+	defer e.snapMu.RUnlock()
 	if e.ix == nil {
 		return nil
 	}
@@ -499,8 +578,9 @@ func (e *Engine) ConfigureResultCache(bytes int64) {
 func (e *Engine) SetCoalesceQueries(v bool) { e.cfg.CoalesceQueries = v }
 
 // Generation returns the engine's cache-invalidation generation. Build,
-// DeleteDoc and ColdCache bump it; result-cache entries from an older
-// generation are never served.
+// AddDocs and ColdCache bump it (DeleteDoc instead evicts the entries
+// that mention the deleted document); result-cache entries from an
+// older generation are never served.
 func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
 // CacheStats describes the query result cache and coalescing activity.
