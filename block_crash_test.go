@@ -1,0 +1,196 @@
+package xrank
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+// Crash matrices for the block postings format: Build, AddDocs and
+// CompactOnce gain new write boundaries (the per-term skip indexes
+// dil.skip / rdil.skip / hdilrank.skip, written between the postings
+// files and the lexicons), and a crash at any of them must leave the
+// directory either refusing to open or opening bit-identical to one side
+// of the operation — never serving from a skip index that disagrees with
+// its postings.
+
+// TestCrashMatrixBlockBuild is TestCrashMatrixBuild over the block
+// postings format: a fresh v2 Build killed at every write boundary.
+func TestCrashMatrixBlockBuild(t *testing.T) {
+	docs := crashCorpus()
+
+	ref := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2, BlockPostings: true})
+	addCorpus(t, ref, docs)
+	if _, err := ref.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := crashSig(t, ref)
+
+	sizing := storage.NewFaultFS(nil, 31)
+	se := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2, BlockPostings: true, FS: sizing})
+	addCorpus(t, se, docs)
+	if _, err := se.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := crashSig(t, se); !reflect.DeepEqual(got, want) {
+		t.Fatal("fault-free FaultFS block build differs from the plain block build")
+	}
+	se.Close()
+	n := sizing.WriteOps()
+	if n < 20 {
+		t.Fatalf("block build counted only %d write boundaries", n)
+	}
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		dir := t.TempDir()
+		ffs := storage.NewFaultFS(nil, 31+k)
+		ffs.CrashAtWriteOp(k)
+		e := NewEngine(&Config{IndexDir: dir, Shards: 2, BlockPostings: true, FS: ffs})
+		addCorpus(t, e, docs)
+		if _, err := e.Build(); err == nil {
+			t.Fatalf("crash at op %d/%d: Build reported success", k, n)
+		}
+		re, err := OpenEngine(dir)
+		if err != nil {
+			continue // pre-state: the directory never committed
+		}
+		got := crashSig(t, re)
+		re.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash at op %d/%d: reopened block index differs from the clean build", k, n)
+		}
+	}
+}
+
+// TestCrashMatrixBlockSegments kills a v2 delta-segment flush (AddDocs)
+// and then a v2 compaction at every write boundary — the segmented
+// layout's two commit points, each now also writing skip indexes.
+func TestCrashMatrixBlockSegments(t *testing.T) {
+	docs := crashCorpus()
+
+	pristine := t.TempDir()
+	b := NewEngine(&Config{IndexDir: pristine, Shards: 2, BlockPostings: true})
+	addCorpus(t, b, docs)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	preSig := crashSig(t, b)
+	b.Close()
+
+	// Clean post-states: one AddDocs (two segments), then its compaction
+	// (one segment, score-neutral).
+	postDir := filepath.Join(t.TempDir(), "post")
+	copyDir(t, pristine, postDir)
+	pe, err := OpenEngine(postDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	postSig := crashSig(t, pe)
+	pe.Close()
+	if reflect.DeepEqual(preSig, postSig) {
+		t.Fatal("adding doc7 does not change any signature query; the matrix would prove nothing")
+	}
+
+	szDir := filepath.Join(t.TempDir(), "sz")
+	copyDir(t, pristine, szDir)
+	sizing := storage.NewFaultFS(nil, 37)
+	se, err := OpenEngineFS(szDir, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	nAdd := sizing.WriteOps()
+	if cs, err := se.CompactOnce(0); err != nil || !cs.Compacted {
+		t.Fatalf("fault-free block compaction: %+v, %v", cs, err)
+	}
+	if got := crashSig(t, se); !reflect.DeepEqual(got, postSig) {
+		t.Fatal("fault-free FaultFS AddDocs+compaction changed scores")
+	}
+	se.Close()
+	nCompact := sizing.WriteOps() - nAdd
+	if nAdd < 10 || nCompact < 10 {
+		t.Fatalf("sizing counted only %d AddDocs / %d compaction boundaries", nAdd, nCompact)
+	}
+
+	for k := int64(1); k <= nAdd; k += crashStride(nAdd, t) {
+		dirK := filepath.Join(t.TempDir(), "k")
+		copyDir(t, pristine, dirK)
+		ffs := storage.NewFaultFS(nil, 37+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		aerr := e.AddDoc("doc7.xml", strings.NewReader(segCrashDoc))
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			t.Fatalf("crash at op %d/%d left the directory unopenable: %v", k, nAdd, err)
+		}
+		got := crashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		switch {
+		case segs == 1 && reflect.DeepEqual(got, preSig):
+			if aerr == nil {
+				t.Fatalf("crash at op %d/%d: AddDocs claimed success but the reopen shows the old state", k, nAdd)
+			}
+		case segs == 2 && reflect.DeepEqual(got, postSig):
+			// New state; either op outcome is acceptable (see segment_crash_test.go).
+		default:
+			t.Fatalf("crash at op %d/%d: third state (segments=%d, op err=%v)", k, nAdd, segs, aerr)
+		}
+	}
+
+	// Compaction matrix, replayed from a two-segment pristine copy.
+	twoSeg := filepath.Join(t.TempDir(), "two")
+	copyDir(t, pristine, twoSeg)
+	te, err := OpenEngine(twoSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := te.AddDoc("doc7.xml", strings.NewReader(segCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	te.Close()
+
+	for k := int64(1); k <= nCompact; k += crashStride(nCompact, t) {
+		dirK := filepath.Join(t.TempDir(), "ck")
+		copyDir(t, twoSeg, dirK)
+		ffs := storage.NewFaultFS(nil, 41+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("compaction replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		_, cerr := e.CompactOnce(0)
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			t.Fatalf("compaction crash at op %d/%d left the directory unopenable: %v", k, nCompact, err)
+		}
+		got := crashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		if !reflect.DeepEqual(got, postSig) {
+			t.Fatalf("compaction crash at op %d/%d changed scores", k, nCompact)
+		}
+		if segs != 1 && segs != 2 {
+			t.Fatalf("compaction crash at op %d/%d: third state with %d segments", k, nCompact, segs)
+		}
+		if cerr == nil && segs != 1 {
+			t.Fatalf("compaction crash at op %d/%d: CompactOnce claimed success but the old manifest survived", k, nCompact)
+		}
+	}
+}

@@ -11,7 +11,9 @@
 // shard (E10, also written to -shardjson for CI trend tracking), cache
 // (E11, the result-cache hit-ratio/hot-cold experiment, written to
 // -cachejson), ingest (E12, incremental segment-ingestion throughput vs
-// a full rebuild, written to -ingestjson).
+// a full rebuild, written to -ingestjson), block (E13, the block-max
+// pruning experiment comparing the v1 and block postings formats,
+// written to -blockjson).
 //
 // E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
 // run on the long-list performance corpus (see internal/datagen/perfgen),
@@ -54,6 +56,9 @@ func main() {
 		ingestBatch   = flag.Int("ingestbatch", 2, "documents per ingest batch")
 		ingestScale   = flag.Float64("ingestscale", 2.0, "ingest-experiment corpus scale factor")
 		ingestJSON    = flag.String("ingestjson", "BENCH_ingest.json", "where the ingest experiment writes its JSON report (empty: skip)")
+
+		blockBlocks = flag.Int("blockblocks", 200000, "performance-corpus size (records) for the block-pruning experiment")
+		blockJSON   = flag.String("blockjson", "BENCH_block.json", "where the block-pruning experiment writes its JSON report (empty: skip)")
 	)
 	flag.Parse()
 
@@ -62,7 +67,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache", "ingest"} {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache", "ingest", "block"} {
 			want[e] = true
 		}
 	}
@@ -245,6 +250,21 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *cacheJSON)
+		}
+	}
+	if want["block"] {
+		t, rep, err := bench.E13BlockPruning(ws+"/blockexp", *blockBlocks, *seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("block pruning: RDIL %.2fx, HDIL %.2fx wall p50 at hicorr top-10 over the v1 format\n",
+			rep.RDILTop10Speedup, rep.HDILTop10Speedup)
+		if *blockJSON != "" {
+			if err := rep.WriteJSON(*blockJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *blockJSON)
 		}
 	}
 	if want["ingest"] {

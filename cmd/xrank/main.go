@@ -57,6 +57,7 @@ func cmdIndex(args []string) error {
 	decay := fs.Float64("decay", 0.75, "per-level rank decay in (0,1]")
 	skipNaive := fs.Bool("skip-naive", true, "omit the naive baseline indexes")
 	compress := fs.Bool("compress", false, "prefix-compress Dewey postings")
+	block := fs.Bool("block", false, "block-encode postings with per-block skip indexes (enables block-max pruning)")
 	shards := fs.Int("shards", 1, "partition the index into N document shards queried in parallel")
 	answerTags := fs.String("answer-tags", "", "comma-separated answer-node tags (empty: all elements)")
 	fs.Parse(args)
@@ -66,7 +67,7 @@ func cmdIndex(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("index: -shards must be >= 1")
 	}
-	cfg := &xrank.Config{IndexDir: *dir, Decay: *decay, SkipNaive: *skipNaive, CompressDewey: *compress, Shards: *shards}
+	cfg := &xrank.Config{IndexDir: *dir, Decay: *decay, SkipNaive: *skipNaive, CompressDewey: *compress, BlockPostings: *block, Shards: *shards}
 	if *answerTags != "" {
 		cfg.AnswerTags = splitComma(*answerTags)
 	}
@@ -145,6 +146,9 @@ func cmdSearch(args []string) error {
 	if *stats {
 		fmt.Printf("\n%s: %v wall, %d page reads (%d seq, %d random), %v simulated cold-disk\n",
 			qs.Algorithm, qs.WallTime.Round(1e3), qs.IO.Reads, qs.IO.SeqReads, qs.IO.RandReads, qs.SimulatedTime.Round(1e5))
+		if qs.IO.BlocksDecoded > 0 || qs.IO.BlocksSkipped > 0 {
+			fmt.Printf("blocks: %d decoded, %d skipped\n", qs.IO.BlocksDecoded, qs.IO.BlocksSkipped)
+		}
 	}
 	return nil
 }

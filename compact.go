@@ -13,9 +13,9 @@ import (
 type CompactionStats struct {
 	// Compacted is false when the engine was already fully compacted
 	// (one segment at the current rank version) and nothing happened.
-	Compacted      bool  `json:"compacted"`
-	SegmentsBefore int   `json:"segments_before"`
-	SegmentsAfter  int   `json:"segments_after"`
+	Compacted      bool `json:"compacted"`
+	SegmentsBefore int  `json:"segments_before"`
+	SegmentsAfter  int  `json:"segments_after"`
 	// Bytes is the total size of the merged segment's index files.
 	Bytes int64  `json:"bytes"`
 	Dir   string `json:"dir"`
@@ -69,6 +69,7 @@ func (e *Engine) CompactOnce(budgetPages int64) (CompactionStats, error) {
 		MaxPositions:  e.cfg.MaxPositions,
 		SkipNaive:     e.cfg.SkipNaive,
 		CompressDewey: e.cfg.CompressDewey,
+		BlockPostings: e.cfg.BlockPostings,
 		FS:            buildFS,
 	}, e.cfg.Shards)
 	if err != nil {

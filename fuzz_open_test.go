@@ -18,10 +18,13 @@ import (
 // checksummed payload, e.g. whitespace inside a manifest envelope —
 // the opened engine is observably identical to the pristine one. The
 // pristine bytes are restored after each case so the shared directory
-// stays valid.
+// stays valid. The engine uses the block postings format, so the walked
+// file set includes the per-term skip indexes (dil.skip, rdil.skip,
+// hdilrank.skip) — a corrupted skip index must be rejected at open, never
+// silently steer queries into the wrong blocks.
 func FuzzOpenCorrupt(f *testing.F) {
 	dir := f.TempDir()
-	e := NewEngine(&Config{IndexDir: dir, Shards: 2})
+	e := NewEngine(&Config{IndexDir: dir, Shards: 2, BlockPostings: true})
 	docs := map[string]string{
 		"a.xml": `<r><t>xml keyword search</t><p>fuzzable content one</p></r>`,
 		"b.xml": `<r><t>ranked retrieval</t><p>fuzzable content two</p></r>`,

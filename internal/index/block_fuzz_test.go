@@ -1,0 +1,183 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"xrank/internal/dewey"
+	"xrank/internal/storage"
+)
+
+// fuzzPosts builds a small deterministic posting set for fuzz seeds.
+func fuzzPosts() []Posting {
+	return []Posting{
+		{ID: dewey.ID{0, 1}, Rank: 0.9, Positions: []uint32{1, 5}},
+		{ID: dewey.ID{0, 1, 3}, Rank: 0.5, Positions: []uint32{7}},
+		{ID: dewey.ID{2, 0}, Rank: 0.25, Positions: []uint32{0, 2, 1000}},
+	}
+}
+
+// FuzzBlockDecode feeds arbitrary bytes to the block reader: it must
+// never panic and never loop forever — every input either decodes as a
+// well-formed block or errors out.
+func FuzzBlockDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{1, 0, 3, 0, 0, 0, 0})
+	f.Add(encodeBlock(fuzzPosts()))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var rd blockReader
+		if err := rd.init(body); err != nil {
+			return
+		}
+		var p Posting
+		for i := 0; i <= len(body)+2; i++ {
+			ok, err := rd.next(&p)
+			if err != nil || !ok {
+				return
+			}
+		}
+		t.Fatalf("block reader yielded more entries than the input has bytes")
+	})
+}
+
+// FuzzSkipIndex feeds arbitrary bytes to the skip-index decoder in both
+// ordering modes: it must never panic, and every accepted input must
+// satisfy the per-mode structural invariants the cursors rely on.
+func FuzzSkipIndex(f *testing.F) {
+	valid, err := writeSkipIndexBytes([]string{"kw"}, map[string][]BlockRef{
+		"kw": {{Page: 0, Off: 0, Count: 3, Bytes: 64, MaxRank: 0.9,
+			FirstID: dewey.Encode(dewey.ID{0, 1}), LastID: dewey.Encode(dewey.ID{2, 0})}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, true)
+	f.Add(valid, false)
+	f.Add([]byte{}, true)
+	f.Add([]byte{0x58, 0x53, 0x4B, 0x50}, false)
+	f.Fuzz(func(t *testing.T, b []byte, ordered bool) {
+		refs, err := decodeSkipIndex(b, ordered)
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("rejection not wrapped in ErrCorrupt: %v", err)
+			}
+			return
+		}
+		for term, rs := range refs {
+			if len(rs) == 0 {
+				t.Fatalf("term %q accepted with zero blocks", term)
+			}
+			for i := range rs {
+				r := &rs[i]
+				if r.Count == 0 || len(r.FirstID) == 0 || len(r.LastID) == 0 {
+					t.Fatalf("term %q block %d accepted empty: %+v", term, i, r)
+				}
+				if int(r.Off)+entryLenSize+int(r.Bytes) > storage.PageSize {
+					t.Fatalf("term %q block %d accepted spanning a page: %+v", term, i, r)
+				}
+				if ordered {
+					if bytes.Compare(r.FirstID, r.LastID) > 0 {
+						t.Fatalf("term %q block %d accepted out of order: %+v", term, i, r)
+					}
+					if i > 0 && bytes.Compare(rs[i-1].LastID, r.FirstID) > 0 {
+						t.Fatalf("term %q blocks %d/%d accepted out of order", term, i-1, i)
+					}
+				} else if i > 0 && r.MaxRank > rs[i-1].MaxRank {
+					t.Fatalf("term %q block %d accepted with rising MaxRank", term, i)
+				}
+			}
+		}
+	})
+}
+
+// writeSkipIndexBytes is writeSkipIndex minus the file system — it
+// produces the encoded bytes for in-memory round trips.
+func writeSkipIndexBytes(terms []string, refs map[string][]BlockRef) ([]byte, error) {
+	out := make([]byte, 0, 64)
+	out = binary.LittleEndian.AppendUint32(out, skipMagic)
+	out = binary.LittleEndian.AppendUint32(out, skipVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(terms)))
+	for _, t := range terms {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(t)))
+		out = append(out, t...)
+		rs := refs[t]
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(rs)))
+		for i := range rs {
+			r := &rs[i]
+			out = binary.LittleEndian.AppendUint32(out, uint32(r.Page))
+			out = binary.LittleEndian.AppendUint16(out, r.Off)
+			out = binary.LittleEndian.AppendUint16(out, r.Count)
+			out = binary.LittleEndian.AppendUint16(out, r.Bytes)
+			out = binary.LittleEndian.AppendUint32(out, math.Float32bits(r.MaxRank))
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(r.FirstID)))
+			out = append(out, r.FirstID...)
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(r.LastID)))
+			out = append(out, r.LastID...)
+		}
+	}
+	return out, nil
+}
+
+// TestBlockRoundTrip pins encode→decode identity for a block: every
+// posting comes back bit-identical, in order.
+func TestBlockRoundTrip(t *testing.T) {
+	posts := fuzzPosts()
+	body := encodeBlock(posts)
+	var rd blockReader
+	if err := rd.init(body); err != nil {
+		t.Fatal(err)
+	}
+	var p Posting
+	for i := range posts {
+		ok, err := rd.next(&p)
+		if err != nil || !ok {
+			t.Fatalf("entry %d: ok=%v err=%v", i, ok, err)
+		}
+		if !dewey.Equal(p.ID, posts[i].ID) || p.Rank != posts[i].Rank {
+			t.Fatalf("entry %d decoded %v/%v, want %v/%v", i, p.ID, p.Rank, posts[i].ID, posts[i].Rank)
+		}
+		if len(p.Positions) != len(posts[i].Positions) {
+			t.Fatalf("entry %d posList %v, want %v", i, p.Positions, posts[i].Positions)
+		}
+		for j := range p.Positions {
+			if p.Positions[j] != posts[i].Positions[j] {
+				t.Fatalf("entry %d posList %v, want %v", i, p.Positions, posts[i].Positions)
+			}
+		}
+	}
+	if ok, err := rd.next(&p); ok || err != nil {
+		t.Fatalf("trailing entry: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDecodeDeweyEntryCompressedResetsOnError is the regression test for
+// the partial-write bug: on any decode error the out-posting must come
+// back zeroed, because callers chain decoded IDs as the next entry's
+// prev — a partially-written ID would corrupt every later entry on the
+// page instead of surfacing the error's true position.
+func TestDecodeDeweyEntryCompressedResetsOnError(t *testing.T) {
+	prev := dewey.ID{1, 2, 3}
+	good := AppendDeweyEntryCompressed(nil, prev, dewey.ID{1, 2, 4}, 0.5, []uint32{9})
+	body := good[entryLenSize:]
+
+	cases := map[string][]byte{
+		"too short":     {3},
+		"lcp too long":  {255, 1, 0x80},
+		"truncated":     body[:len(body)-3],
+		"bad posList":   append(append([]byte{}, body[:len(body)-1]...), 0xFF),
+		"bad suffixLen": {1, 0xFF},
+	}
+	for name, mut := range cases {
+		p := Posting{ID: dewey.ID{9, 9, 9}, Elem: 7, Rank: 3.5, Positions: []uint32{1, 2}}
+		if err := DecodeDeweyEntryCompressed(mut, prev, &p); err == nil {
+			t.Fatalf("%s: decode accepted corrupt body", name)
+		}
+		if len(p.ID) != 0 || len(p.Positions) != 0 || p.Elem != 0 || p.Rank != 0 {
+			t.Fatalf("%s: error path left a partial posting: %+v", name, p)
+		}
+	}
+}

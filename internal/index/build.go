@@ -30,6 +30,11 @@ const (
 	fileNaiveRankHash = "naiverank.hash"
 	fileNaiveRankLex  = "naiverank.lex"
 	fileMeta          = "meta.json"
+
+	// Block-format skip indexes (PostingsFormat == BlockPostingsFormat).
+	fileDILSkip      = "dil.skip"
+	fileRDILSkip     = "rdil.skip"
+	fileHDILRankSkip = "hdilrank.skip"
 )
 
 // BuildOptions configure index construction.
@@ -52,6 +57,14 @@ type BuildOptions struct {
 	// AppendDeweyEntryCompressed). Query results are identical; lists
 	// shrink further.
 	CompressDewey bool
+	// BlockPostings writes the Dewey-family lists (dil.post, rdil.post,
+	// hdil.rank) in the block-encoded format (see block.go): delta-coded
+	// blocks of up to 128 entries plus per-term skip indexes recording
+	// each block's max ElemRank and Dewey range, which query loops use to
+	// skip whole blocks. Naive lists and both B+-trees are unchanged.
+	// Query results are bit-identical to the v1 format; CompressDewey is
+	// ignored for block lists (blocks always delta-code internally).
+	BlockPostings bool
 	// DocFilter, when non-nil, restricts the index to the documents for
 	// which it returns true (doc is the document's position in the
 	// collection, i.e. the first Dewey component). Sharded builds pass the
@@ -92,7 +105,11 @@ type Meta struct {
 	MaxPositions  int     `json:"max_positions"`
 	HasNaive      bool    `json:"has_naive"`
 	CompressDewey bool    `json:"compress_dewey,omitempty"`
-	BuildMillis   int64   `json:"build_millis"`
+	// PostingsFormat is the Dewey-list wire format: 0 (absent) is the
+	// per-entry v1 layout, BlockPostingsFormat (2) the block-encoded
+	// layout with skip indexes. Open rejects formats it does not know.
+	PostingsFormat int   `json:"postings_format,omitempty"`
+	BuildMillis    int64 `json:"build_millis"`
 	// Files records the expected size and checksum of every data file in
 	// the directory, keyed by file name.
 	Files map[string]storage.FileSum `json:"files"`
@@ -191,6 +208,9 @@ func Build(c *xmldoc.Collection, ranks []float64, dir string, opts BuildOptions)
 		HasNaive:      !opts.SkipNaive,
 		CompressDewey: opts.CompressDewey,
 	}
+	if opts.BlockPostings {
+		meta.PostingsFormat = BlockPostingsFormat
+	}
 	for _, term := range sorted {
 		td := terms[term]
 		nNaive, err := b.addTerm(term, td, opts, ranks)
@@ -263,6 +283,12 @@ type variantBuilders struct {
 	naiveIDMeta   map[string]NaiveMeta
 	naiveRankMeta map[string]NaiveRankMeta
 
+	// Per-term block refs (BlockPostings only), persisted as the skip
+	// indexes in finish.
+	dilSkip      map[string][]BlockRef
+	rdilSkip     map[string][]BlockRef
+	hdilRankSkip map[string][]BlockRef
+
 	buf []byte
 }
 
@@ -275,6 +301,11 @@ func newVariantBuilders(fs storage.FS, dir string, opts BuildOptions) (*variantB
 		hdilMeta:      make(map[string]HDILMeta),
 		naiveIDMeta:   make(map[string]NaiveMeta),
 		naiveRankMeta: make(map[string]NaiveRankMeta),
+	}
+	if opts.BlockPostings {
+		b.dilSkip = make(map[string][]BlockRef)
+		b.rdilSkip = make(map[string][]BlockRef)
+		b.hdilRankSkip = make(map[string][]BlockRef)
 	}
 	var err error
 	create := func(name string) *storage.PageFile {
@@ -329,7 +360,7 @@ func (b *variantBuilders) addTerm(term string, td *termData, opts BuildOptions, 
 	posts := td.posts
 
 	// --- DIL: Dewey order (the natural order postings were collected in).
-	dilLoc, boundaries, err := b.writeDeweyList(b.dilW, posts, nil)
+	dilLoc, boundaries, err := b.writeList(b.dilW, posts, nil, term, b.dilSkip)
 	if err != nil {
 		return 0, err
 	}
@@ -338,7 +369,7 @@ func (b *variantBuilders) addTerm(term string, td *termData, opts BuildOptions, 
 
 	// --- RDIL: rank order + per-term B+-tree keyed by Dewey ID.
 	byRank := rankOrder(posts)
-	rankLoc, _, err := b.writeDeweyList(b.rdilW, posts, byRank)
+	rankLoc, _, err := b.writeList(b.rdilW, posts, byRank, term, b.rdilSkip)
 	if err != nil {
 		return 0, err
 	}
@@ -365,7 +396,7 @@ func (b *variantBuilders) addTerm(term string, td *termData, opts BuildOptions, 
 	if prefixLen > len(posts) {
 		prefixLen = len(posts)
 	}
-	hdilRankLoc, _, err := b.writeDeweyList(b.hdilRankW, posts, byRank[:prefixLen])
+	hdilRankLoc, _, err := b.writeList(b.hdilRankW, posts, byRank[:prefixLen], term, b.hdilRankSkip)
 	if err != nil {
 		return 0, err
 	}
@@ -420,6 +451,42 @@ func (b *variantBuilders) addTerm(term string, td *termData, opts BuildOptions, 
 type pageBoundary struct {
 	page     storage.PageID
 	firstKey []byte
+}
+
+// writeList dispatches between the v1 per-entry layout and the block
+// layout; with BlockPostings the term's block refs are recorded in skip
+// (which finish persists as the component's skip index).
+func (b *variantBuilders) writeList(w *postWriter, posts []Posting, perm []int, term string, skip map[string][]BlockRef) (Loc, []pageBoundary, error) {
+	if !b.opts.BlockPostings {
+		return b.writeDeweyList(w, posts, perm)
+	}
+	loc, bounds, refs, err := b.writeBlockList(w, posts, perm)
+	if err != nil {
+		return loc, nil, err
+	}
+	skip[term] = refs
+	return loc, bounds, nil
+}
+
+// writeBlockList writes postings (in the order given by perm, or natural
+// order when perm is nil) as delta-coded blocks, returning the list
+// location, the page boundaries, and the per-block skip refs.
+func (b *variantBuilders) writeBlockList(w *postWriter, posts []Posting, perm []int) (Loc, []pageBoundary, []BlockRef, error) {
+	bw := newBlockListWriter(w)
+	n := len(posts)
+	if perm != nil {
+		n = len(perm)
+	}
+	for i := 0; i < n; i++ {
+		p := &posts[i]
+		if perm != nil {
+			p = &posts[perm[i]]
+		}
+		if err := bw.add(p.ID, p.Rank, p.Positions); err != nil {
+			return Loc{}, nil, nil, err
+		}
+	}
+	return bw.finish()
 }
 
 // writeDeweyList writes postings (in the order given by perm, or natural
@@ -622,6 +689,26 @@ func (b *variantBuilders) finish(dir string, terms []string) (map[string]storage
 			return nil, err
 		}
 		files[name] = sum
+	}
+	if b.opts.BlockPostings {
+		// Skip indexes land between the synced page files and the
+		// lexicons — more atomic whole-file writes under the meta.json
+		// commit point, in a fixed order for the fault matrix.
+		skips := []struct {
+			name string
+			refs map[string][]BlockRef
+		}{
+			{fileDILSkip, b.dilSkip},
+			{fileRDILSkip, b.rdilSkip},
+			{fileHDILRankSkip, b.hdilRankSkip},
+		}
+		for _, sk := range skips {
+			sum, err := writeSkipIndex(b.fs, filepath.Join(dir, sk.name), terms, sk.refs)
+			if err != nil {
+				return nil, err
+			}
+			files[sk.name] = sum
+		}
 	}
 	lexicons := []struct {
 		name string

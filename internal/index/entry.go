@@ -96,8 +96,22 @@ func AppendDeweyEntryCompressed(buf []byte, prev, id dewey.ID, rank float32, pos
 
 // DecodeDeweyEntryCompressed decodes a compressed entry body into p,
 // reconstructing the full ID from prev (the previous entry's ID on the
-// same page, or nil for the first entry of a page or list).
+// same page, or nil for the first entry of a page or list). On error, p
+// is reset to a zero posting (slices keep their capacity): callers chain
+// decoded IDs as the next entry's prev, so a partially-written posting
+// must never escape.
 func DecodeDeweyEntryCompressed(body []byte, prev dewey.ID, p *Posting) error {
+	if err := decodeDeweyEntryCompressed(body, prev, p); err != nil {
+		p.ID = p.ID[:0]
+		p.Positions = p.Positions[:0]
+		p.Elem = 0
+		p.Rank = 0
+		return err
+	}
+	return nil
+}
+
+func decodeDeweyEntryCompressed(body []byte, prev dewey.ID, p *Posting) error {
 	if len(body) < 2 {
 		return fmt.Errorf("index: compressed dewey entry too short")
 	}

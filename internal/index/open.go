@@ -3,6 +3,7 @@ package index
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"path/filepath"
 
 	"xrank/internal/dewey"
@@ -55,7 +56,15 @@ type Index struct {
 	hdil      map[string]HDILMeta
 	naiveID   map[string]NaiveMeta
 	naiveRank map[string]NaiveRankMeta
+
+	// Per-term block skip refs (PostingsFormat == BlockPostingsFormat).
+	dilSkip      map[string][]BlockRef
+	rdilSkip     map[string][]BlockRef
+	hdilRankSkip map[string][]BlockRef
 }
+
+// blockFormat reports whether the Dewey lists are block-encoded.
+func (ix *Index) blockFormat() bool { return ix.Meta.PostingsFormat == BlockPostingsFormat }
 
 // Open opens an index directory produced by Build. The meta.json manifest
 // is read first (format and checksum verified), then every data file it
@@ -71,10 +80,17 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	if err := storage.ReadManifest(fs, filepath.Join(dir, fileMeta), &ix.Meta); err != nil {
 		return nil, fmt.Errorf("index: open %s: %w", dir, err)
 	}
+	if f := ix.Meta.PostingsFormat; f != 0 && f != BlockPostingsFormat {
+		return nil, fmt.Errorf("index: open %s: %w meta.json: postings format %d, this build understands 0 and %d",
+			dir, storage.ErrCorrupt, f, BlockPostingsFormat)
+	}
 	required := []string{
 		fileDILPost, fileDILLex,
 		fileRDILPost, fileRDILTree, fileRDILLex,
 		fileHDILRank, fileHDILTree, fileHDILLex,
+	}
+	if ix.blockFormat() {
+		required = append(required, fileDILSkip, fileRDILSkip, fileHDILRankSkip)
 	}
 	if ix.Meta.HasNaive {
 		required = append(required,
@@ -164,6 +180,59 @@ func Open(dir string, opts OpenOptions) (*Index, error) {
 	}); err != nil {
 		ix.Close()
 		return nil, err
+	}
+	if ix.blockFormat() {
+		load := func(name string, ordered bool, nTerms int, want func(term string) (Loc, bool)) (map[string][]BlockRef, error) {
+			refs, err := readSkipIndex(fs, filepath.Join(dir, name), ordered)
+			if err != nil {
+				return nil, err
+			}
+			if len(refs) != nTerms {
+				return nil, fmt.Errorf("index: %w %s: %d terms, lexicon has %d",
+					storage.ErrCorrupt, name, len(refs), nTerms)
+			}
+			// The skip index must agree with the lexicon: same terms, and
+			// per term the block counts must sum to the list's entry
+			// count. A mismatch means the directory's artifacts are from
+			// different builds — refuse rather than serve wrong data.
+			for term, rs := range refs {
+				loc, ok := want(term)
+				if !ok {
+					return nil, fmt.Errorf("index: %w %s: term %q not in lexicon", storage.ErrCorrupt, name, term)
+				}
+				total := uint32(0)
+				for i := range rs {
+					total += uint32(rs[i].Count)
+				}
+				if total != loc.Count {
+					return nil, fmt.Errorf("index: %w %s: term %q has %d entries across blocks, lexicon says %d",
+						storage.ErrCorrupt, name, term, total, loc.Count)
+				}
+			}
+			return refs, nil
+		}
+		var err error
+		if ix.dilSkip, err = load(fileDILSkip, true, len(ix.dil), func(t string) (Loc, bool) {
+			m, ok := ix.dil[t]
+			return m.Loc, ok
+		}); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		if ix.rdilSkip, err = load(fileRDILSkip, false, len(ix.rdil), func(t string) (Loc, bool) {
+			m, ok := ix.rdil[t]
+			return m.RankLoc, ok
+		}); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		if ix.hdilRankSkip, err = load(fileHDILRankSkip, false, len(ix.hdil), func(t string) (Loc, bool) {
+			m, ok := ix.hdil[t]
+			return m.RankLoc, ok
+		}); err != nil {
+			ix.Close()
+			return nil, err
+		}
 	}
 	if ix.Meta.HasNaive {
 		ix.naiveID = make(map[string]NaiveMeta, ix.Meta.Terms)
@@ -257,8 +326,12 @@ func (ix *Index) DILListBytes(term string) int64 {
 func (ix *Index) DILCount(term string) int { return int(ix.dil[term].Loc.Count) }
 
 // ListCursor decodes a sequential inverted list (either entry family).
+// Dewey lists in a block-format index iterate through a blockCursor
+// instead of the per-entry postCursor; naive lists always use the
+// latter.
 type ListCursor struct {
 	pc         *postCursor
+	blk        *blockCursor
 	dewey      bool
 	compressed bool
 	post       Posting
@@ -267,6 +340,9 @@ type ListCursor struct {
 }
 
 func (lc *ListCursor) Next() (*Posting, bool, error) {
+	if lc.blk != nil {
+		return lc.blk.next()
+	}
 	ok, err := lc.pc.next()
 	if err != nil || !ok {
 		return nil, false, err
@@ -292,15 +368,96 @@ func (lc *ListCursor) Next() (*Posting, bool, error) {
 }
 
 // Count returns the total number of entries in the list.
-func (lc *ListCursor) Count() int { return int(lc.pc.loc.Count) }
+func (lc *ListCursor) Count() int {
+	if lc.blk != nil {
+		return int(lc.blk.count)
+	}
+	return int(lc.pc.loc.Count)
+}
 
-// Exhausted reports whether the cursor consumed the entire list.
-func (lc *ListCursor) Exhausted() bool { return lc.pc.exhausted() }
+// Exhausted reports whether the cursor consumed the entire list (blocks
+// dropped by a skip call count as consumed).
+func (lc *ListCursor) Exhausted() bool {
+	if lc.blk != nil {
+		return lc.blk.exhausted()
+	}
+	return lc.pc.exhausted()
+}
 
 // Close releases pinned pages. Safe to call multiple times.
-func (lc *ListCursor) Close() { lc.pc.close() }
+func (lc *ListCursor) Close() {
+	if lc.blk != nil {
+		lc.blk.close()
+		return
+	}
+	lc.pc.close()
+}
 
-func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc, ec *storage.ExecContext) *ListCursor {
+// SkipBlocksBelowDoc drops every not-yet-loaded block whose entries all
+// belong to documents before doc, without reading them. A no-op on v1
+// lists and on naive lists; the caller owns the exactness argument (see
+// the doc-leapfrog reasoning in internal/query/merge.go).
+func (lc *ListCursor) SkipBlocksBelowDoc(doc uint32) {
+	if lc.blk != nil {
+		lc.blk.skipBlocksBelowDoc(doc)
+	}
+}
+
+// SkipRemainingBlocks drops every not-yet-loaded block — the consumer
+// proved it will not read further (threshold-algorithm stop, top-m
+// cutoff). A no-op on v1 lists.
+func (lc *ListCursor) SkipRemainingBlocks() {
+	if lc.blk != nil {
+		lc.blk.skipRemainingBlocks()
+	}
+}
+
+// RemainingBlockRefs returns the skip refs of the blocks not yet loaded
+// (nil on v1 lists). Debug/test instrumentation: the pruning-soundness
+// check inspects what a skip call is about to drop.
+func (lc *ListCursor) RemainingBlockRefs() []BlockRef {
+	if lc.blk == nil {
+		return nil
+	}
+	return lc.blk.refs[lc.blk.bi:]
+}
+
+// DecodeBlockMaxRank decodes ref's block out-of-band (its own page pin,
+// no cursor state touched) and returns the true maximum rank among its
+// entries. Debug/test instrumentation for the pruning-soundness check.
+func (lc *ListCursor) DecodeBlockMaxRank(ref BlockRef) (float32, error) {
+	if lc.blk == nil {
+		return 0, fmt.Errorf("index: not a block cursor")
+	}
+	fr, body, err := blockBody(lc.blk.pool, lc.blk.ec, &ref)
+	if err != nil {
+		return 0, err
+	}
+	defer fr.Release()
+	var rd blockReader
+	if err := rd.init(body); err != nil {
+		return 0, err
+	}
+	var p Posting
+	max := float32(math.Inf(-1))
+	for {
+		ok, err := rd.next(&p)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return max, nil
+		}
+		if p.Rank > max {
+			max = p.Rank
+		}
+	}
+}
+
+func (ix *Index) deweyCursor(pool *storage.BufferPool, loc Loc, refs []BlockRef, ec *storage.ExecContext) *ListCursor {
+	if ix.blockFormat() {
+		return &ListCursor{blk: newBlockCursor(pool, refs, loc.Count, ec), dewey: true}
+	}
 	return &ListCursor{
 		pc:         newPostCursor(pool, loc, ec),
 		dewey:      true,
@@ -323,7 +480,7 @@ func (ix *Index) DILCursorExec(ec *storage.ExecContext, term string) (*ListCurso
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.dilPool, m.Loc, ec), true
+	return ix.deweyCursor(ix.dilPool, m.Loc, ix.dilSkip[term], ec), true
 }
 
 // RDILRankCursor returns a rank-ordered scan of the term's RDIL list.
@@ -338,7 +495,7 @@ func (ix *Index) RDILRankCursorExec(ec *storage.ExecContext, term string) (*List
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.rdilPool, m.RankLoc, ec), true
+	return ix.deweyCursor(ix.rdilPool, m.RankLoc, ix.rdilSkip[term], ec), true
 }
 
 // HDILRankCursor returns the rank-ordered *prefix* scan of the term's
@@ -354,7 +511,7 @@ func (ix *Index) HDILRankCursorExec(ec *storage.ExecContext, term string) (*List
 	if !ok {
 		return nil, false
 	}
-	return ix.deweyCursor(ix.hdilRankPool, m.RankLoc, ec), true
+	return ix.deweyCursor(ix.hdilRankPool, m.RankLoc, ix.hdilRankSkip[term], ec), true
 }
 
 // NaiveIDCursor returns an element-ID-ordered scan of the term's naive

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"xrank/internal/btree"
 	"xrank/internal/dewey"
@@ -45,17 +46,24 @@ type RDILProber struct {
 }
 
 // RDILProber returns the prober for term; ok is false for unknown terms.
-func (ix *Index) RDILProber(term string) (*RDILProber, bool) {
+func (ix *Index) RDILProber(term string) (DeweyProber, bool) {
 	return ix.RDILProberExec(nil, term)
 }
 
 // RDILProberExec is RDILProber under a per-query execution context: every
-// B+-tree node the probes touch is attributed to ec and honours its
-// cancellation, deadline and read budget. A nil ec is RDILProber.
-func (ix *Index) RDILProberExec(ec *storage.ExecContext, term string) (*RDILProber, bool) {
+// page the probes touch is attributed to ec and honours its cancellation,
+// deadline and read budget. A nil ec is RDILProber. In a block-format
+// index the probes run against the DIL skip index (an in-memory binary
+// search over block ranges plus at most one block decode) instead of the
+// per-term B+-tree; the answers are identical because both structures
+// index the same entry set.
+func (ix *Index) RDILProberExec(ec *storage.ExecContext, term string) (DeweyProber, bool) {
 	m, ok := ix.rdil[term]
 	if !ok {
 		return nil, false
+	}
+	if ix.blockFormat() {
+		return ix.newBlockProber(ec, term), true
 	}
 	return &RDILProber{tree: btree.NewTreeExec(ix.rdilTreePool, m.Root, ec)}, true
 }
@@ -135,17 +143,23 @@ type HDILProber struct {
 }
 
 // HDILProber returns the prober for term; ok is false for unknown terms.
-func (ix *Index) HDILProber(term string) (*HDILProber, bool) {
+func (ix *Index) HDILProber(term string) (DeweyProber, bool) {
 	return ix.HDILProberExec(nil, term)
 }
 
 // HDILProberExec is HDILProber under a per-query execution context: tree
 // descents and leaf-page scans are attributed to ec and honour its
-// cancellation, deadline and read budget. A nil ec is HDILProber.
-func (ix *Index) HDILProberExec(ec *storage.ExecContext, term string) (*HDILProber, bool) {
+// cancellation, deadline and read budget. A nil ec is HDILProber. In a
+// block-format index HDIL shares the DIL skip-index prober with RDIL
+// (the external-leaf B+-tree cannot walk block pages entry-wise, and the
+// skip index answers the same probes from memory).
+func (ix *Index) HDILProberExec(ec *storage.ExecContext, term string) (DeweyProber, bool) {
 	m, ok := ix.hdil[term]
 	if !ok {
 		return nil, false
+	}
+	if ix.blockFormat() {
+		return ix.newBlockProber(ec, term), true
 	}
 	return &HDILProber{ix: ix, meta: m, tree: btree.NewTreeExec(ix.hdilTreePool, m.Root, ec), ec: ec}, true
 }
@@ -301,7 +315,136 @@ func (h *HDILProber) ScanPrefix(prefix dewey.ID, fn func(p *Posting) error) erro
 // TotalCount returns the full list length (not just the rank prefix).
 func (h *HDILProber) TotalCount() int { return int(h.meta.DilLoc.Count) }
 
+// blockProber answers Dewey probes for one term of a block-format index
+// from the DIL skip index: block ranges are located with a zero-copy
+// binary search over the encoded first IDs (bytes.Compare on the
+// order-preserving encoding equals dewey.Compare), and at most the one
+// candidate block is decoded. RDIL and HDIL share it — the entry set is
+// exactly the term's DIL list, which is what the v1 B+-trees index too.
+type blockProber struct {
+	pool    *storage.BufferPool
+	refs    []BlockRef
+	ec      *storage.ExecContext
+	key     []byte
+	post    Posting
+	scratch dewey.ID
+}
+
+func (ix *Index) newBlockProber(ec *storage.ExecContext, term string) *blockProber {
+	return &blockProber{pool: ix.dilPool, refs: ix.dilSkip[term], ec: ec}
+}
+
+// scanBlock decodes ref's block, calling visit with each entry.
+func (bp *blockProber) scanBlock(ref *BlockRef, visit pageVisit) error {
+	fr, body, err := blockBody(bp.pool, bp.ec, ref)
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	var rd blockReader
+	if err := rd.init(body); err != nil {
+		return err
+	}
+	if rd.n != int(ref.Count) {
+		return fmt.Errorf("index: %w block at page %d off %d: %d entries, skip ref says %d",
+			storage.ErrCorrupt, ref.Page, ref.Off, rd.n, ref.Count)
+	}
+	for {
+		ok, err := rd.next(&bp.post)
+		if err != nil || !ok {
+			return err
+		}
+		stop, err := visit(&bp.post)
+		if err != nil || stop {
+			return err
+		}
+	}
+}
+
+// ProbeLCP implements DeweyProber. The candidate entries are the
+// predecessor and successor of target; both live in the block whose
+// first ID is the greatest one <= target, except that the successor may
+// instead be the NEXT block's first ID — available from the skip index
+// without decoding anything.
+func (bp *blockProber) ProbeLCP(target dewey.ID) (int, error) {
+	if len(bp.refs) == 0 {
+		return 0, nil
+	}
+	bp.key = dewey.Append(bp.key[:0], target)
+	i := sort.Search(len(bp.refs), func(j int) bool {
+		return bytes.Compare(bp.refs[j].FirstID, bp.key) >= 0
+	})
+	best := 0
+	if i < len(bp.refs) {
+		n, err := lcpAgainst(target, bp.refs[i].FirstID, &bp.scratch)
+		if err != nil {
+			return 0, err
+		}
+		if n > best {
+			best = n
+		}
+	}
+	if i > 0 {
+		// The longest common prefix with a sorted list is achieved at the
+		// predecessor or successor of target; maxing over the whole
+		// candidate block (stopping at the first entry >= target) covers
+		// both without tracking them separately.
+		err := bp.scanBlock(&bp.refs[i-1], func(p *Posting) (bool, error) {
+			if n := dewey.CommonPrefixLen(target, p.ID); n > best {
+				best = n
+			}
+			return dewey.Compare(p.ID, target) >= 0, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return best, nil
+}
+
+// ScanPrefix implements DeweyProber: decode only the blocks whose
+// [FirstID, LastID] range can intersect the prefix's descendant range
+// (an encoded descendant always has the encoded prefix as a byte
+// prefix), stopping at the first block past it.
+func (bp *blockProber) ScanPrefix(prefix dewey.ID, fn func(p *Posting) error) error {
+	if len(bp.refs) == 0 {
+		return nil
+	}
+	bp.key = dewey.Append(bp.key[:0], prefix)
+	i := sort.Search(len(bp.refs), func(j int) bool {
+		return bytes.Compare(bp.refs[j].FirstID, bp.key) >= 0
+	})
+	if i > 0 {
+		i--
+	}
+	done := false
+	for ; i < len(bp.refs) && !done; i++ {
+		ref := &bp.refs[i]
+		if bytes.Compare(ref.LastID, bp.key) < 0 {
+			continue // wholly before the prefix range
+		}
+		if bytes.Compare(ref.FirstID, bp.key) > 0 && !bytes.HasPrefix(ref.FirstID, bp.key) {
+			break // wholly past it, as is every later block
+		}
+		err := bp.scanBlock(ref, func(p *Posting) (bool, error) {
+			if dewey.Compare(p.ID, prefix) < 0 {
+				return false, nil
+			}
+			if !prefix.IsPrefixOf(p.ID) {
+				done = true
+				return true, nil
+			}
+			return false, fn(p)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 var (
 	_ DeweyProber = (*RDILProber)(nil)
 	_ DeweyProber = (*HDILProber)(nil)
+	_ DeweyProber = (*blockProber)(nil)
 )

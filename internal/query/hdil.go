@@ -166,6 +166,9 @@ func HDIL(ix *index.Index, keywords []string, opts Options, cm storage.CostModel
 			}
 		}
 	}
+	// Threshold stop (the loop's only other exits switch to DIL): the
+	// unread rank-prefix tails are provably irrelevant to the top-m.
+	ta.finish()
 	endRounds()
 	trace.RankedEntriesRead = ta.entriesRead
 	return ta.heap.sorted(), trace, nil

@@ -45,6 +45,38 @@ func (s *cursorStream) advance() error {
 	return nil
 }
 
+// skipToDoc moves the stream forward until its head posting's document is
+// >= doc (or the list ends). Block-format cursors first drop every whole
+// block whose document range ends before doc without decoding it; the
+// remainder of the current block is stepped through entry by entry, so the
+// stream observes exactly the same postings a plain advance loop would.
+func (s *cursorStream) skipToDoc(doc uint32) error {
+	if s.done {
+		return nil
+	}
+	s.cur.SkipBlocksBelowDoc(doc)
+	for !s.done && s.p != nil && s.p.ID.Doc() < doc {
+		if err := s.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// terminate abandons the remainder of the list: the caller has proved no
+// further posting from this stream can contribute to a result. Block-format
+// cursors record the dropped blocks as skipped; the pinned page is
+// released either way.
+func (s *cursorStream) terminate() {
+	if s.done {
+		return
+	}
+	s.cur.SkipRemainingBlocks()
+	s.done = true
+	s.p = nil
+	s.cur.Close()
+}
+
 // sliceStream adapts an in-memory posting slice (used by RDIL to evaluate
 // the postings under one candidate ancestor).
 type sliceStream struct {
@@ -140,6 +172,12 @@ const cancelCheckInterval = 64
 // run performs the merge, calling emit for every result element in
 // post-order (descendants before ancestors within a path).
 func (m *merger) run(emit func(id dewey.ID, score float64)) error {
+	// lastDoc is the document of the most recently consumed posting; the
+	// document leapfrog below may only discard postings in documents
+	// strictly beyond it (postings in lastDoc itself can still complete
+	// the element stack built so far).
+	var lastDoc uint32
+	lastDocSet := false
 	for iter := 0; ; iter++ {
 		if iter%cancelCheckInterval == 0 {
 			if err := m.opts.Exec.Err(); err != nil {
@@ -147,20 +185,79 @@ func (m *merger) run(emit func(id dewey.ID, score float64)) error {
 			}
 		}
 		// Pick the stream with the smallest head Dewey ID (Figure 5
-		// lines 7-9).
+		// lines 7-9), also noting the largest head document and whether
+		// any stream has run out — the inputs to the document leapfrog.
 		var best *index.Posting
 		bestIdx := -1
+		exhausted := false
+		live := 0
+		var dmax uint32
 		for i, s := range m.streams {
 			p, ok := s.head()
 			if !ok {
+				exhausted = true
 				continue
 			}
+			if d := p.ID.Doc(); live == 0 || d > dmax {
+				dmax = d
+			}
+			live++
 			if best == nil || dewey.Compare(p.ID, best.ID) < 0 {
 				best, bestIdx = p, i
 			}
 		}
 		if bestIdx < 0 {
 			break
+		}
+		// Document leapfrog. A result element must contain every keyword,
+		// and rank propagation never crosses a document boundary (the
+		// stack pops to the root between documents), so with n >= 2:
+		//
+		//   - once any stream is exhausted, no document beyond lastDoc
+		//     can produce a result — the other streams' tails are dead
+		//     weight and can be dropped wholesale;
+		//   - otherwise, documents strictly between lastDoc and dmax
+		//     cannot produce a result (the dmax stream has no postings
+		//     there), so streams heading into that gap may leap to dmax.
+		//
+		// Either way the discarded postings could only ever have filled
+		// stack nodes that pop without emitting, so the emitted elements
+		// and scores are bit-identical to the plain merge. Block-format
+		// cursors turn the leap into whole-block skips.
+		if m.n >= 2 {
+			if exhausted {
+				closed := false
+				for _, s := range m.streams {
+					cs, ok := s.(*cursorStream)
+					if !ok || cs.done {
+						continue
+					}
+					if !lastDocSet || cs.p.ID.Doc() > lastDoc {
+						cs.terminate()
+						closed = true
+					}
+				}
+				if closed {
+					continue // re-pick: best may have been dropped
+				}
+			} else if bd := best.ID.Doc(); bd < dmax && (!lastDocSet || bd > lastDoc) {
+				skipped := false
+				for _, s := range m.streams {
+					cs, ok := s.(*cursorStream)
+					if !ok || cs.done {
+						continue
+					}
+					if d := cs.p.ID.Doc(); d < dmax && (!lastDocSet || d > lastDoc) {
+						if err := cs.skipToDoc(dmax); err != nil {
+							return err
+						}
+						skipped = true
+					}
+				}
+				if skipped {
+					continue // re-pick with the advanced heads
+				}
+			}
 		}
 		// Longest common prefix with the current stack (lines 10-11).
 		lcp := dewey.CommonPrefixLen(m.curID, best.ID)
@@ -177,9 +274,11 @@ func (m *merger) run(emit func(id dewey.ID, score float64)) error {
 		top := m.stack[len(m.stack)-1]
 		top.ranks[bestIdx] = m.opts.Agg.combine(top.ranks[bestIdx], m.base(bestIdx, best))
 		top.pos[bestIdx] = append(top.pos[bestIdx], best.Positions...)
+		doc := best.ID.Doc()
 		if err := m.streams[bestIdx].advance(); err != nil {
 			return err
 		}
+		lastDoc, lastDocSet = doc, true
 	}
 	// Drain the stack (line 33).
 	for len(m.stack) > 0 {

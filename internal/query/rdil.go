@@ -59,6 +59,53 @@ func (ta *taState) done() bool {
 	return k >= 0 && k >= ta.threshold()
 }
 
+// BlockSkipInfo describes one ranked list being abandoned after the
+// threshold-algorithm stopping rule fired, for DebugBlockSkip.
+type BlockSkipInfo struct {
+	// Source is the list's index within the query's keyword sources.
+	Source int
+	// Cursor is the list's cursor, still positioned where the stop
+	// occurred: RemainingBlockRefs reports the blocks about to be
+	// skipped, and DecodeBlockMaxRank can audit any of them.
+	Cursor *index.ListCursor
+	// LastRank is the rank of the last entry consumed from this list;
+	// every unread entry (hence every skipped block's true maximum) is
+	// bounded by it, because the list is rank-descending.
+	LastRank float64
+	// Threshold is the weighted sum of all sources' LastRanks — the upper
+	// bound on any undiscovered result's score.
+	Threshold float64
+	// KthScore is the current m-th best score; Threshold <= KthScore is
+	// what justified the stop.
+	KthScore float64
+}
+
+// DebugBlockSkip, when non-nil, is called once per ranked source at every
+// threshold-algorithm stop, before the source's remaining blocks are
+// skipped. Tests install it to prove pruning soundness: no skipped block
+// can contain an entry that would change the top-m. Nil in production.
+var DebugBlockSkip func(info BlockSkipInfo)
+
+// finish records the pruning outcome of a threshold-algorithm stop: every
+// block still unread in the ranked lists is provably unable to change the
+// top-m, so the lists are dropped wholesale — block-format cursors count
+// the unread blocks as skipped without decoding them. Call only when
+// done() is true.
+func (ta *taState) finish() {
+	for i, src := range ta.sources {
+		if DebugBlockSkip != nil && !src.stream.done {
+			DebugBlockSkip(BlockSkipInfo{
+				Source:    i,
+				Cursor:    src.stream.cur,
+				LastRank:  src.lastRank,
+				Threshold: ta.threshold(),
+				KthScore:  ta.heap.kthScore(),
+			})
+		}
+		src.stream.terminate()
+	}
+}
+
 // resultsAboveThreshold counts held results scoring at or above the
 // current threshold (the r of the HDIL time estimator).
 func (ta *taState) resultsAboveThreshold() int {
@@ -179,6 +226,7 @@ func singleKeywordTopM(cur *index.ListCursor, opts Options) ([]Result, error) {
 	defer cur.Close()
 	w := opts.weight(0)
 	out := make([]Result, 0, opts.TopM)
+	lastRank := math.Inf(1)
 	for len(out) < opts.TopM {
 		p, ok, err := cur.Next()
 		if err != nil {
@@ -187,7 +235,22 @@ func singleKeywordTopM(cur *index.ListCursor, opts Options) ([]Result, error) {
 		if !ok {
 			break
 		}
+		lastRank = float64(p.Rank)
 		out = append(out, Result{ID: p.ID.Clone(), Score: w * float64(p.Rank)})
+	}
+	if len(out) == opts.TopM {
+		// The list is rank-descending, so everything past the cutoff is
+		// provably outside the top-m; block-format cursors count the
+		// unread blocks as skipped without decoding them.
+		if DebugBlockSkip != nil {
+			DebugBlockSkip(BlockSkipInfo{
+				Cursor:    cur,
+				LastRank:  lastRank,
+				Threshold: w * lastRank,
+				KthScore:  out[len(out)-1].Score,
+			})
+		}
+		cur.SkipRemainingBlocks()
 	}
 	SortResults(out)
 	return out, nil
@@ -265,6 +328,11 @@ func RDIL(ix *index.Index, keywords []string, opts Options) ([]Result, error) {
 				break
 			}
 		}
+	}
+	if ta.done() {
+		// Threshold stop: the unread tails (whole blocks, in the block
+		// format) are provably irrelevant to the top-m.
+		ta.finish()
 	}
 	endRounds()
 	return ta.heap.sorted(), nil

@@ -208,6 +208,20 @@ func (ec *ExecContext) Stats() Stats {
 	return s
 }
 
+// CountBlocks attributes posting-block outcomes to this query: decoded
+// blocks were materialized by a cursor, skipped blocks were pruned
+// without decoding (doc-range leapfrog or a threshold-algorithm early
+// stop). Format-v1 indexes never call this. A nil receiver is a no-op.
+func (ec *ExecContext) CountBlocks(decoded, skipped int64) {
+	if ec == nil || (decoded == 0 && skipped == 0) {
+		return
+	}
+	ec.mu.Lock()
+	ec.stats.BlocksDecoded += decoded
+	ec.stats.BlocksSkipped += skipped
+	ec.mu.Unlock()
+}
+
 // pageRead accounts one device page read against this query, enforcing
 // cancellation and the family-wide read budget. Called by
 // PageFile.ReadPageExec before the read reaches the device.

@@ -20,6 +20,10 @@ type Stats struct {
 	Writes    int64 // page writes
 	CacheHits int64 // reads absorbed by a buffer pool (no device access)
 
+	// Posting-block accounting (format v2, see internal/index).
+	BlocksDecoded int64 // posting blocks materialized by a cursor
+	BlocksSkipped int64 // posting blocks pruned without decoding
+
 	heads   [maxStreams]PageID
 	headAge [maxStreams]int64
 	nHeads  int
@@ -66,16 +70,20 @@ func (s *Stats) Add(other Stats) {
 	s.RandReads += other.RandReads
 	s.Writes += other.Writes
 	s.CacheHits += other.CacheHits
+	s.BlocksDecoded += other.BlocksDecoded
+	s.BlocksSkipped += other.BlocksSkipped
 }
 
 // Sub returns s minus other, for measuring an interval between snapshots.
 func (s Stats) Sub(other Stats) Stats {
 	return Stats{
-		Reads:     s.Reads - other.Reads,
-		SeqReads:  s.SeqReads - other.SeqReads,
-		RandReads: s.RandReads - other.RandReads,
-		Writes:    s.Writes - other.Writes,
-		CacheHits: s.CacheHits - other.CacheHits,
+		Reads:         s.Reads - other.Reads,
+		SeqReads:      s.SeqReads - other.SeqReads,
+		RandReads:     s.RandReads - other.RandReads,
+		Writes:        s.Writes - other.Writes,
+		CacheHits:     s.CacheHits - other.CacheHits,
+		BlocksDecoded: s.BlocksDecoded - other.BlocksDecoded,
+		BlocksSkipped: s.BlocksSkipped - other.BlocksSkipped,
 	}
 }
 

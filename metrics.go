@@ -29,6 +29,8 @@ type engineMetrics struct {
 	seqReads     *obs.Counter
 	randReads    *obs.Counter
 	cacheHits    *obs.Counter
+	blocksRead   *obs.Counter
+	blocksSkip   *obs.Counter
 	slowTotal    *obs.Counter
 	switches     *obs.Counter
 	degraded     *obs.Counter
@@ -89,6 +91,8 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 		seqReads:     r.Counter("xrank_seq_reads_total", "Query page reads classified sequential."),
 		randReads:    r.Counter("xrank_rand_reads_total", "Query page reads classified random."),
 		cacheHits:    r.Counter("xrank_cache_hits_total", "Query page accesses absorbed by a buffer pool."),
+		blocksRead:   r.Counter("xrank_blocks_decoded_total", "Posting blocks decoded by queries (block postings format only)."),
+		blocksSkip:   r.Counter("xrank_blocks_skipped_total", "Posting blocks skipped whole by pruning (block postings format only)."),
 		slowTotal:    r.Counter("xrank_slow_queries_total", "Queries at or above the slow-query threshold."),
 		switches:     r.Counter("xrank_hdil_switches_total", "HDIL queries where at least one shard switched to DIL."),
 		degraded:     r.Counter("xrank_degraded_queries_total", "Queries served with at least one shard excluded."),
@@ -134,6 +138,8 @@ func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err err
 	m.seqReads.Add(stats.IO.SeqReads)
 	m.randReads.Add(stats.IO.RandReads)
 	m.cacheHits.Add(stats.IO.CacheHits)
+	m.blocksRead.Add(stats.IO.BlocksDecoded)
+	m.blocksSkip.Add(stats.IO.BlocksSkipped)
 	if stats.SwitchedToDIL {
 		m.switches.Inc()
 	}

@@ -297,6 +297,7 @@ func (e *Engine) AddDocs(add map[string]io.Reader) error {
 		MaxPositions:  e.cfg.MaxPositions,
 		SkipNaive:     e.cfg.SkipNaive,
 		CompressDewey: e.cfg.CompressDewey,
+		BlockPostings: e.cfg.BlockPostings,
 		DocFilter:     func(doc uint32) bool { return newIDs[doc] },
 		FS:            e.cfg.FS,
 	}, e.cfg.Shards); err != nil {

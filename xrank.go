@@ -78,6 +78,17 @@ type Config struct {
 	// relative to its page-local predecessor. Identical query results,
 	// smaller lists.
 	CompressDewey bool
+	// BlockPostings selects the block postings format (format version 2):
+	// the Dewey-family inverted lists are written as fixed-size blocks of
+	// delta-coded entries with a per-term skip index recording each
+	// block's entry count, max ElemRank and Dewey ID range. Queries use
+	// the summaries to skip whole blocks — threshold stops in RDIL/HDIL
+	// and document leapfrogs in DIL — without decoding them. Query
+	// results are bit-identical to the v1 format; indexes written with
+	// either format open with either setting (the format is recorded in
+	// the index metadata). Applies to Build, AddDocs segments and
+	// compaction output.
+	BlockPostings bool
 	// PoolPages is the per-file buffer pool capacity in pages (default 128).
 	PoolPages int
 
@@ -423,6 +434,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 		MaxPositions:  e.cfg.MaxPositions,
 		SkipNaive:     e.cfg.SkipNaive,
 		CompressDewey: e.cfg.CompressDewey,
+		BlockPostings: e.cfg.BlockPostings,
 		FS:            e.cfg.FS,
 	}, e.cfg.Shards)
 	if err != nil {
