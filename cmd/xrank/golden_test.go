@@ -137,7 +137,7 @@ func TestGoldenAPI(t *testing.T) {
 	e.SlowLog().SetThreshold(0) // log every query
 	e.ConfigureResultCache(1 << 20)
 	e.SetCoalesceQueries(true)
-	mux := newMux(e, muxOptions{metrics: true, admission: cache.NewAdmission(4, 8)})
+	mux := newMux(e, muxOptions{Metrics: true, Admission: cache.NewAdmission(4, 8)})
 
 	// 1. A budget of one device read cannot satisfy a cold RDIL query
 	//    (B+-tree probes alone need more): deterministic 503. This must
@@ -215,7 +215,7 @@ func TestGoldenAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer adm.Release()
-	busy := newMux(e, muxOptions{admission: adm})
+	busy := newMux(e, muxOptions{Admission: adm})
 	rec = get(t, busy, "/api/search?q=xql")
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("shed request: status %d, want 429: %s", rec.Code, rec.Body)
@@ -236,7 +236,7 @@ func TestMuxOptions(t *testing.T) {
 	if rec := get(t, plain, "/debug/pprof/"); rec.Code != http.StatusNotFound {
 		t.Errorf("pprof off: status %d, want 404", rec.Code)
 	}
-	withPprof := newMux(e, muxOptions{pprof: true})
+	withPprof := newMux(e, muxOptions{Pprof: true})
 	if rec := get(t, withPprof, "/debug/pprof/"); rec.Code != 200 {
 		t.Errorf("pprof on: status %d, want 200", rec.Code)
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"xrank"
+	"xrank/internal/httpapi"
 )
 
 func main() {
@@ -153,22 +154,7 @@ func cmdSearch(args []string) error {
 	return nil
 }
 
-func parseAlgo(s string) (xrank.Algorithm, error) {
-	switch s {
-	case "hdil":
-		return xrank.AlgoHDIL, nil
-	case "dil":
-		return xrank.AlgoDIL, nil
-	case "rdil":
-		return xrank.AlgoRDIL, nil
-	case "naiveid":
-		return xrank.AlgoNaiveID, nil
-	case "naiverank":
-		return xrank.AlgoNaiveRank, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q", s)
-	}
-}
+func parseAlgo(s string) (xrank.Algorithm, error) { return httpapi.ParseAlgo(s) }
 
 func splitComma(s string) []string {
 	var out []string

@@ -20,7 +20,7 @@ import (
 func TestMetricsUnderConcurrentQueries(t *testing.T) {
 	e := newTestEngine(t)
 	e.SlowLog().SetThreshold(0) // log every query
-	mux := newMux(e, muxOptions{metrics: true})
+	mux := newMux(e, muxOptions{Metrics: true})
 
 	const (
 		queryGoroutines = 16

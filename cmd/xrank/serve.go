@@ -1,21 +1,15 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"html/template"
 	"log"
 	"net/http"
-	"net/http/pprof"
-	"runtime/debug"
-	"strconv"
 	"time"
 
 	"xrank"
 	"xrank/internal/cache"
+	"xrank/internal/httpapi"
 )
 
 // serveCacheBytesDefault is the result-cache size the serve command uses
@@ -24,6 +18,16 @@ import (
 // is on by default here (the engine library keeps it opt-in).
 const serveCacheBytesDefault = 32 << 20
 
+// muxOptions and newMux alias the extracted internal/httpapi package so
+// the serve command and its tests read as before; the handler stack
+// itself now lives where in-process harnesses (xrank-loadgen -inproc)
+// can mount it too.
+type muxOptions = httpapi.Options
+
+func newMux(e *xrank.Engine, opts muxOptions) http.Handler { return httpapi.NewMux(e, opts) }
+
+func searchErrorStatus(err error) int { return httpapi.SearchErrorStatus(err) }
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory (required)")
@@ -31,6 +35,7 @@ func cmdServe(args []string) error {
 	slowMS := fs.Int("slowlog-ms", 0, "slow-query log threshold in milliseconds (0 = engine default 250, negative disables)")
 	metrics := fs.Bool("metrics", true, "serve Prometheus metrics at /metrics")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof at /debug/pprof/")
+	updates := fs.Bool("updates", false, "serve POST/DELETE /api/docs (mutates the index)")
 	failDegraded := fs.Bool("fail-on-degraded", false, "fail queries (503) instead of serving partial results when shards are excluded")
 	cacheBytes := fs.Int64("cache-bytes", -1, "result cache size in bytes (0 disables; -1 = engine config, or 32 MiB if unset)")
 	coalesce := fs.Bool("coalesce", true, "coalesce concurrent identical queries into a single execution")
@@ -99,310 +104,7 @@ func cmdServe(args []string) error {
 		}
 	}
 	log.Printf("xrank: serving on %s (index %s)", *addr, *dir)
-	return http.ListenAndServe(*addr, newMux(e, muxOptions{metrics: *metrics, pprof: *pprofOn, admission: adm}))
+	return http.ListenAndServe(*addr, newMux(e, muxOptions{
+		Metrics: *metrics, Pprof: *pprofOn, Updates: *updates, Admission: adm,
+	}))
 }
-
-// muxOptions selects the optional observability endpoints.
-type muxOptions struct {
-	metrics   bool             // serve /metrics (Prometheus text exposition)
-	pprof     bool             // serve /debug/pprof/ (opt-in: exposes runtime internals)
-	admission *cache.Admission // bound /api/search concurrency (nil: unbounded)
-}
-
-// withRecovery wraps a handler so a panicking request logs the stack,
-// increments xrank_http_panics_total, and answers 500 — one bad request
-// never takes down the server or leaves the client hanging.
-func withRecovery(e *xrank.Engine, next http.Handler) http.Handler {
-	panics := e.Metrics().Counter("xrank_http_panics_total", "HTTP requests that panicked and were answered with a 500.")
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if v := recover(); v != nil {
-				panics.Inc()
-				log.Printf("http: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
-				// Best effort: if the handler already wrote a status line
-				// this is a no-op and the client sees a truncated body.
-				http.Error(w, "internal server error", http.StatusInternalServerError)
-			}
-		}()
-		next.ServeHTTP(w, r)
-	})
-}
-
-// newMux builds the HTTP API: /api/search, /api/ancestors, /api/shards,
-// /api/segments, /api/slowlog, a minimal HTML search page at /, and — per opts —
-// /metrics and /debug/pprof/. The whole mux sits behind the
-// panic-recovery middleware.
-func newMux(e *xrank.Engine, opts muxOptions) http.Handler {
-	mux := http.NewServeMux()
-	// Admission metrics live in the engine registry so one /metrics scrape
-	// covers the whole serving path.
-	admAdmitted := e.Metrics().Counter("xrank_admission_admitted_total", "Search requests admitted past the concurrency limiter.")
-	admShed := e.Metrics().Counter("xrank_admission_shed_total", "Search requests shed with 429: limiter saturated and queue full.")
-	admExpired := e.Metrics().Counter("xrank_admission_expired_total", "Search requests whose deadline expired while queued (503).")
-	admWaiting := e.Metrics().Gauge("xrank_admission_queued", "Search requests currently waiting for an execution slot.")
-	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("q")
-		if q == "" {
-			http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
-			return
-		}
-		m := 10
-		if ms := r.URL.Query().Get("m"); ms != "" {
-			v, err := strconv.Atoi(ms)
-			if err != nil || v < 1 || v > 1000 {
-				http.Error(w, `bad "m" parameter`, http.StatusBadRequest)
-				return
-			}
-			m = v
-		}
-		algo := xrank.AlgoHDIL
-		if as := r.URL.Query().Get("algo"); as != "" {
-			a, err := parseAlgo(as)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			algo = a
-		}
-		// The request context flows into the query: a client that
-		// disconnects or a timeout_ms that expires cancels the merge at
-		// its next page access instead of burning I/O on a dead request.
-		ctx := r.Context()
-		if ts := r.URL.Query().Get("timeout_ms"); ts != "" {
-			v, err := strconv.Atoi(ts)
-			if err != nil || v < 1 {
-				http.Error(w, `bad "timeout_ms" parameter`, http.StatusBadRequest)
-				return
-			}
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, time.Duration(v)*time.Millisecond)
-			defer cancel()
-		}
-		var budget int64
-		if bs := r.URL.Query().Get("budget"); bs != "" {
-			v, err := strconv.ParseInt(bs, 10, 64)
-			if err != nil || v < 1 {
-				http.Error(w, `bad "budget" parameter`, http.StatusBadRequest)
-				return
-			}
-			budget = v
-		}
-		// Admission gate: parameters are validated above (rejecting a
-		// malformed request never costs a slot), and ctx already carries
-		// the request's deadline so time queued counts against it.
-		if adm := opts.admission; adm != nil {
-			admWaiting.Add(1)
-			err := adm.Acquire(ctx)
-			admWaiting.Add(-1)
-			if err != nil {
-				status := http.StatusServiceUnavailable
-				if errors.Is(err, cache.ErrQueueFull) {
-					status = http.StatusTooManyRequests
-					admShed.Inc()
-				} else {
-					admExpired.Inc()
-				}
-				w.Header().Set("Content-Type", "application/json")
-				w.Header().Set("Retry-After", "1")
-				w.WriteHeader(status)
-				json.NewEncoder(w).Encode(map[string]interface{}{
-					"error":               err.Error(),
-					"retry_after_seconds": 1,
-				})
-				return
-			}
-			admAdmitted.Inc()
-			defer adm.Release()
-		}
-		results, stats, err := e.SearchContext(ctx, q, xrank.SearchOptions{
-			TopM: m, Algorithm: algo, MaxPageReads: budget,
-		})
-		if err != nil {
-			http.Error(w, err.Error(), searchErrorStatus(err))
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		resp := map[string]interface{}{
-			"query":      q,
-			"algorithm":  stats.Algorithm.String(),
-			"wall_us":    stats.WallTime.Microseconds(),
-			"io_reads":   stats.IO.Reads,
-			"cache_hits": stats.IO.CacheHits,
-			"shards":     stats.Shards,
-			"degraded":   stats.Degraded,
-			"cached":     stats.Cached,
-			"results":    results,
-		}
-		if stats.Coalesced {
-			resp["coalesced"] = true
-		}
-		if stats.Degraded {
-			resp["failed_shards"] = stats.FailedShards
-		}
-		json.NewEncoder(w).Encode(resp)
-	})
-	mux.HandleFunc("/api/cache", func(w http.ResponseWriter, r *http.Request) {
-		resp := map[string]interface{}{"cache": e.CacheStats()}
-		if opts.admission != nil {
-			resp["admission"] = opts.admission.Stats()
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(resp)
-	})
-	mux.HandleFunc("/api/shards", func(w http.ResponseWriter, r *http.Request) {
-		per := e.ShardIOStats()
-		health := e.ShardHealth()
-		unhealthy := 0
-		shards := make([]map[string]interface{}, len(per))
-		for i, s := range per {
-			shards[i] = map[string]interface{}{
-				"shard":      i,
-				"io_reads":   s.Reads,
-				"seq_reads":  s.SeqReads,
-				"rand_reads": s.RandReads,
-				"cache_hits": s.CacheHits,
-			}
-			if i < len(health) {
-				h := health[i]
-				shards[i]["healthy"] = h.Healthy
-				shards[i]["consecutive_failures"] = h.Failures
-				if h.LastError != "" {
-					shards[i]["last_error"] = h.LastError
-				}
-				if !h.Healthy {
-					unhealthy++
-				}
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
-			"num_shards": e.NumShards(),
-			"unhealthy":  unhealthy,
-			"shards":     shards,
-		})
-	})
-	mux.HandleFunc("/api/segments", func(w http.ResponseWriter, r *http.Request) {
-		segs := e.Segments()
-		stale := 0
-		for _, s := range segs {
-			if s.Stale {
-				stale++
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
-			"num_segments": len(segs),
-			"rank_version": e.RankVersion(),
-			"stale":        stale,
-			"segments":     segs,
-		})
-	})
-	mux.HandleFunc("/api/slowlog", func(w http.ResponseWriter, r *http.Request) {
-		l := e.SlowLog()
-		entries := l.Entries()
-		if ls := r.URL.Query().Get("limit"); ls != "" {
-			v, err := strconv.Atoi(ls)
-			if err != nil || v < 1 {
-				http.Error(w, `bad "limit" parameter`, http.StatusBadRequest)
-				return
-			}
-			if v < len(entries) {
-				entries = entries[:v]
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]interface{}{
-			"threshold_ms": l.Threshold().Milliseconds(),
-			"total":        l.Total(),
-			"entries":      entries,
-		})
-	})
-	if opts.metrics {
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := e.Metrics().WritePrometheus(w); err != nil {
-				log.Printf("metrics: %v", err)
-			}
-		})
-	}
-	if opts.pprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.HandleFunc("/api/ancestors", func(w http.ResponseWriter, r *http.Request) {
-		id := r.URL.Query().Get("id")
-		anc, err := e.Ancestors(id)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(anc)
-	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
-			return
-		}
-		q := r.URL.Query().Get("q")
-		data := struct {
-			Query   string
-			Results []xrank.SearchResult
-			Err     string
-		}{Query: q}
-		if q != "" {
-			rs, err := e.Search(q)
-			if err != nil {
-				data.Err = err.Error()
-			} else {
-				data.Results = rs
-			}
-		}
-		if err := page.Execute(w, data); err != nil {
-			log.Printf("render: %v", err)
-		}
-	})
-	return withRecovery(e, mux)
-}
-
-// searchErrorStatus maps a query failure to an HTTP status: timeouts to
-// 504, client disconnects, exhausted budgets and degraded-mode refusals
-// (FailOnDegraded) to 503 (the service is temporarily unable to serve a
-// complete answer), everything else to 500.
-func searchErrorStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled),
-		errors.Is(err, xrank.ErrBudgetExceeded),
-		errors.Is(err, xrank.ErrDegraded):
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-var page = template.Must(template.New("page").Parse(`<!doctype html>
-<html><head><title>XRANK</title>
-<style>
- body { font-family: sans-serif; max-width: 48rem; margin: 2rem auto; }
- .path { color: #666; font-size: 0.85rem; }
- .score { color: #295; }
- .snippet { margin: 0.2rem 0 1rem; }
-</style></head>
-<body>
-<h1>XRANK — ranked XML keyword search</h1>
-<form action="/" method="get"><input name="q" size="50" value="{{.Query}}" autofocus>
-<button type="submit">Search</button></form>
-{{if .Err}}<p style="color:#a00">{{.Err}}</p>{{end}}
-{{range .Results}}
-  <div>
-   <div><span class="score">{{printf "%.3g" .Score}}</span> &lt;{{.Tag}}&gt; in <b>{{.Doc}}</b></div>
-   <div class="path">{{.Path}} (dewey {{.DeweyID}})</div>
-   <div class="snippet">{{.Snippet}}</div>
-  </div>
-{{end}}
-</body></html>`))

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"xrank"
+	"xrank/internal/httpapi"
 	"xrank/internal/index"
 	"xrank/internal/storage"
 )
@@ -18,7 +19,7 @@ import (
 // counted metric, never kill the server goroutine.
 func TestServePanicRecovery(t *testing.T) {
 	e := newTestEngine(t)
-	h := withRecovery(e, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	h := httpapi.WithRecovery(e, http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
 	rec := httptest.NewRecorder()
@@ -35,7 +36,7 @@ func TestServePanicRecovery(t *testing.T) {
 	}
 
 	// A healthy request through the same wrapper still works.
-	mux := newMux(e, muxOptions{metrics: true})
+	mux := newMux(e, muxOptions{Metrics: true})
 	rec = httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xml", nil))
 	if rec.Code != 200 {
@@ -66,7 +67,7 @@ func TestServeDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { e.Close() })
-	mux := newMux(e, muxOptions{metrics: true})
+	mux := newMux(e, muxOptions{Metrics: true})
 
 	fail := index.ShardOf(0, shards)
 	name := fmt.Sprintf("shard%03d", fail)

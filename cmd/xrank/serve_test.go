@@ -27,7 +27,7 @@ func newTestEngine(t *testing.T) *xrank.Engine {
 }
 
 func TestServeSearchAPI(t *testing.T) {
-	mux := newMux(newTestEngine(t), muxOptions{metrics: true})
+	mux := newMux(newTestEngine(t), muxOptions{Metrics: true})
 
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xql+language&m=5", nil))
@@ -71,7 +71,7 @@ func TestServeSearchAPI(t *testing.T) {
 
 func TestServeAncestorsAPI(t *testing.T) {
 	e := newTestEngine(t)
-	mux := newMux(e, muxOptions{metrics: true})
+	mux := newMux(e, muxOptions{Metrics: true})
 	rs, err := e.Search("xql language")
 	if err != nil || len(rs) == 0 {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestServeAncestorsAPI(t *testing.T) {
 }
 
 func TestServeHTMLPage(t *testing.T) {
-	mux := newMux(newTestEngine(t), muxOptions{metrics: true})
+	mux := newMux(newTestEngine(t), muxOptions{Metrics: true})
 	rec := httptest.NewRecorder()
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/?q=xml", nil))
 	if rec.Code != 200 {
@@ -110,5 +110,81 @@ func TestServeHTMLPage(t *testing.T) {
 	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
 	if rec.Code != 404 {
 		t.Errorf("unknown path: %d", rec.Code)
+	}
+}
+
+// TestServeDocsAPI drives the mutating /api/docs endpoints: add a
+// document, see it in search results, replace it, delete it, and watch
+// the opt-in gate and error statuses.
+func TestServeDocsAPI(t *testing.T) {
+	e := xrank.NewEngine(&xrank.Config{IndexDir: t.TempDir()})
+	if err := e.AddXML("base", strings.NewReader("<doc><t>xml search</t></doc>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	mux := newMux(e, muxOptions{Updates: true})
+
+	do := func(method, url, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		var r *httptest.ResponseRecorder = httptest.NewRecorder()
+		var req = httptest.NewRequest(method, url, strings.NewReader(body))
+		mux.ServeHTTP(r, req)
+		return r
+	}
+
+	// Add, then find the new document.
+	if rec := do("POST", "/api/docs?name=extra", "<doc><t>zebra quartz</t></doc>"); rec.Code != 200 {
+		t.Fatalf("add: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do("GET", "/api/search?q=zebra+quartz", ""); rec.Code != 200 || !strings.Contains(rec.Body.String(), `"extra"`) {
+		t.Fatalf("search after add: %d %s", rec.Code, rec.Body)
+	}
+
+	// Replace it (same name), then delete it.
+	if rec := do("PUT", "/api/docs?name=extra", "<doc><t>different words</t></doc>"); rec.Code != 200 {
+		t.Fatalf("replace: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do("DELETE", "/api/docs?name=extra", ""); rec.Code != 200 {
+		t.Fatalf("delete: status %d: %s", rec.Code, rec.Body)
+	}
+	if rec := do("GET", "/api/search?q=different+words", ""); strings.Contains(rec.Body.String(), `"extra"`) {
+		t.Fatalf("deleted doc still served: %s", rec.Body)
+	}
+
+	// Error statuses: double delete 404, missing name 400, bad method 405.
+	if rec := do("DELETE", "/api/docs?name=extra", ""); rec.Code != 404 {
+		t.Errorf("double delete: status %d, want 404", rec.Code)
+	}
+	if rec := do("POST", "/api/docs", "<doc/>"); rec.Code != 400 {
+		t.Errorf("missing name: status %d, want 400", rec.Code)
+	}
+	if rec := do("GET", "/api/docs?name=x", ""); rec.Code != 405 {
+		t.Errorf("GET: status %d, want 405", rec.Code)
+	}
+
+	// The opt-in gate: a mux without Updates refuses.
+	frozen := newMux(e, muxOptions{})
+	rec := httptest.NewRecorder()
+	frozen.ServeHTTP(rec, httptest.NewRequest("POST", "/api/docs?name=y", strings.NewReader("<d/>")))
+	if rec.Code != 403 {
+		t.Errorf("updates disabled: status %d, want 403", rec.Code)
+	}
+}
+
+// TestServeServerTiming checks /api/search answers carry the
+// Server-Timing header on both the success and the shed path.
+func TestServeServerTiming(t *testing.T) {
+	mux := newMux(newTestEngine(t), muxOptions{})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/search?q=xml", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	st := rec.Header().Get("Server-Timing")
+	if !strings.Contains(st, "queue;dur=") || !strings.Contains(st, "search;dur=") {
+		t.Errorf("Server-Timing = %q", st)
 	}
 }

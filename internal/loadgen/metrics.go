@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xrank/internal/obs"
+)
+
+// Scrape fetches and parses a Prometheus text exposition (/metrics).
+// The result maps full series keys — `name` or `name{labels}` exactly
+// as exposed — to values. The parser handles the subset the engine's
+// own registry emits (counters, gauges, histogram series); unparsable
+// lines are skipped rather than fatal, so a scrape never kills a run.
+func Scrape(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: status %d", url, resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics parses a Prometheus text exposition into series → value.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; label values in
+		// this exposition never contain raw spaces followed by nothing,
+		// and the engine's own registry never emits timestamps.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// FamilyDelta sums the increase of every series of a metric family
+// (exact name, or name{any labels}) between two scrapes. Missing
+// series count as zero; a negative total (restarted server) clamps to
+// zero so rates never go negative.
+func FamilyDelta(before, after map[string]float64, name string) float64 {
+	var d float64
+	for k, v := range after {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			d += v - before[k]
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// HistogramDelta reconstructs the interval histogram of one family+label
+// subset between two scrapes, as an obs.HistogramSnapshot — the same
+// percentile interpolation the engine uses internally then applies to
+// the scraped buckets. match is a label fragment every series must
+// contain (e.g. `algo="DIL"`); empty matches all series of the family.
+func HistogramDelta(before, after map[string]float64, name, match string) obs.HistogramSnapshot {
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	collect := func(m map[string]float64) ([]bkt, float64, float64) {
+		var bs []bkt
+		var count, sum float64
+		for k, v := range m {
+			if !strings.HasPrefix(k, name) {
+				continue
+			}
+			rest := k[len(name):]
+			if match != "" && !strings.Contains(rest, match) {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(rest, "_bucket{"):
+				le := leBound(rest)
+				bs = append(bs, bkt{le, v})
+			case strings.HasPrefix(rest, "_count"):
+				count += v
+			case strings.HasPrefix(rest, "_sum"):
+				sum += v
+			}
+		}
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		return bs, count, sum
+	}
+	b0, c0, s0 := collect(before)
+	b1, c1, s1 := collect(after)
+	if len(b1) == 0 {
+		return obs.HistogramSnapshot{}
+	}
+	prior := make(map[float64]float64, len(b0))
+	for _, b := range b0 {
+		prior[b.le] = b.cum
+	}
+	snap := obs.HistogramSnapshot{Count: int64(c1 - c0), Sum: s1 - s0}
+	// Decumulate: exposition buckets are cumulative, the snapshot's are
+	// per-bucket; the +Inf bucket becomes the overflow slot.
+	var prevCum float64
+	for _, b := range b1 {
+		d := (b.cum - prior[b.le]) - prevCum
+		prevCum = b.cum - prior[b.le]
+		if d < 0 {
+			d = 0
+		}
+		if b.le == inf {
+			snap.Counts = append(snap.Counts, int64(d))
+		} else {
+			snap.Bounds = append(snap.Bounds, b.le)
+			snap.Counts = append(snap.Counts, int64(d))
+		}
+	}
+	// A scrape without an explicit +Inf line (never the case for our
+	// registry, but cheap to tolerate) gets an empty overflow slot.
+	if len(snap.Counts) == len(snap.Bounds) {
+		snap.Counts = append(snap.Counts, 0)
+	}
+	return snap
+}
+
+var inf = func() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}()
+
+// leBound extracts the le="..." bound from a _bucket series suffix.
+func leBound(rest string) float64 {
+	i := strings.Index(rest, `le="`)
+	if i < 0 {
+		return inf
+	}
+	rest = rest[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return inf
+	}
+	v, err := strconv.ParseFloat(rest[:j], 64)
+	if err != nil {
+		return inf
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xrank/internal/obs"
+)
+
+// scrapeRegistry renders an obs.Registry through its own Prometheus
+// writer and parses it back — the exact pipeline the runner uses
+// against a live /metrics endpoint.
+func scrapeRegistry(t *testing.T, r *obs.Registry) map[string]float64 {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMetrics(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseMetricsRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("demo_total", "plain counter").Add(7)
+	r.Counter("demo_labeled_total", "labeled", "algo", "DIL").Add(3)
+	r.Counter("demo_labeled_total", "labeled", "algo", "RDIL").Add(4)
+	r.Gauge("demo_gauge", "gauge").Set(-2)
+	h := r.Histogram("demo_seconds", "histogram", []float64{0.1, 1}, "algo", "DIL")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	m := scrapeRegistry(t, r)
+	want := map[string]float64{
+		"demo_total":                                7,
+		`demo_labeled_total{algo="DIL"}`:            3,
+		`demo_labeled_total{algo="RDIL"}`:           4,
+		"demo_gauge":                                -2,
+		`demo_seconds_bucket{algo="DIL",le="0.1"}`:  1,
+		`demo_seconds_bucket{algo="DIL",le="1"}`:    2,
+		`demo_seconds_bucket{algo="DIL",le="+Inf"}`: 3,
+		`demo_seconds_count{algo="DIL"}`:            3,
+	}
+	for k, v := range want {
+		if got, ok := m[k]; !ok || got != v {
+			t.Errorf("parsed[%q] = %v (present=%v), want %v", k, got, ok, v)
+		}
+	}
+	if got := m[`demo_seconds_sum{algo="DIL"}`]; math.Abs(got-5.55) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 5.55", got)
+	}
+}
+
+func TestParseMetricsSkipsGarbage(t *testing.T) {
+	in := strings.NewReader("# HELP x y\n# TYPE x counter\nx 1\n\nnonsense\nbadval NaNope\n")
+	m, err := ParseMetrics(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m["x"] != 1 {
+		t.Errorf("parsed = %v, want only x=1", m)
+	}
+}
+
+func TestFamilyDelta(t *testing.T) {
+	before := map[string]float64{
+		`hits_total{algo="DIL"}`:  10,
+		`hits_total{algo="RDIL"}`: 1,
+		"hits_totally_unrelated":  50,
+	}
+	after := map[string]float64{
+		`hits_total{algo="DIL"}`:  15,
+		`hits_total{algo="RDIL"}`: 4,
+		`hits_total{algo="HDIL"}`: 2, // series born mid-run
+		"hits_totally_unrelated":  99,
+	}
+	if got := FamilyDelta(before, after, "hits_total"); got != 10 {
+		t.Errorf("FamilyDelta = %v, want 10 (5+3+2, unrelated family excluded)", got)
+	}
+	// A counter reset (restart) clamps to zero rather than going negative.
+	if got := FamilyDelta(map[string]float64{"c": 100}, map[string]float64{"c": 5}, "c"); got != 0 {
+		t.Errorf("reset FamilyDelta = %v, want 0", got)
+	}
+	if got := FamilyDelta(before, after, "absent_total"); got != 0 {
+		t.Errorf("absent FamilyDelta = %v, want 0", got)
+	}
+}
+
+// TestHistogramDelta reconstructs an interval histogram from two scrapes
+// and checks the quantiles match what the registry's own snapshot
+// arithmetic reports for the same interval.
+func TestHistogramDelta(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1}, "algo", "DIL")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	before := scrapeRegistry(t, r)
+	snapBefore := h.Snapshot()
+
+	for i := 0; i < 8; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(2) // overflow bucket
+	after := scrapeRegistry(t, r)
+
+	got := HistogramDelta(before, after, "lat_seconds", `algo="DIL"`)
+	want := h.Snapshot().Sub(snapBefore)
+	if got.Count != 9 || got.Count != want.Count {
+		t.Fatalf("interval count = %d, want %d (9)", got.Count, want.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if g, w := got.Quantile(q), want.Quantile(q); math.Abs(g-w) > 1e-9 {
+			t.Errorf("Quantile(%v): scraped %v, in-process %v", q, g, w)
+		}
+	}
+	if math.Abs(got.Sum-want.Sum) > 1e-6 {
+		t.Errorf("interval sum = %v, want %v", got.Sum, want.Sum)
+	}
+
+	// Label filter: a family present but with no matching labels is empty.
+	if s := HistogramDelta(before, after, "lat_seconds", `algo="RDIL"`); s.Count != 0 || len(s.Counts) != 0 {
+		t.Errorf("non-matching label filter produced %+v, want empty", s)
+	}
+	// Nil before-scrape (metrics appeared mid-run): full histogram.
+	if s := HistogramDelta(nil, after, "lat_seconds", ""); s.Count != 11 {
+		t.Errorf("nil-before count = %d, want 11", s.Count)
+	}
+}
+
+func TestParseServerTiming(t *testing.T) {
+	h := map[string][]string{"Server-Timing": {"queue;dur=1.500, search;dur=0.250"}}
+	q, s, ok := parseServerTiming(h)
+	if !ok || q != 1500 || s != 250 {
+		t.Errorf("parseServerTiming = %d, %d, %v; want 1500, 250, true", q, s, ok)
+	}
+	if _, _, ok := parseServerTiming(map[string][]string{}); ok {
+		t.Error("missing header reported ok")
+	}
+	if _, _, ok := parseServerTiming(map[string][]string{"Server-Timing": {"cache;desc=hit"}}); ok {
+		t.Error("unrelated timing entries reported ok")
+	}
+}

@@ -1,0 +1,259 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counts classifies every dispatched request's outcome. Exactly one
+// bucket is incremented per dispatched request; the overload race test
+// asserts Sent equals the bucket sum.
+type Counts struct {
+	Sent       int64 // requests actually dispatched
+	OK         int64 // 2xx
+	Shed429    int64 // admission shed (queue full)
+	Expired503 int64 // deadline expired in queue / degraded refusal / budget
+	Timeout504 int64 // engine deadline exceeded
+	NotFound   int64 // update races (delete of an unadded doc): 404
+	Failed     int64 // transport errors and any other status
+	Dropped    int64 // never dispatched: client-side outstanding cap hit
+}
+
+// Resolved is the bucket sum that must equal Sent.
+func (c Counts) Resolved() int64 {
+	return c.OK + c.Shed429 + c.Expired503 + c.Timeout504 + c.NotFound + c.Failed
+}
+
+// ArmResult is the raw measurement of one arm run.
+type ArmResult struct {
+	Spec     ArmSpec
+	Seed     int64
+	Wall     time.Duration // elapsed from first intended send to last response
+	Counts   Counts
+	Searches int64 // dispatched OpSearch requests
+	Updates  int64 // dispatched OpAdd/OpDelete requests
+
+	// SearchMicros holds one latency per accepted (2xx) search,
+	// measured from the request's *intended* send time — dispatcher
+	// lateness and queueing count against the server, never for it.
+	SearchMicros []int64
+	// UpdateMicros is the same for accepted /api/docs mutations.
+	UpdateMicros []int64
+
+	// Server-Timing sums (µs) over accepted searches that carried the
+	// header, splitting admission-queue wait from engine execution.
+	ServerQueueMicros  int64
+	ServerSearchMicros int64
+	ServerTimed        int64
+
+	// MetricsBefore/After are /metrics scrapes bracketing the arm (nil
+	// when the target exposes no /metrics).
+	MetricsBefore, MetricsAfter map[string]float64
+}
+
+// RunOptions tune the client side of a run.
+type RunOptions struct {
+	// MaxOutstanding caps in-flight requests client-side so an
+	// unresponsive server cannot accumulate unbounded goroutines;
+	// requests over the cap are counted Dropped, never silently
+	// blocked (blocking would re-introduce coordinated omission).
+	// Default 1024.
+	MaxOutstanding int
+	// Client is the HTTP client; the default has no timeout (request
+	// deadlines belong to the workload's TimeoutMS knob so every
+	// outcome is an observed status code, not a client abort).
+	Client *http.Client
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.MaxOutstanding <= 0 {
+		o.MaxOutstanding = 1024
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 256,
+		}}
+	}
+	return o
+}
+
+// RunArm replays a workload against baseURL on its open-loop schedule.
+// The returned error covers harness failures only (bad baseURL, ctx
+// cancelled mid-run); per-request failures are data, not errors.
+func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (*ArmResult, error) {
+	opts = opts.withDefaults()
+	base, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: bad base URL %q: %v", baseURL, err)
+	}
+	res := &ArmResult{Spec: w.Spec, Seed: w.Seed}
+	res.MetricsBefore, _ = scrapeQuiet(opts.Client, base)
+
+	var (
+		mu       sync.Mutex // guards the latency slices and timing sums
+		wg       sync.WaitGroup
+		counts   struct{ ok, shed, expired, timeout, notfound, failed atomic.Int64 }
+		inflight = make(chan struct{}, opts.MaxOutstanding)
+	)
+	start := time.Now()
+	for i := range w.Reqs {
+		req := &w.Reqs[i]
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: run cancelled after %d/%d requests: %w", i, len(w.Reqs), err)
+		}
+		intended := start.Add(req.At)
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case inflight <- struct{}{}:
+		default:
+			res.Counts.Dropped++
+			continue
+		}
+		res.Counts.Sent++
+		if req.Op == OpSearch {
+			res.Searches++
+		} else {
+			res.Updates++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			status, hdr, err := issue(opts.Client, base, &w.Spec, req)
+			lat := time.Since(intended)
+			switch {
+			case err != nil:
+				counts.failed.Add(1)
+			case status >= 200 && status < 300:
+				counts.ok.Add(1)
+				mu.Lock()
+				if req.Op == OpSearch {
+					res.SearchMicros = append(res.SearchMicros, lat.Microseconds())
+					if q, s, ok := parseServerTiming(hdr); ok {
+						res.ServerQueueMicros += q
+						res.ServerSearchMicros += s
+						res.ServerTimed++
+					}
+				} else {
+					res.UpdateMicros = append(res.UpdateMicros, lat.Microseconds())
+				}
+				mu.Unlock()
+			case status == http.StatusTooManyRequests:
+				counts.shed.Add(1)
+			case status == http.StatusServiceUnavailable:
+				counts.expired.Add(1)
+			case status == http.StatusGatewayTimeout:
+				counts.timeout.Add(1)
+			case status == http.StatusNotFound:
+				counts.notfound.Add(1)
+			default:
+				counts.failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	res.Counts.OK = counts.ok.Load()
+	res.Counts.Shed429 = counts.shed.Load()
+	res.Counts.Expired503 = counts.expired.Load()
+	res.Counts.Timeout504 = counts.timeout.Load()
+	res.Counts.NotFound = counts.notfound.Load()
+	res.Counts.Failed = counts.failed.Load()
+	res.MetricsAfter, _ = scrapeQuiet(opts.Client, base)
+	return res, nil
+}
+
+// issue sends one request and returns the status code and headers. The
+// body is drained so connections are reused.
+func issue(client *http.Client, base *url.URL, spec *ArmSpec, r *Request) (int, http.Header, error) {
+	var req *http.Request
+	var err error
+	switch r.Op {
+	case OpSearch:
+		q := url.Values{}
+		q.Set("q", r.Query)
+		q.Set("m", strconv.Itoa(r.TopM))
+		q.Set("algo", spec.Algo)
+		if spec.TimeoutMS > 0 {
+			q.Set("timeout_ms", strconv.Itoa(spec.TimeoutMS))
+		}
+		u := *base
+		u.Path = "/api/search"
+		u.RawQuery = q.Encode()
+		req, err = http.NewRequest(http.MethodGet, u.String(), nil)
+	case OpAdd:
+		u := *base
+		u.Path = "/api/docs"
+		u.RawQuery = url.Values{"name": {r.Name}}.Encode()
+		req, err = http.NewRequest(http.MethodPost, u.String(), strings.NewReader(r.Body))
+	case OpDelete:
+		u := *base
+		u.Path = "/api/docs"
+		u.RawQuery = url.Values{"name": {r.Name}}.Encode()
+		req, err = http.NewRequest(http.MethodDelete, u.String(), nil)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header, nil
+}
+
+// parseServerTiming extracts the queue and search durations (µs) from
+// the server's `queue;dur=…, search;dur=…` header (dur is in ms).
+func parseServerTiming(h http.Header) (queueMicros, searchMicros int64, ok bool) {
+	st := h.Get("Server-Timing")
+	if st == "" {
+		return 0, 0, false
+	}
+	for _, part := range strings.Split(st, ",") {
+		part = strings.TrimSpace(part)
+		name, rest, found := strings.Cut(part, ";")
+		if !found {
+			continue
+		}
+		durStr, found := strings.CutPrefix(strings.TrimSpace(rest), "dur=")
+		if !found {
+			continue
+		}
+		ms, err := strconv.ParseFloat(durStr, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "queue":
+			queueMicros = int64(ms * 1000)
+			ok = true
+		case "search":
+			searchMicros = int64(ms * 1000)
+			ok = true
+		}
+	}
+	return queueMicros, searchMicros, ok
+}
+
+// scrapeQuiet scrapes /metrics, returning nil on any failure — a target
+// without metrics enabled still load-tests fine, it just reports no
+// server-side rates.
+func scrapeQuiet(client *http.Client, base *url.URL) (map[string]float64, error) {
+	u := *base
+	u.Path = "/metrics"
+	u.RawQuery = ""
+	return Scrape(client, u.String())
+}

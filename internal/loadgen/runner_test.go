@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xrank"
+	"xrank/internal/cache"
+	"xrank/internal/httpapi"
+)
+
+// testServer stands up a real engine behind the real HTTP mux — the
+// same handler stack `xrank serve` runs — over a loopback listener, so
+// the runner is exercised end to end, admission control included. The
+// admission controller is returned so tests can saturate it directly.
+func testServer(t *testing.T, maxInflight, queue int) (*httptest.Server, *cache.Admission) {
+	t.Helper()
+	e := xrank.NewEngine(&xrank.Config{IndexDir: t.TempDir()})
+	// A small corpus over the shared synthetic vocabulary w0..w31, so
+	// every generated "wI wJ" query matches real postings.
+	for d := 0; d < 16; d++ {
+		var b strings.Builder
+		b.WriteString("<doc><body>")
+		for i := 0; i < 32; i++ {
+			fmt.Fprintf(&b, "w%d ", (d*7+i)%32)
+		}
+		b.WriteString("</body></doc>")
+		if err := e.AddXML(fmt.Sprintf("doc-%02d", d), strings.NewReader(b.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+
+	var adm *cache.Admission
+	if maxInflight > 0 {
+		adm = cache.NewAdmission(maxInflight, queue)
+	}
+	srv := httptest.NewServer(httpapi.NewMux(e, httpapi.Options{
+		Metrics: true, Updates: true, Admission: adm,
+	}))
+	t.Cleanup(srv.Close)
+	return srv, adm
+}
+
+// checkAccounting asserts the bucket invariant: every dispatched
+// request resolved to exactly one outcome, and the client's view agrees
+// with the server's admission counters scraped from /metrics.
+func checkAccounting(t *testing.T, res *ArmResult, scheduled int) {
+	t.Helper()
+	c := res.Counts
+	if c.Sent+c.Dropped != int64(scheduled) {
+		t.Errorf("sent %d + dropped %d != scheduled %d", c.Sent, c.Dropped, scheduled)
+	}
+	if got := c.Resolved(); got != c.Sent {
+		t.Errorf("resolved %d != sent %d (counts %+v)", got, c.Sent, c)
+	}
+	if c.Failed != 0 {
+		t.Errorf("%d transport/unexpected failures (counts %+v)", c.Failed, c)
+	}
+	if res.MetricsBefore == nil || res.MetricsAfter == nil {
+		t.Fatal("metrics scrapes missing")
+	}
+	// Server-side admission accounting must mirror the client buckets:
+	// searches only, since /api/docs bypasses the admission gate.
+	searchOK := int64(len(res.SearchMicros))
+	pairs := []struct {
+		family string
+		want   int64
+	}{
+		{"xrank_admission_admitted_total", searchOK},
+		{"xrank_admission_shed_total", c.Shed429},
+		{"xrank_admission_expired_total", c.Expired503},
+	}
+	for _, p := range pairs {
+		if got := int64(FamilyDelta(res.MetricsBefore, res.MetricsAfter, p.family)); got != p.want {
+			t.Errorf("%s delta = %d, want %d (client counts %+v)", p.family, got, p.want, c)
+		}
+	}
+}
+
+// TestRunArmOverloadAccounting drives the overload arm against a
+// saturated admission controller and checks that every request is
+// accounted exactly once on both sides of the wire. Saturation is
+// forced, not raced-for: the test holds the server's only execution
+// slot for the first part of the run (standing in for a slow in-flight
+// query, which a single-CPU CI runner cannot produce organically), so
+// arrivals meanwhile must queue or shed; after release the stream is
+// accepted again. Run under -race in CI: the dispatcher, the
+// per-request goroutines, and the result merge all touch shared state.
+func TestRunArmOverloadAccounting(t *testing.T) {
+	srv, adm := testServer(t, 1, 1)
+	if err := adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	timer := time.AfterFunc(150*time.Millisecond, func() {
+		adm.Release()
+		close(released)
+	})
+	defer func() {
+		if timer.Stop() {
+			adm.Release()
+		}
+	}()
+
+	w, err := Generate(ArmSpec{
+		Kind: KindOverload, RPS: 1500, Duration: 500 * time.Millisecond, Vocab: 32,
+	}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunArm(context.Background(), srv.URL, w, RunOptions{MaxOutstanding: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-released
+	t.Logf("counts: %+v", res.Counts)
+
+	checkAccounting(t, res, len(w.Reqs))
+	if res.Counts.Shed429 == 0 {
+		t.Error("no 429 shedding while the admission slot was held")
+	}
+	if res.Counts.OK == 0 {
+		t.Error("no accepted requests after the slot was released: shedding everything is an outage")
+	}
+	if res.ServerTimed == 0 {
+		t.Error("no Server-Timing header captured on accepted searches")
+	}
+}
+
+// TestRunArmUpdatesMix runs the update-mix arm end to end: interleaved
+// /api/docs mutations must succeed against the live engine while the
+// search stream keeps flowing, with the same exactly-once accounting.
+// Deletes can legitimately race ahead of their own add in an open-loop
+// schedule; those resolve as NotFound, which the invariant absorbs.
+func TestRunArmUpdatesMix(t *testing.T) {
+	srv, _ := testServer(t, 4, 8)
+	w, err := Generate(ArmSpec{
+		Kind: KindUpdates, RPS: 300, Duration: 500 * time.Millisecond,
+		Vocab: 32, UpdateFrac: 0.3,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunArm(context.Background(), srv.URL, w, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counts
+	if c.Sent+c.Dropped != int64(len(w.Reqs)) || c.Resolved() != c.Sent {
+		t.Errorf("accounting broken: scheduled %d, counts %+v", len(w.Reqs), c)
+	}
+	if res.Updates == 0 || len(res.UpdateMicros) == 0 {
+		t.Errorf("no successful updates: dispatched %d, ok %d", res.Updates, len(res.UpdateMicros))
+	}
+	if len(res.SearchMicros) == 0 {
+		t.Error("no successful searches alongside the update stream")
+	}
+	if c.Failed != 0 {
+		t.Errorf("%d unexpected failures (counts %+v)", c.Failed, c)
+	}
+	if adds := int64(FamilyDelta(res.MetricsBefore, res.MetricsAfter, "xrank_queries_total")); adds == 0 {
+		t.Error("no engine queries recorded in /metrics across the run")
+	}
+}
+
+// TestRunArmBadTarget: harness errors are errors, not data.
+func TestRunArmBadTarget(t *testing.T) {
+	w, err := Generate(ArmSpec{Kind: KindZipf, RPS: 100, Duration: 50 * time.Millisecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunArm(context.Background(), "http://\x00bad", w, RunOptions{}); err == nil {
+		t.Error("bad base URL accepted")
+	}
+	// A cancelled context aborts the dispatch loop with an error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunArm(ctx, "http://127.0.0.1:0", w, RunOptions{}); err == nil {
+		t.Error("cancelled context did not abort the run")
+	}
+	// An unreachable server resolves every request as Failed — still
+	// exactly-once accounting, no hang.
+	res, err := RunArm(context.Background(), "http://127.0.0.1:1", w, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Failed != res.Counts.Sent || res.Counts.Resolved() != res.Counts.Sent {
+		t.Errorf("unreachable target counts %+v", res.Counts)
+	}
+}

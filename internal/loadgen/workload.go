@@ -1,0 +1,299 @@
+// Package loadgen is an open-loop load harness for a running xrank HTTP
+// server: it fires /api/search (and, in the update-mix arm, /api/docs)
+// requests on a fixed-RPS arrival schedule and reports tail latency the
+// way a population of independent clients would see it.
+//
+// Open-loop means the arrival schedule never waits for responses: each
+// request has an *intended* send time drawn from the arrival process
+// (Poisson or uniform) before the run starts, and its latency is
+// measured from that intended time — a server that stalls for a second
+// accrues a second of latency on every request scheduled meanwhile,
+// instead of silently pausing the clock the way closed-loop harnesses
+// do (coordinated omission). The schedule and the query stream are both
+// derived deterministically from a seed, so two runs of the same spec
+// replay byte-identical workloads and SLO comparisons are
+// apples-to-apples.
+//
+// Workload arms:
+//
+//   - zipf: Zipf-distributed popularity over a fixed pool of conjunctive
+//     queries — the cache-friendly steady state.
+//   - hotset: the same, but the popular head remaps to a different pool
+//     region at fixed rotation points mid-run — the cache-invalidation
+//     stress (every rotation turns the hot set cold at once).
+//   - updates: the zipf stream interleaved with a fraction of
+//     /api/docs adds and deletes — the segment-flush and
+//     cache-eviction stress.
+//   - overload: near-uniform sampling over *pairs* of terms (a
+//     quadratic combination space, so almost every request misses the
+//     result cache and runs a real merge) at a multiple of the base
+//     rate — the admission-control shedding demonstration.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Op is the kind of one scheduled request.
+type Op uint8
+
+const (
+	OpSearch Op = iota
+	OpAdd
+	OpDelete
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSearch:
+		return "S"
+	case OpAdd:
+		return "A"
+	case OpDelete:
+		return "D"
+	}
+	return "?"
+}
+
+// Request is one scheduled request: an intended send offset from arm
+// start plus the operation payload.
+type Request struct {
+	At    time.Duration // intended send time, relative to arm start
+	Op    Op
+	Query string // OpSearch: the q parameter
+	TopM  int    // OpSearch: the m parameter
+	Name  string // OpAdd / OpDelete: document name
+	Body  string // OpAdd: document XML
+}
+
+// Arm kinds.
+const (
+	KindZipf     = "zipf"
+	KindHotset   = "hotset"
+	KindUpdates  = "updates"
+	KindOverload = "overload"
+)
+
+// Arrival processes.
+const (
+	ArrivalPoisson = "poisson"
+	ArrivalUniform = "uniform"
+)
+
+// ArmSpec parameterizes one workload arm. The zero values of the knob
+// fields resolve to the defaults documented per field.
+type ArmSpec struct {
+	Name     string        // display name; defaults to Kind
+	Kind     string        // zipf | hotset | updates | overload
+	RPS      float64       // target arrival rate (required, > 0)
+	Duration time.Duration // arm length (required, > 0)
+	Arrival  string        // poisson (default) | uniform
+
+	Vocab        int     // query-pool size / term universe (default 256)
+	ZipfS        float64 // popularity skew, >1 (default 1.1; overload default 1.01)
+	HotRotations int     // hotset: mid-run rotations of the popular head (default 1)
+	UpdateFrac   float64 // updates: fraction of requests that mutate (default 0.05)
+	Algo         string  // search algo parameter (default dil)
+	TopM         int     // search m parameter (default 10)
+	TimeoutMS    int     // per-request timeout_ms parameter (0: none)
+}
+
+// withDefaults resolves zero knobs.
+func (s ArmSpec) withDefaults() ArmSpec {
+	if s.Name == "" {
+		s.Name = s.Kind
+	}
+	if s.Arrival == "" {
+		s.Arrival = ArrivalPoisson
+	}
+	if s.Vocab <= 1 {
+		s.Vocab = 256
+	}
+	if s.ZipfS <= 1 {
+		if s.Kind == KindOverload {
+			s.ZipfS = 1.01
+		} else {
+			s.ZipfS = 1.1
+		}
+	}
+	if s.HotRotations <= 0 {
+		s.HotRotations = 1
+	}
+	if s.UpdateFrac <= 0 {
+		s.UpdateFrac = 0.05
+	}
+	if s.Algo == "" {
+		s.Algo = "dil"
+	}
+	if s.TopM <= 0 {
+		s.TopM = 10
+	}
+	return s
+}
+
+// Workload is a fully materialized arm: the resolved spec, the seed it
+// was generated from, and the scheduled requests in send order.
+type Workload struct {
+	Spec ArmSpec
+	Seed int64
+	Reqs []Request
+}
+
+// Generate materializes the arrival schedule and request stream for one
+// arm. The same (spec, seed) pair always yields a byte-identical
+// workload (see Dump), which is what makes SLO gates reproducible.
+func Generate(spec ArmSpec, seed int64) (*Workload, error) {
+	spec = spec.withDefaults()
+	if spec.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: arm %s: RPS must be > 0", spec.Name)
+	}
+	if spec.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: arm %s: Duration must be > 0", spec.Name)
+	}
+	switch spec.Kind {
+	case KindZipf, KindHotset, KindUpdates, KindOverload:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arm kind %q", spec.Kind)
+	}
+	switch spec.Arrival {
+	case ArrivalPoisson, ArrivalUniform:
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q", spec.Arrival)
+	}
+
+	// One rng drives everything — arrival gaps, query sampling, update
+	// choices — so the whole stream is a pure function of (spec, seed).
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, spec.ZipfS, 1, uint64(spec.Vocab-1))
+
+	w := &Workload{Spec: spec, Seed: seed}
+	// Hotset rotation: the sampled popularity rank is offset by a phase-
+	// dependent stride, so the same skewed head lands on a different
+	// region of the pool after each rotation point.
+	phases := spec.HotRotations + 1
+	stride := spec.Vocab / phases
+	if stride == 0 {
+		stride = 1
+	}
+	phaseLen := spec.Duration / time.Duration(phases)
+
+	var at time.Duration
+	var docSeq int
+	var live []string // added-then-not-yet-deleted document names, in add order
+	for {
+		// Next intended send time.
+		switch spec.Arrival {
+		case ArrivalUniform:
+			at += time.Duration(float64(time.Second) / spec.RPS)
+		case ArrivalPoisson:
+			at += time.Duration(rng.ExpFloat64() * float64(time.Second) / spec.RPS)
+		}
+		if at >= spec.Duration {
+			break
+		}
+		req := Request{At: at, Op: OpSearch, TopM: spec.TopM}
+		switch spec.Kind {
+		case KindUpdates:
+			if rng.Float64() < spec.UpdateFrac {
+				// 1-in-4 mutations deletes (when there is something to
+				// delete); the rest add or replace documents.
+				if len(live) > 0 && rng.Intn(4) == 0 {
+					i := rng.Intn(len(live))
+					req.Op, req.Name = OpDelete, live[i]
+					live = append(live[:i], live[i+1:]...)
+				} else {
+					docSeq++
+					req.Op = OpAdd
+					req.Name = fmt.Sprintf("loadgen-doc-%06d", docSeq)
+					req.Body = docBody(rng, zipf, spec.Vocab)
+					live = append(live, req.Name)
+				}
+				w.Reqs = append(w.Reqs, req)
+				continue
+			}
+			req.Query = adjacentPair(int(zipf.Uint64()), spec.Vocab)
+		case KindOverload:
+			// Two independent samples: the combination space is
+			// quadratic in Vocab, so the result cache absorbs almost
+			// nothing and every request costs a real merge.
+			req.Query = fmt.Sprintf("w%d w%d", zipf.Uint64(), zipf.Uint64())
+		case KindHotset:
+			phase := int(at / phaseLen)
+			if phase >= phases {
+				phase = phases - 1
+			}
+			rank := (int(zipf.Uint64()) + phase*stride) % spec.Vocab
+			req.Query = adjacentPair(rank, spec.Vocab)
+		default: // KindZipf
+			req.Query = adjacentPair(int(zipf.Uint64()), spec.Vocab)
+		}
+		w.Reqs = append(w.Reqs, req)
+	}
+	return w, nil
+}
+
+// adjacentPair renders the pool query at a popularity rank: two
+// adjacent-frequency vocabulary terms, the same shape the E11 cache
+// experiment uses, guaranteed non-empty on the synthetic corpora.
+func adjacentPair(rank, vocab int) string {
+	rank %= vocab
+	return fmt.Sprintf("w%d w%d", rank, rank+1)
+}
+
+// docBody renders a small XML document whose text is sampled from the
+// shared synthetic vocabulary, so added documents join the live term
+// lists (and invalidate cached results that cite them).
+func docBody(rng *rand.Rand, zipf *rand.Zipf, vocab int) string {
+	var b strings.Builder
+	b.WriteString("<doc><title>")
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "w%d", zipf.Uint64())
+	}
+	b.WriteString("</title><body>")
+	n := 8 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "w%d", zipf.Uint64())
+	}
+	b.WriteString("</body></doc>")
+	return b.String()
+}
+
+// Dump writes the workload in a line-oriented text form: a header line
+// with every knob that shaped the stream, then one line per request
+// (microsecond offset, op, payload). Two workloads are identical iff
+// their dumps are byte-identical — the determinism test and the
+// -dump CLI flag both rely on that.
+func (w *Workload) Dump(out io.Writer) error {
+	s := w.Spec
+	if _, err := fmt.Fprintf(out,
+		"# arm=%s kind=%s seed=%d rps=%g dur=%s arrival=%s vocab=%d zipfs=%g rotations=%d updatefrac=%g algo=%s m=%d timeoutms=%d reqs=%d\n",
+		s.Name, s.Kind, w.Seed, s.RPS, s.Duration, s.Arrival, s.Vocab, s.ZipfS,
+		s.HotRotations, s.UpdateFrac, s.Algo, s.TopM, s.TimeoutMS, len(w.Reqs)); err != nil {
+		return err
+	}
+	for _, r := range w.Reqs {
+		var payload string
+		switch r.Op {
+		case OpSearch:
+			payload = fmt.Sprintf("m=%d %s", r.TopM, r.Query)
+		case OpAdd:
+			payload = fmt.Sprintf("%s %s", r.Name, r.Body)
+		case OpDelete:
+			payload = r.Name
+		}
+		if _, err := fmt.Fprintf(out, "%d %s %s\n", r.At.Microseconds(), r.Op, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func dumpString(t *testing.T, w *Workload) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := w.Dump(&b); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	return b.String()
+}
+
+// TestGenerateDeterministic is the seed contract: the same (spec, seed)
+// pair must materialize a byte-identical workload for every arm kind,
+// and a different seed must not.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range []string{KindZipf, KindHotset, KindUpdates, KindOverload} {
+		for _, arrival := range []string{ArrivalPoisson, ArrivalUniform} {
+			spec := ArmSpec{Kind: kind, Arrival: arrival, RPS: 200, Duration: 2 * time.Second, HotRotations: 3}
+			a, err := Generate(spec, 42)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", kind, arrival, err)
+			}
+			b, err := Generate(spec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			da, db := dumpString(t, a), dumpString(t, b)
+			if da != db {
+				t.Errorf("%s/%s: same seed produced different workloads", kind, arrival)
+			}
+			c, err := Generate(spec, 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dumpString(t, c) == da {
+				t.Errorf("%s/%s: different seeds produced identical workloads", kind, arrival)
+			}
+			if len(a.Reqs) == 0 {
+				t.Errorf("%s/%s: empty workload", kind, arrival)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := ArmSpec{Kind: KindZipf, RPS: 10, Duration: time.Second}
+	bad := []ArmSpec{
+		{Kind: KindZipf, Duration: time.Second},           // no RPS
+		{Kind: KindZipf, RPS: 10},                         // no duration
+		{Kind: "mystery", RPS: 10, Duration: time.Second}, // unknown kind
+		func() ArmSpec { s := base; s.Arrival = "bursty"; return s }(),
+	}
+	for i, s := range bad {
+		if _, err := Generate(s, 1); err == nil {
+			t.Errorf("case %d: Generate(%+v) accepted an invalid spec", i, s)
+		}
+	}
+	if _, err := Generate(base, 1); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// TestGenerateSchedule checks the arrival schedules: offsets are
+// nondecreasing and inside the arm duration, and the uniform process
+// hits the target count exactly.
+func TestGenerateSchedule(t *testing.T) {
+	w, err := Generate(ArmSpec{Kind: KindZipf, RPS: 100, Duration: time.Second, Arrival: ArrivalUniform}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w.Reqs); got != 99 { // first arrival at 10ms, last below 1s
+		t.Errorf("uniform 100rps x 1s = %d requests, want 99", got)
+	}
+	var prev time.Duration
+	for i, r := range w.Reqs {
+		if r.At < prev || r.At >= w.Spec.Duration {
+			t.Fatalf("req %d at %v out of order or past duration", i, r.At)
+		}
+		prev = r.At
+	}
+
+	// Poisson: the count is random but must concentrate near RPS×Duration.
+	w, err = Generate(ArmSpec{Kind: KindZipf, RPS: 500, Duration: 2 * time.Second}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.Reqs); n < 800 || n > 1200 {
+		t.Errorf("poisson 500rps x 2s = %d requests, want ~1000", n)
+	}
+}
+
+// TestGenerateUpdatesLive checks the update-mix arm's bookkeeping:
+// every delete names a document previously added and not yet deleted,
+// so no scheduled delete is doomed to 404 by construction.
+func TestGenerateUpdatesLive(t *testing.T) {
+	w, err := Generate(ArmSpec{Kind: KindUpdates, RPS: 500, Duration: 4 * time.Second, UpdateFrac: 0.3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	var adds, dels, searches int
+	for _, r := range w.Reqs {
+		switch r.Op {
+		case OpAdd:
+			adds++
+			if r.Body == "" || !strings.HasPrefix(r.Name, "loadgen-doc-") {
+				t.Fatalf("add %+v missing body or name", r)
+			}
+			live[r.Name] = true
+		case OpDelete:
+			dels++
+			if !live[r.Name] {
+				t.Fatalf("delete of %q which is not live", r.Name)
+			}
+			delete(live, r.Name)
+		default:
+			searches++
+		}
+	}
+	if adds == 0 || dels == 0 || searches == 0 {
+		t.Fatalf("update mix missing an op kind: adds=%d dels=%d searches=%d", adds, dels, searches)
+	}
+}
+
+// TestGenerateHotsetRotates checks that the popular head actually moves:
+// with one rotation, the most frequent query of the first half must
+// differ from the most frequent query of the second half.
+func TestGenerateHotsetRotates(t *testing.T) {
+	spec := ArmSpec{Kind: KindHotset, RPS: 1000, Duration: 2 * time.Second, HotRotations: 1, Vocab: 64}
+	w, err := Generate(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := func(lo, hi time.Duration) string {
+		freq := map[string]int{}
+		for _, r := range w.Reqs {
+			if r.At >= lo && r.At < hi {
+				freq[r.Query]++
+			}
+		}
+		best, bestN := "", -1
+		for q, n := range freq {
+			if n > bestN {
+				best, bestN = q, n
+			}
+		}
+		return best
+	}
+	half := spec.Duration / 2
+	if a, b := top(0, half), top(half, spec.Duration); a == b {
+		t.Errorf("hot query identical across rotation: %q", a)
+	}
+}
+
+// TestGenerateOverloadDiversity checks the cache-busting property: the
+// overload arm's query stream must be far more diverse than the zipf
+// arm's, since independent pair sampling is what defeats the result
+// cache and makes overload reachable.
+func TestGenerateOverloadDiversity(t *testing.T) {
+	distinct := func(kind string) (int, int) {
+		w, err := Generate(ArmSpec{Kind: kind, RPS: 1000, Duration: time.Second, Vocab: 512}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, r := range w.Reqs {
+			seen[r.Query] = true
+		}
+		return len(seen), len(w.Reqs)
+	}
+	zd, zn := distinct(KindZipf)
+	od, on := distinct(KindOverload)
+	if float64(od)/float64(on) < 2*float64(zd)/float64(zn) {
+		t.Errorf("overload distinct ratio %d/%d not clearly above zipf %d/%d", od, on, zd, zn)
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// snap builds a HistogramSnapshot directly, so the tests pin the
+// interpolation arithmetic without going through Observe's atomics.
+func snap(bounds []float64, counts []int64) HistogramSnapshot {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return HistogramSnapshot{Bounds: bounds, Counts: counts, Count: total}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	for _, s := range []HistogramSnapshot{
+		{},
+		snap([]float64{1, 2}, []int64{0, 0, 0}),
+		snap(nil, []int64{5}), // no finite bounds at all: nothing to interpolate against
+	} {
+		for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+			if got := s.Quantile(q); got != 0 {
+				t.Errorf("empty/boundless snapshot Quantile(%v) = %v, want 0", q, got)
+			}
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All four observations in the sole finite bucket (0, 10]: quantiles
+	// interpolate linearly across the bucket.
+	s := snap([]float64{10}, []int64{4, 0})
+	cases := []struct{ q, want float64 }{
+		{0, 0}, {0.25, 2.5}, {0.5, 5}, {0.75, 7.5}, {1, 10},
+		{-0.5, 0}, {1.5, 10}, // out-of-range q clamps to [0,1]
+	}
+	for _, tc := range cases {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Everything beyond the last finite bound: every quantile clamps to
+	// that bound — the histogram cannot see further.
+	s := snap([]float64{1, 2}, []int64{0, 0, 7})
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := s.Quantile(q); got != 2 {
+			t.Errorf("all-overflow Quantile(%v) = %v, want 2 (clamped)", q, got)
+		}
+	}
+	// Mixed: half the mass in (1,2], half in +Inf. Quantiles at or below
+	// the finite half interpolate; above it they clamp.
+	s = snap([]float64{1, 2}, []int64{0, 5, 5})
+	if got := s.Quantile(0.25); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("mixed Quantile(0.25) = %v, want 1.5", got)
+	}
+	if got := s.Quantile(0.5); got != 2 {
+		t.Errorf("mixed Quantile(0.5) = %v, want 2 (top of last finite bucket)", got)
+	}
+	if got := s.Quantile(0.99); got != 2 {
+		t.Errorf("mixed Quantile(0.99) = %v, want 2 (clamped)", got)
+	}
+}
+
+func TestQuantileP999Edges(t *testing.T) {
+	// 1000 observations: 999 in (0,1], one in (1,2]. The p99.9 rank is
+	// exactly the boundary — top of the first bucket — and anything past
+	// it interpolates into the single-observation tail bucket.
+	s := snap([]float64{1, 2}, []int64{999, 1, 0})
+	if got := s.Quantile(0.999); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Quantile(0.999) = %v, want 1 (exact bucket boundary)", got)
+	}
+	if got := s.Quantile(0.9995); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Quantile(0.9995) = %v, want 1.5 (half into the tail observation)", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Quantile(1) = %v, want 2", got)
+	}
+	// A single observation: every quantile lands in its bucket.
+	s = snap([]float64{1, 2}, []int64{0, 1, 0})
+	if got := s.Quantile(0.999); got <= 1 || got > 2 {
+		t.Errorf("single-observation Quantile(0.999) = %v, want within (1,2]", got)
+	}
+}
+
+func TestQuantileSkipsZeroBuckets(t *testing.T) {
+	// A zero-count bucket between two populated ones: ranks landing past
+	// the first bucket must interpolate inside the far bucket, never
+	// inside the empty gap.
+	s := snap([]float64{1, 2, 3, 4}, []int64{5, 0, 0, 3, 0})
+	// rank 5 = exact top of bucket 0.
+	if got := s.Quantile(0.625); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Quantile(0.625) = %v, want 1", got)
+	}
+	// rank 6.5: 1.5 observations into bucket (3,4].
+	if got := s.Quantile(0.8125); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Quantile(0.8125) = %v, want 3.5 (skipping the empty buckets)", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0 (bottom of first populated bucket)", got)
+	}
+}
+
+func TestQuantileObserveRoundTrip(t *testing.T) {
+	// Through the real Observe path: values on exact bucket bounds land
+	// in the bucket they bound (le semantics), and interval Sub quantiles
+	// see only the interval's observations.
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.0} {
+		h.Observe(v)
+	}
+	before := h.Snapshot()
+	if got := before.Quantile(0.5); got <= 0 || got > 2 {
+		t.Errorf("p50 = %v, want within (0,2]", got)
+	}
+	// Observe a burst into the top finite bucket and diff.
+	for i := 0; i < 10; i++ {
+		h.Observe(3.5)
+	}
+	interval := h.Snapshot().Sub(before)
+	if interval.Count != 10 {
+		t.Fatalf("interval count = %d, want 10", interval.Count)
+	}
+	if got := interval.Quantile(0.5); got <= 2 || got > 4 {
+		t.Errorf("interval p50 = %v, want within (2,4]", got)
+	}
+	if got, want := interval.Mean(), 3.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("interval mean = %v, want %v", got, want)
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	s := snap([]float64{10}, []int64{4, 0})
+	got := s.Quantiles(0.5, 0.9, 0.99, 0.999)
+	want := []float64{5, 9, 9.9, 9.99}
+	if len(got) != len(want) {
+		t.Fatalf("Quantiles len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := (HistogramSnapshot{}).Quantiles(); len(out) != 0 {
+		t.Errorf("no-arg Quantiles = %v, want empty", out)
+	}
+}

@@ -183,6 +183,17 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return s.Bounds[len(s.Bounds)-1]
 }
 
+// Quantiles returns Quantile(q) for every q in qs, in order — the
+// percentile-snapshot call sites (the bench harness, xrank-loadgen's
+// /metrics scrape) report p50/p90/p99/p99.9 from one snapshot with it.
+func (s HistogramSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = s.Quantile(q)
+	}
+	return out
+}
+
 // metricKind discriminates what a registry slot holds.
 type metricKind uint8
 
