@@ -1,0 +1,80 @@
+// Command xrank-coordinator serves /api/search over a cluster of
+// xrank-shardd replicas: rendezvous-hash placement picks each shard's
+// primary, failures retry with seeded full-jitter backoff and fail
+// over across replicas, slow primaries get a hedged second request
+// after a p99-derived delay, and per-replica circuit breakers (with
+// half-open probes) keep dead replicas out of the request path. Losing
+// every replica of a shard degrades the response the same way the
+// single-node engine degrades around a failed local shard; with
+// -fail-on-degraded it answers 503 instead.
+//
+// Typical 2-shard × 2-replica cluster:
+//
+//	xrank-coordinator -addr :9000 \
+//	    -shard http://a:9101,http://b:9102 \
+//	    -shard http://a:9101,http://b:9102
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"xrank/internal/cluster"
+)
+
+// shardListFlag collects repeated -shard flags; occurrence order is
+// the shard id.
+type shardListFlag [][]string
+
+func (f *shardListFlag) String() string { return "" }
+
+func (f *shardListFlag) Set(s string) error {
+	var reps []string
+	for _, r := range strings.Split(s, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			reps = append(reps, strings.TrimSuffix(r, "/"))
+		}
+	}
+	*f = append(*f, reps)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":9000", "listen address")
+	var shards shardListFlag
+	flag.Var(&shards, "shard", "comma-separated replica URLs for one shard (repeat once per shard, in shard order)")
+	replicaTimeout := flag.Int("replica-timeout-ms", 2000, "per-replica attempt timeout in milliseconds")
+	retries := flag.Int("retries", 1, "extra passes over a shard's replica list after the first (negative: none)")
+	retryBackoff := flag.Int("retry-backoff-ms", 2, "full-jitter backoff base between replica attempts in milliseconds")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for the jittered backoff schedule (0 = seed 1)")
+	failureThreshold := flag.Int("failure-threshold", 3, "consecutive failures that open a replica's circuit breaker")
+	probeInterval := flag.Int("probe-interval-ms", 1000, "half-open probe spacing for open breakers in milliseconds (0 = sticky)")
+	hedgeMS := flag.Int("hedge-ms", 0, "hedged second-request delay in milliseconds (0 = auto from p99, negative disables hedging)")
+	failDegraded := flag.Bool("fail-on-degraded", false, "fail queries (503) instead of serving partial results when a whole shard is down")
+	metrics := flag.Bool("metrics", true, "serve Prometheus metrics at /metrics")
+	flag.Parse()
+	if len(shards) == 0 {
+		log.Fatal("xrank-coordinator: at least one -shard url[,url...] is required")
+	}
+
+	c, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Shards:           shards,
+		ReplicaTimeout:   time.Duration(*replicaTimeout) * time.Millisecond,
+		Retries:          *retries,
+		RetryBackoff:     time.Duration(*retryBackoff) * time.Millisecond,
+		RetrySeed:        *retrySeed,
+		FailureThreshold: *failureThreshold,
+		ProbeInterval:    time.Duration(*probeInterval) * time.Millisecond,
+		HedgeDelay:       time.Duration(*hedgeMS) * time.Millisecond,
+		FailOnDegraded:   *failDegraded,
+		Metrics:          *metrics,
+	})
+	if err != nil {
+		log.Fatalf("xrank-coordinator: %v", err)
+	}
+	log.Printf("xrank-coordinator: serving %d shards on %s", len(shards), *addr)
+	log.Fatal(http.ListenAndServe(*addr, c.Handler()))
+}

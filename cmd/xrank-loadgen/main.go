@@ -59,7 +59,7 @@ func (g gateError) Error() string { return g.err.Error() }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("xrank-loadgen", flag.ExitOnError)
-	urlFlag := fs.String("url", "", "base URL of a running xrank serve (mutually exclusive with -inproc)")
+	urlFlag := fs.String("url", "", "base URL(s) of running servers, comma-separated to round-robin across targets (mutually exclusive with -inproc)")
 	inproc := fs.Bool("inproc", false, "build a seeded corpus and serve it in-process on a loopback listener")
 	seed := fs.Int64("seed", 1, "workload seed: same seed, same spec => byte-identical request stream")
 	arms := fs.String("arms", "zipf,hotset,updates,overload", "comma-separated arm kinds to run, in order")
@@ -304,15 +304,22 @@ func startInproc(c inprocConfig) (url string, info *xrank.BuildInfo, cleanup fun
 }
 
 // warmTarget primes connections and OS caches with untimed searches so
-// the first arm's tail is not dominated by one-time setup cost.
+// the first arm's tail is not dominated by one-time setup cost. Every
+// comma-separated target gets the full warmup pass.
 func warmTarget(baseURL string, n int) error {
 	client := &http.Client{Timeout: 10 * time.Second}
-	for i := 0; i < n; i++ {
-		resp, err := client.Get(fmt.Sprintf("%s/api/search?q=w%d+w%d&m=5", baseURL, i%16, i%16+1))
-		if err != nil {
-			return err
+	for _, target := range strings.Split(baseURL, ",") {
+		target = strings.TrimSpace(target)
+		if target == "" {
+			continue
 		}
-		resp.Body.Close()
+		for i := 0; i < n; i++ {
+			resp, err := client.Get(fmt.Sprintf("%s/api/search?q=w%d+w%d&m=5", target, i%16, i%16+1))
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+		}
 	}
 	return nil
 }
@@ -330,6 +337,10 @@ func printArm(a loadgen.ArmReport) {
 		us(a.EngineP50Micros), us(a.EngineP99Micros))
 	if a.UpdateOK > 0 {
 		fmt.Printf("            updates ok %d  update p99 %s\n", a.UpdateOK, us(a.UpdateP99Micros))
+	}
+	for _, tr := range a.Targets {
+		fmt.Printf("            target %s  sent %d  ok %d  429 %d  503 %d  504 %d  fail %d  p99 %s\n",
+			tr.URL, tr.Sent, tr.OK, tr.Shed429, tr.Expired503, tr.Timeout504, tr.Failed, us(tr.P99Micros))
 	}
 }
 

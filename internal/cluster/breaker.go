@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker tracks per-replica health with the same sticky-unhealthy
+// semantics the engine applies to its local shards: a replica is
+// excluded after `threshold` consecutive failed attempts and stays
+// excluded until either an operator reset or a successful half-open
+// probe. While open, one trial request is admitted per probe interval;
+// its success closes the breaker, its failure re-arms the interval.
+//
+// The clock is injectable so tests can step probe intervals without
+// sleeping. All methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	interval  time.Duration // half-open probe spacing; <=0 disables probes
+	now       func() time.Time
+	state     map[string]*replicaState
+}
+
+type replicaState struct {
+	failures    int
+	open        bool
+	lastAttempt time.Time
+	lastErr     string
+}
+
+// ReplicaHealth is one replica's breaker state, for /api/cluster and
+// tests.
+type ReplicaHealth struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	Failures  int    `json:"consecutive_failures"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures (minimum 1) and admits one probe per interval once open
+// (interval <= 0: open replicas stay excluded until Reset).
+func NewBreaker(threshold int, interval time.Duration, now func() time.Time) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{
+		threshold: threshold,
+		interval:  interval,
+		now:       now,
+		state:     make(map[string]*replicaState),
+	}
+}
+
+// Allow reports whether an attempt against url may proceed. For an
+// open breaker it grants at most one probe per interval; the probe
+// return distinguishes that trial so callers can count it.
+func (b *Breaker) Allow(url string) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.state[url]
+	if s == nil || !s.open {
+		return true, false
+	}
+	if b.interval <= 0 {
+		return false, false
+	}
+	now := b.now()
+	if now.Sub(s.lastAttempt) < b.interval {
+		return false, false
+	}
+	s.lastAttempt = now
+	return true, true
+}
+
+// Success records a completed attempt and closes the breaker.
+func (b *Breaker) Success(url string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s := b.state[url]; s != nil {
+		s.failures, s.open, s.lastErr = 0, false, ""
+	}
+}
+
+// Failure records one failed attempt; the run of consecutive failures
+// reaching the threshold opens the breaker.
+func (b *Breaker) Failure(url string, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.state[url]
+	if s == nil {
+		s = &replicaState{}
+		b.state[url] = s
+	}
+	s.failures++
+	s.lastAttempt = b.now()
+	if err != nil {
+		s.lastErr = err.Error()
+	}
+	if s.failures >= b.threshold {
+		s.open = true
+	}
+}
+
+// Open reports whether url's breaker is currently open.
+func (b *Breaker) Open(url string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.state[url]
+	return s != nil && s.open
+}
+
+// OpenCount returns the number of replicas with an open breaker.
+func (b *Breaker) OpenCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, s := range b.state {
+		if s.open {
+			n++
+		}
+	}
+	return n
+}
+
+// Health reports the breaker state for each given replica, in order.
+// Replicas the breaker has never seen report healthy.
+func (b *Breaker) Health(urls []string) []ReplicaHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ReplicaHealth, len(urls))
+	for i, u := range urls {
+		out[i] = ReplicaHealth{URL: u, Healthy: true}
+		if s := b.state[u]; s != nil {
+			out[i].Healthy = !s.open
+			out[i].Failures = s.failures
+			out[i].LastError = s.lastErr
+		}
+	}
+	return out
+}
+
+// Reset clears all breaker state (operator recovery).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = make(map[string]*replicaState)
+}

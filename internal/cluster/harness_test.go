@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xrank"
+	"xrank/internal/httpapi"
+)
+
+// Test harness: build per-shard engine directories, serve them behind
+// ShardServer instances (optionally through chaos proxies), and stand
+// up coordinators over the resulting topology. HTTP clients disable
+// keep-alives so each request opens one proxied connection, which is
+// what makes chaos schedules (indexed by connection) deterministic.
+
+// clusterCorpus gives every document the shared term "common" plus
+// shard- and doc-unique tokens, with enough body that a mid-file
+// connection reset during snapshot shipping leaves a useful partial.
+func clusterCorpus(shard, n int) map[string]string {
+	docs := make(map[string]string)
+	for i := 0; i < n; i++ {
+		var pad strings.Builder
+		for j := 0; j < 300; j++ {
+			fmt.Fprintf(&pad, "<i>filler s%dd%dw%d</i>", shard, i, j)
+		}
+		docs[fmt.Sprintf("s%dd%d.xml", shard, i)] = fmt.Sprintf(
+			`<r><t>common shared term token%d</t><p>unique shard%d doc%d</p>%s</r>`,
+			i, shard, i, pad.String())
+	}
+	return docs
+}
+
+// buildShardDir builds one engine over docs into a fresh directory and
+// closes it; replicas reopen the directory read-only.
+func buildShardDir(t *testing.T, docs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	e := xrank.NewEngine(&xrank.Config{IndexDir: dir})
+	names := make([]string, 0, len(docs))
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := e.AddXML(name, strings.NewReader(docs[name])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// startReplica opens every given shard directory into one ShardServer
+// process and serves it on a loopback listener.
+func startReplica(t *testing.T, dirs map[int]string, opts httpapi.Options) *httptest.Server {
+	t.Helper()
+	srv := NewShardServer()
+	for id, dir := range dirs {
+		e, err := xrank.OpenEngine(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		if err := srv.Mount(id, e, dir, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// proxied wraps a replica server in a chaos proxy (initially passing).
+func proxied(t *testing.T, ts *httptest.Server) *ChaosProxy {
+	t.Helper()
+	p, err := NewChaosProxy(strings.TrimPrefix(ts.URL, "http://"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// serialClient issues one connection per request (no keep-alive), so
+// request k is the proxy's connection k.
+func serialClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+// startCoordinator builds a fresh coordinator (fresh breakers) over the
+// topology and serves it.
+func startCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if cfg.Client == nil {
+		cfg.Client = serialClient()
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+// get fetches a URL and returns status, headers and body.
+func get(t *testing.T, client *http.Client, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// searchJSON decodes a search response body into its top-level keys,
+// keeping values raw so tests can compare them byte-for-byte.
+func searchJSON(t *testing.T, body []byte) map[string]json.RawMessage {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad search response %q: %v", body, err)
+	}
+	return m
+}
+
+// results extracts the raw "results" array for bit-identical
+// comparisons (wall_us and friends are nondeterministic; the ranked
+// answer must not be).
+func results(t *testing.T, body []byte) string {
+	t.Helper()
+	r, ok := searchJSON(t, body)["results"]
+	if !ok {
+		t.Fatalf("search response without results: %s", body)
+	}
+	return string(r)
+}
+
+// metricValue parses one label-free series out of a registry's
+// Prometheus exposition.
+func metricValue(t *testing.T, write func(io.Writer) error, name string) int64 {
+	t.Helper()
+	var sb strings.Builder
+	if err := write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%d", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// fakeClock is an injectable breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cluster
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in. The
+// SLO acceptance test keys off it: its shedding dynamics depend on real
+// wall-clock replica timeouts, which the detector's slowdown distorts
+// past the point of measuring anything.
+const raceEnabled = true

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"xrank"
+	"xrank/internal/httpapi"
+)
+
+// ShardServer hosts one or more shard replicas in a single process.
+// Each shard is a complete engine directory mounted behind its own
+// internal/httpapi handler stack — admission control, Server-Timing,
+// error statuses and metrics are byte-for-byte the single-node serving
+// path, which is what makes coordinator-level accounting tests
+// meaningful. On top of that it adds the cluster-internal surface:
+//
+//	/internal/shard/search?shard=N&...  — /api/search of shard N
+//	/internal/health                    — liveness + hosted shard set
+//	/internal/snapshot?shard=N          — snapshot manifest
+//	/internal/snapshot/file?shard=N&path=P&offset=K — ranged file bytes
+//
+// The lowest-numbered hosted shard is additionally mounted at "/", so
+// a single-shard replica behaves exactly like `xrank serve` for
+// clients (and for xrank-loadgen) that talk to it directly.
+type ShardServer struct {
+	shards map[int]*shardMount
+}
+
+type shardMount struct {
+	engine *xrank.Engine
+	dir    string
+	mux    http.Handler
+}
+
+// NewShardServer returns an empty server; Mount each hosted shard,
+// then serve Handler.
+func NewShardServer() *ShardServer {
+	return &ShardServer{shards: make(map[int]*shardMount)}
+}
+
+// Mount registers one hosted shard: its engine, the directory the
+// engine was opened from (served as the snapshot source), and the
+// httpapi options its handler stack runs with.
+func (s *ShardServer) Mount(id int, e *xrank.Engine, dir string, opts httpapi.Options) error {
+	if id < 0 {
+		return fmt.Errorf("cluster: shard id %d out of range", id)
+	}
+	if _, dup := s.shards[id]; dup {
+		return fmt.Errorf("cluster: shard %d mounted twice", id)
+	}
+	s.shards[id] = &shardMount{engine: e, dir: dir, mux: httpapi.NewMux(e, opts)}
+	return nil
+}
+
+// ShardIDs returns the hosted shard ids in ascending order.
+func (s *ShardServer) ShardIDs() []int {
+	ids := make([]int, 0, len(s.shards))
+	for id := range s.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Engine returns the engine hosting shard id, or nil.
+func (s *ShardServer) Engine(id int) *xrank.Engine {
+	if m := s.shards[id]; m != nil {
+		return m.engine
+	}
+	return nil
+}
+
+// lookup resolves the shard query parameter (defaulting to the lowest
+// hosted shard when absent).
+func (s *ShardServer) lookup(r *http.Request) (int, *shardMount, error) {
+	ids := s.ShardIDs()
+	if len(ids) == 0 {
+		return 0, nil, fmt.Errorf("no shards mounted")
+	}
+	id := ids[0]
+	if qs := r.URL.Query().Get("shard"); qs != "" {
+		v, err := strconv.Atoi(qs)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad \"shard\" parameter")
+		}
+		id = v
+	}
+	m := s.shards[id]
+	if m == nil {
+		return 0, nil, fmt.Errorf("shard %d not hosted here (have %v)", id, ids)
+	}
+	return id, m, nil
+}
+
+// Handler builds the replica's full HTTP surface.
+func (s *ShardServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/internal/shard/search", func(w http.ResponseWriter, r *http.Request) {
+		_, m, err := s.lookup(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		// Delegate into the shard's own httpapi mux by path rewrite: the
+		// admission gate, Server-Timing header and error-status mapping
+		// all apply to internal traffic exactly as to external traffic.
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = "/api/search"
+		m.mux.ServeHTTP(w, r2)
+	})
+	mux.HandleFunc("/internal/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"status": "ok",
+			"shards": s.ShardIDs(),
+		})
+	})
+	mux.HandleFunc("/internal/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		id, m, err := s.lookup(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if m.dir == "" {
+			http.Error(w, "shard has no snapshot directory", http.StatusNotFound)
+			return
+		}
+		man, err := buildManifest(id, m.dir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(man)
+	})
+	mux.HandleFunc("/internal/snapshot/file", func(w http.ResponseWriter, r *http.Request) {
+		_, m, err := s.lookup(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if m.dir == "" {
+			http.Error(w, "shard has no snapshot directory", http.StatusNotFound)
+			return
+		}
+		serveSnapshotFile(w, r, m.dir)
+	})
+	if ids := s.ShardIDs(); len(ids) > 0 {
+		mux.Handle("/", s.shards[ids[0]].mux)
+	}
+	return mux
+}

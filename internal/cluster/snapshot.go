@@ -1,0 +1,296 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/url"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"xrank/internal/storage"
+
+	"encoding/json"
+)
+
+// Snapshot shipping bootstraps a new replica from a serving one: the
+// source walks its engine directory into a manifest of
+// {path, size, crc32} entries, the client fetches each file (resuming
+// a torn download from its current byte offset) and verifies every
+// CRC before the directory is allowed to open. The engine's own
+// durability story does the rest — engine.json / segments.json are the
+// commit points OpenEngine keys off, so they are fetched and renamed
+// into place last, and OpenEngine re-verifies every artifact checksum
+// on activation anyway. A snapshot is therefore either complete and
+// bit-identical to the source or it does not open.
+
+// SnapshotFile describes one file of an engine directory.
+type SnapshotFile struct {
+	Path  string `json:"path"` // slash-separated, relative to the engine dir
+	Size  int64  `json:"size"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// SnapshotManifest is the /internal/snapshot response body.
+type SnapshotManifest struct {
+	Shard int            `json:"shard"`
+	Files []SnapshotFile `json:"files"`
+}
+
+// partSuffix marks an in-progress download; a crashed fetch leaves
+// .part files behind and a re-run resumes them from their size.
+const partSuffix = ".part"
+
+// buildManifest walks dir and checksums every regular file. Leftover
+// atomic-write temporaries and download partials are skipped: they are
+// not part of any committed engine state.
+func buildManifest(shard int, dir string) (*SnapshotManifest, error) {
+	m := &SnapshotManifest{Shard: shard, Files: []SnapshotFile{}}
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || strings.HasSuffix(p, ".tmp") || strings.HasSuffix(p, partSuffix) {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		m.Files = append(m.Files, SnapshotFile{
+			Path:  filepath.ToSlash(rel),
+			Size:  int64(len(data)),
+			CRC32: storage.Checksum(data),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(m.Files, func(i, j int) bool { return m.Files[i].Path < m.Files[j].Path })
+	return m, nil
+}
+
+// commitFile reports whether rel is an open-entry-point file that must
+// land last so a half-fetched directory can never open.
+func commitFile(rel string) bool {
+	return rel == "engine.json" || rel == "segments.json"
+}
+
+// safeRel rejects manifest/request paths that would escape the target
+// directory.
+func safeRel(rel string) bool {
+	if rel == "" || path.IsAbs(rel) || strings.Contains(rel, "\\") {
+		return false
+	}
+	clean := path.Clean(rel)
+	return clean == rel && clean != ".." && !strings.HasPrefix(clean, "../")
+}
+
+// FetchSnapshot bootstraps dstDir from the shard's snapshot endpoints
+// at baseURL (a shard server root, e.g. "http://host:port"). Files
+// already present with the manifest's size and checksum are kept;
+// partial downloads resume at their current offset. Every file's CRC
+// is verified before it is renamed into place (a corrupt transfer is
+// refetched once from scratch), the commit-point manifests land last,
+// and a final pass re-verifies the whole directory before the function
+// reports success — the activation gate OpenEngine then enforces a
+// second time.
+func FetchSnapshot(ctx context.Context, client *http.Client, baseURL string, shard int, dstDir string) (*SnapshotManifest, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	man, err := fetchManifest(ctx, client, baseURL, shard)
+	if err != nil {
+		return nil, err
+	}
+	files := append([]SnapshotFile(nil), man.Files...)
+	sort.SliceStable(files, func(i, j int) bool {
+		ci, cj := commitFile(files[i].Path), commitFile(files[j].Path)
+		if ci != cj {
+			return !ci
+		}
+		return files[i].Path < files[j].Path
+	})
+	for _, f := range files {
+		if !safeRel(f.Path) {
+			return nil, fmt.Errorf("cluster: snapshot manifest escapes target dir: %q", f.Path)
+		}
+		if err := fetchFile(ctx, client, baseURL, shard, f, dstDir); err != nil {
+			return nil, err
+		}
+	}
+	// Activation gate: nothing is allowed to open this directory until
+	// every byte on disk matches the manifest.
+	for _, f := range man.Files {
+		if err := verifyLocal(filepath.Join(dstDir, filepath.FromSlash(f.Path)), f); err != nil {
+			return nil, err
+		}
+	}
+	return man, nil
+}
+
+func fetchManifest(ctx context.Context, client *http.Client, baseURL string, shard int) (*SnapshotManifest, error) {
+	u := fmt.Sprintf("%s/internal/snapshot?shard=%d", strings.TrimSuffix(baseURL, "/"), shard)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: snapshot manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: snapshot manifest: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var man SnapshotManifest
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		return nil, fmt.Errorf("cluster: snapshot manifest: %w", err)
+	}
+	return &man, nil
+}
+
+// fetchFile brings one manifest entry to its final path in dstDir,
+// resuming and verifying as documented on FetchSnapshot.
+func fetchFile(ctx context.Context, client *http.Client, baseURL string, shard int, f SnapshotFile, dstDir string) error {
+	final := filepath.Join(dstDir, filepath.FromSlash(f.Path))
+	if verifyLocal(final, f) == nil {
+		return nil // already fetched and intact (resume across restarts)
+	}
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return err
+	}
+	part := final + partSuffix
+	for attempt := 0; ; attempt++ {
+		err := downloadPart(ctx, client, baseURL, shard, f, part)
+		if err == nil {
+			break
+		}
+		// A CRC mismatch means the resumed bytes and the source diverged
+		// (e.g. the source compacted mid-fetch): throw the partial away
+		// and refetch once from offset zero before giving up.
+		if attempt == 0 && strings.Contains(err.Error(), "checksum") {
+			os.Remove(part)
+			continue
+		}
+		return err
+	}
+	return os.Rename(part, final)
+}
+
+// downloadPart appends the remainder of f to the .part file and
+// verifies the completed bytes against the manifest checksum.
+func downloadPart(ctx context.Context, client *http.Client, baseURL string, shard int, f SnapshotFile, part string) error {
+	var offset int64
+	if st, err := os.Stat(part); err == nil {
+		offset = st.Size()
+	}
+	if offset > f.Size {
+		// The partial is longer than the manifest says the file is: it
+		// can only be garbage from an older snapshot generation.
+		os.Remove(part)
+		offset = 0
+	}
+	if offset < f.Size {
+		u := fmt.Sprintf("%s/internal/snapshot/file?shard=%d&path=%s&offset=%d",
+			strings.TrimSuffix(baseURL, "/"), shard, url.QueryEscape(f.Path), offset)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot fetch %s: %w", f.Path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("cluster: snapshot fetch %s: %s: %s", f.Path, resp.Status, strings.TrimSpace(string(body)))
+		}
+		w, err := os.OpenFile(part, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		_, cpErr := io.Copy(w, resp.Body)
+		syncErr := w.Sync()
+		closeErr := w.Close()
+		if cpErr != nil {
+			return fmt.Errorf("cluster: snapshot fetch %s: %w", f.Path, cpErr)
+		}
+		if syncErr != nil {
+			return syncErr
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+	}
+	return verifyLocal(part, f)
+}
+
+// verifyLocal checks one on-disk file against its manifest entry.
+func verifyLocal(p string, f SnapshotFile) error {
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) != f.Size {
+		return fmt.Errorf("cluster: snapshot %s: size %d, manifest says %d", f.Path, len(data), f.Size)
+	}
+	if crc := storage.Checksum(data); crc != f.CRC32 {
+		return fmt.Errorf("cluster: snapshot %s: checksum %08x, manifest says %08x", f.Path, crc, f.CRC32)
+	}
+	return nil
+}
+
+// serveSnapshotFile streams one manifest file from offset; the shard
+// server mounts it at /internal/snapshot/file.
+func serveSnapshotFile(w http.ResponseWriter, r *http.Request, dir string) {
+	rel := r.URL.Query().Get("path")
+	if !safeRel(rel) {
+		http.Error(w, "bad \"path\" parameter", http.StatusBadRequest)
+		return
+	}
+	var offset int64
+	if qo := r.URL.Query().Get("offset"); qo != "" {
+		v, err := strconv.ParseInt(qo, 10, 64)
+		if err != nil || v < 0 {
+			http.Error(w, "bad \"offset\" parameter", http.StatusBadRequest)
+			return
+		}
+		offset = v
+	}
+	f, err := os.Open(filepath.Join(dir, filepath.FromSlash(rel)))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if offset > st.Size() {
+		http.Error(w, "offset past end of file", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(st.Size()-offset, 10))
+	io.Copy(w, f)
+}

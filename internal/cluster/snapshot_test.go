@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	iofs "io/fs"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xrank"
+)
+
+// findParts collects every .part file under dir.
+func findParts(t *testing.T, dir string) []string {
+	t.Helper()
+	var parts []string
+	err := filepath.WalkDir(dir, func(p string, d iofs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(p, partSuffix) {
+			parts = append(parts, p)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parts
+}
+
+// fetchTo runs FetchSnapshot for shard 0 through the given proxy.
+func fetchTo(t *testing.T, p *ChaosProxy, dst string) (*SnapshotManifest, error) {
+	t.Helper()
+	return FetchSnapshot(context.Background(), serialClient(), p.URL(), 0, dst)
+}
+
+// assertBitIdentical compares every manifest file in dst against src.
+func assertBitIdentical(t *testing.T, man *SnapshotManifest, src, dst string) {
+	t.Helper()
+	for _, f := range man.Files {
+		rel := filepath.FromSlash(f.Path)
+		want, err := os.ReadFile(filepath.Join(src, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(dst, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("snapshot file %s differs from source", f.Path)
+		}
+	}
+}
+
+// openAndSearch opens a snapshot directory and runs the shared query.
+func openAndSearch(t *testing.T, dir string) []xrank.SearchResult {
+	t.Helper()
+	e, err := xrank.OpenEngine(dir)
+	if err != nil {
+		t.Fatalf("snapshot dir does not open: %v", err)
+	}
+	defer e.Close()
+	res, err := e.Search("common")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSnapshotBootstrap(t *testing.T) {
+	src := buildShardDir(t, clusterCorpus(0, 4))
+	rep := startReplica(t, map[int]string{0: src}, muxOpts())
+	p := proxied(t, rep)
+
+	dst := t.TempDir()
+	man, err := fetchTo(t, p, dst)
+	if err != nil {
+		t.Fatalf("clean fetch: %v", err)
+	}
+	if len(man.Files) < 3 {
+		t.Fatalf("manifest suspiciously small: %+v", man.Files)
+	}
+	assertBitIdentical(t, man, src, dst)
+
+	want := openAndSearch(t, src)
+	got := openAndSearch(t, dst)
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("snapshot serves %d results, source %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	// Re-fetch into the same directory: everything verifies in place,
+	// nothing breaks.
+	if _, err := fetchTo(t, p, dst); err != nil {
+		t.Fatalf("idempotent re-fetch: %v", err)
+	}
+}
+
+// TestSnapshotResumeAfterReset interrupts the transfer mid-file with a
+// connection reset, checks the half-fetched directory cannot activate,
+// then resumes: the second run continues from the partial byte offset
+// and the result is bit-identical.
+func TestSnapshotResumeAfterReset(t *testing.T) {
+	src := buildShardDir(t, clusterCorpus(0, 4))
+	rep := startReplica(t, map[int]string{0: src}, muxOpts())
+	p := proxied(t, rep)
+	// Let the manifest and the first file through, then cut the second
+	// file transfer after 4 KiB of response — inside the body of any
+	// corpus document (each is >6 KiB of XML).
+	p.ResetAfter = 4096
+	p.SetSchedule([]ChaosMode{ChaosPass, ChaosPass, ChaosReset})
+
+	dst := t.TempDir()
+	if _, err := fetchTo(t, p, dst); err == nil {
+		t.Fatal("reset mid-transfer did not surface an error")
+	}
+	// Activation gate: the torn directory must not open (the commit
+	// manifests ship last).
+	if _, err := xrank.OpenEngine(dst); err == nil {
+		t.Fatal("half-fetched snapshot directory opened")
+	}
+	// The interrupted file left a resumable partial.
+	parts := findParts(t, dst)
+	var partial string
+	for _, q := range parts {
+		if st, err := os.Stat(q); err == nil && st.Size() > 0 {
+			partial = q
+		}
+	}
+	if partial == "" {
+		t.Fatalf("no nonzero partial to resume (parts: %v)", parts)
+	}
+	partSize := func() int64 {
+		st, err := os.Stat(partial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}()
+
+	// Resume with a healthy link: the partial completes from its
+	// offset rather than restarting.
+	p.SetSchedule(nil)
+	man, err := fetchTo(t, p, dst)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	final := strings.TrimSuffix(partial, partSuffix)
+	st, err := os.Stat(final)
+	if err != nil {
+		t.Fatalf("resumed file missing: %v", err)
+	}
+	if st.Size() <= partSize {
+		t.Fatalf("resume did not extend the partial: %d -> %d bytes", partSize, st.Size())
+	}
+	assertBitIdentical(t, man, src, dst)
+	openAndSearch(t, dst)
+}
+
+// TestSnapshotRefetchesCorruptPartial tampers with a partial download;
+// the resumed file fails its checksum and is refetched from scratch
+// exactly once rather than activated corrupt.
+func TestSnapshotRefetchesCorruptPartial(t *testing.T) {
+	src := buildShardDir(t, clusterCorpus(0, 4))
+	rep := startReplica(t, map[int]string{0: src}, muxOpts())
+	p := proxied(t, rep)
+	p.ResetAfter = 4096
+	p.SetSchedule([]ChaosMode{ChaosPass, ChaosPass, ChaosReset})
+
+	dst := t.TempDir()
+	if _, err := fetchTo(t, p, dst); err == nil {
+		t.Fatal("reset mid-transfer did not surface an error")
+	}
+	parts := findParts(t, dst)
+	tampered := false
+	for _, q := range parts {
+		data, err := os.ReadFile(q)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(q, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tampered = true
+	}
+	if !tampered {
+		t.Fatal("no partial to tamper with")
+	}
+
+	p.SetSchedule(nil)
+	man, err := fetchTo(t, p, dst)
+	if err != nil {
+		t.Fatalf("fetch after tamper: %v", err)
+	}
+	assertBitIdentical(t, man, src, dst)
+	openAndSearch(t, dst)
+}
+
+// TestSnapshotManifestSkipsJunk: leftover temporaries and partials in
+// the source directory never enter a manifest.
+func TestSnapshotManifestSkipsJunk(t *testing.T) {
+	src := buildShardDir(t, clusterCorpus(0, 2))
+	for _, junk := range []string{"stray.tmp", "old.bin" + partSuffix} {
+		if err := os.WriteFile(filepath.Join(src, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man, err := buildManifest(0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range man.Files {
+		if strings.HasSuffix(f.Path, ".tmp") || strings.HasSuffix(f.Path, partSuffix) {
+			t.Fatalf("manifest picked up junk file %s", f.Path)
+		}
+	}
+	// Commit files sort last in fetch order.
+	if !commitFile("engine.json") || !commitFile("segments.json") || commitFile("ranks.bin") {
+		t.Fatal("commitFile misclassifies")
+	}
+}
+
+// TestSnapshotPathSafety: the file endpoint refuses traversal and the
+// client refuses manifests that point outside the target.
+func TestSnapshotPathSafety(t *testing.T) {
+	src := buildShardDir(t, clusterCorpus(0, 2))
+	rep := startReplica(t, map[int]string{0: src}, muxOpts())
+	client := serialClient()
+	for _, bad := range []string{"../engine.json", "/etc/passwd", "a/../../b"} {
+		st, _, _ := get(t, client, rep.URL+"/internal/snapshot/file?shard=0&path="+url.QueryEscape(bad))
+		if st != http.StatusBadRequest {
+			t.Fatalf("path %q: status %d, want 400", bad, st)
+		}
+	}
+	for _, tc := range []struct {
+		rel  string
+		safe bool
+	}{
+		{"engine.json", true}, {"docs/000000.xml", true},
+		{"", false}, {"../x", false}, {"/abs", false}, {"a/../../b", false}, {`a\..\b`, false},
+	} {
+		if got := safeRel(tc.rel); got != tc.safe {
+			t.Fatalf("safeRel(%q) = %v, want %v", tc.rel, got, tc.safe)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package index
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Shard health: the degraded-mode state machine. Every shard starts
 // healthy. The query layer records the outcome of each per-shard
@@ -9,6 +12,13 @@ import "sync"
 // threshold the shard is marked unhealthy and excluded from subsequent
 // queries until ResetHealth revives it (e.g. after an operator replaces
 // the device). A success at any point zeroes the failure streak.
+//
+// Exclusion is sticky, with one escape hatch besides ResetHealth: a
+// half-open probe. When the caller passes a probe interval, TryProbe
+// admits one trial execution per interval for an unhealthy shard; the
+// trial runs as a normal shard execution, and on success Revive returns
+// the shard to service. A failed trial re-arms the interval, so a shard
+// that is still broken costs at most one extra execution per interval.
 
 // ShardHealth is a snapshot of one shard's availability, surfaced through
 // the engine and the /api/shards endpoint.
@@ -24,6 +34,10 @@ type shardHealth struct {
 	failures  int
 	unhealthy bool
 	lastErr   string
+	// lastAttempt is when the shard was last marked unhealthy or last
+	// granted a half-open probe; TryProbe admits the next trial one
+	// interval after it.
+	lastAttempt time.Time
 }
 
 func (sh *Sharded) initHealth() {
@@ -76,9 +90,47 @@ func (sh *Sharded) RecordShardFailure(s int, err error, threshold int) bool {
 		h.lastErr = err.Error()
 	}
 	if threshold > 0 && h.failures >= threshold {
+		if !h.unhealthy {
+			h.lastAttempt = time.Now()
+		}
 		h.unhealthy = true
 	}
 	return h.unhealthy
+}
+
+// TryProbe reports whether unhealthy shard s is due a half-open trial
+// under the given probe interval, and reserves the trial slot: at most
+// one caller per interval gets true, and a failed trial waits a full
+// interval before the next. A healthy shard, an out-of-range s, or a
+// non-positive interval never probes.
+func (sh *Sharded) TryProbe(s int, interval time.Duration) bool {
+	if interval <= 0 || s < 0 || s >= len(sh.health) {
+		return false
+	}
+	h := &sh.health[s]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.unhealthy {
+		return false
+	}
+	now := time.Now()
+	if now.Sub(h.lastAttempt) < interval {
+		return false
+	}
+	h.lastAttempt = now
+	return true
+}
+
+// Revive returns shard s to the healthy state after a successful
+// half-open trial, zeroing its failure streak.
+func (sh *Sharded) Revive(s int) {
+	if s < 0 || s >= len(sh.health) {
+		return
+	}
+	h := &sh.health[s]
+	h.mu.Lock()
+	h.failures, h.unhealthy, h.lastErr = 0, false, ""
+	h.mu.Unlock()
 }
 
 // Health returns a snapshot of every shard's health, in shard order.

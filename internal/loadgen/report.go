@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -89,6 +90,25 @@ type ArmReport struct {
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	CoalesceRate float64 `json:"coalesce_rate"`
 	DegradedRate float64 `json:"degraded_rate"`
+
+	// Targets attributes the arm per base URL on a multi-target run
+	// (requests round-robin across comma-separated -url targets); empty
+	// for the single-target case.
+	Targets []TargetReport `json:"targets,omitempty"`
+}
+
+// TargetReport is one target's share of a multi-target arm.
+type TargetReport struct {
+	URL        string `json:"url"`
+	Sent       int64  `json:"sent"`
+	OK         int64  `json:"ok"`
+	Shed429    int64  `json:"shed_429"`
+	Expired503 int64  `json:"expired_503"`
+	Timeout504 int64  `json:"timeout_504"`
+	NotFound   int64  `json:"not_found_404"`
+	Failed     int64  `json:"failed"`
+	P50Micros  int64  `json:"p50_micros"`
+	P99Micros  int64  `json:"p99_micros"`
 }
 
 // Report is the BENCH_load.json artifact.
@@ -183,6 +203,16 @@ func BuildArmReport(res *ArmResult) ArmReport {
 			a.EngineP99Micros = int64(qs[1] * 1e6)
 		}
 	}
+	for _, tr := range res.Targets {
+		a.Targets = append(a.Targets, TargetReport{
+			URL: tr.URL, Sent: tr.Counts.Sent, OK: tr.Counts.OK,
+			Shed429: tr.Counts.Shed429, Expired503: tr.Counts.Expired503,
+			Timeout504: tr.Counts.Timeout504, NotFound: tr.Counts.NotFound,
+			Failed:    tr.Counts.Failed,
+			P50Micros: Percentile(tr.SearchMicros, 0.50),
+			P99Micros: Percentile(tr.SearchMicros, 0.99),
+		})
+	}
 	return a
 }
 
@@ -196,6 +226,9 @@ func (r *Report) WriteJSON(path string) error {
 }
 
 // csvHeader is the column order of the CSV report; one row per arm.
+// The trailing target_* columns attribute a multi-target arm per base
+// URL as pipe-joined lists (aligned with target_urls); a single-target
+// arm leaves them empty.
 var csvHeader = []string{
 	"arm", "kind", "arrival", "algo", "top_m", "seed",
 	"target_rps", "achieved_rps", "duration_secs",
@@ -205,6 +238,34 @@ var csvHeader = []string{
 	"server_queue_mean_micros", "server_search_mean_micros",
 	"engine_p50_micros", "engine_p99_micros",
 	"shed_rate", "cache_hit_rate", "coalesce_rate", "degraded_rate",
+	"targets", "target_urls", "target_sent", "target_ok", "target_backpressure", "target_failed", "target_p99_micros",
+}
+
+// targetColumns renders the pipe-joined attribution cells for one arm.
+func targetColumns(targets []TargetReport) []string {
+	n := len(targets)
+	if n == 0 {
+		n = 1
+	}
+	cols := []string{strconv.Itoa(n), "", "", "", "", "", ""}
+	if len(targets) == 0 {
+		return cols
+	}
+	join := func(pick func(TargetReport) string) string {
+		parts := make([]string, len(targets))
+		for i, tr := range targets {
+			parts[i] = pick(tr)
+		}
+		return strings.Join(parts, "|")
+	}
+	d := func(v int64) string { return strconv.FormatInt(v, 10) }
+	cols[1] = join(func(tr TargetReport) string { return tr.URL })
+	cols[2] = join(func(tr TargetReport) string { return d(tr.Sent) })
+	cols[3] = join(func(tr TargetReport) string { return d(tr.OK) })
+	cols[4] = join(func(tr TargetReport) string { return d(tr.Shed429 + tr.Expired503 + tr.Timeout504) })
+	cols[5] = join(func(tr TargetReport) string { return d(tr.Failed) })
+	cols[6] = join(func(tr TargetReport) string { return d(tr.P99Micros) })
+	return cols
 }
 
 // WriteCSV writes the percentile report as CSV, one row per arm.
@@ -226,6 +287,7 @@ func (r *Report) WriteCSV(out io.Writer) error {
 			d(a.EngineP50Micros), d(a.EngineP99Micros),
 			f(a.ShedRate), f(a.CacheHitRate), f(a.CoalesceRate), f(a.DegradedRate),
 		}
+		row = append(row, targetColumns(a.Targets)...)
 		if err := w.Write(row); err != nil {
 			return err
 		}

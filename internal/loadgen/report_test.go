@@ -68,6 +68,14 @@ func goldenReport() *Report {
 				ServerQueueMeanMicros: 450, ServerSearchMeanMicros: 700,
 				EngineP50Micros: 650, EngineP99Micros: 8000,
 				ShedRate: 0.7537, CacheHitRate: 0.02, CoalesceRate: 0.001, DegradedRate: 0.004,
+				// A multi-target arm (two coordinators) pins the per-target
+				// attribution encoding in both artifacts.
+				Targets: []TargetReport{
+					{URL: "http://c0:9000", Sent: 19903, OK: 4650, Shed429: 14900,
+						Expired503: 200, Timeout504: 50, Failed: 103, P50Micros: 810, P99Micros: 9400},
+					{URL: "http://c1:9000", Sent: 19902, OK: 4550, Shed429: 15100,
+						Expired503: 200, Timeout504: 50, Failed: 2, P50Micros: 790, P99Micros: 9600},
+				},
 			},
 		},
 	}

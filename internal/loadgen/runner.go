@@ -54,9 +54,22 @@ type ArmResult struct {
 	ServerSearchMicros int64
 	ServerTimed        int64
 
-	// MetricsBefore/After are /metrics scrapes bracketing the arm (nil
-	// when the target exposes no /metrics).
+	// MetricsBefore/After are /metrics scrapes bracketing the first
+	// target (nil when it exposes no /metrics).
 	MetricsBefore, MetricsAfter map[string]float64
+
+	// Targets attributes the arm per base URL when the run fans out over
+	// several comma-separated targets (round-robin by dispatch order);
+	// nil for a single-target run. Counts sum to the arm totals minus
+	// client-side drops, which are charged before a target is picked.
+	Targets []TargetResult
+}
+
+// TargetResult is one target's share of a multi-target arm.
+type TargetResult struct {
+	URL          string
+	Counts       Counts
+	SearchMicros []int64 // accepted-search latencies against this target
 }
 
 // RunOptions tune the client side of a run.
@@ -86,22 +99,55 @@ func (o RunOptions) withDefaults() RunOptions {
 	return o
 }
 
-// RunArm replays a workload against baseURL on its open-loop schedule.
-// The returned error covers harness failures only (bad baseURL, ctx
-// cancelled mid-run); per-request failures are data, not errors.
+// targetAcc accumulates one target's outcomes. The counters are atomic
+// (response goroutines race); sent is dispatcher-only.
+type targetAcc struct {
+	url                                          string
+	sent                                         int64
+	ok, shed, expired, timeout, notfound, failed atomic.Int64
+	mu                                           sync.Mutex
+	searchMicros                                 []int64
+}
+
+func (a *targetAcc) counts() Counts {
+	return Counts{
+		Sent: a.sent, OK: a.ok.Load(), Shed429: a.shed.Load(),
+		Expired503: a.expired.Load(), Timeout504: a.timeout.Load(),
+		NotFound: a.notfound.Load(), Failed: a.failed.Load(),
+	}
+}
+
+// RunArm replays a workload on its open-loop schedule. baseURL names
+// one target, or several comma-separated ones — a multi-target run
+// round-robins requests across them by dispatch order and attributes
+// outcomes per target in ArmResult.Targets. The returned error covers
+// harness failures only (bad baseURL, ctx cancelled mid-run);
+// per-request failures are data, not errors.
 func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (*ArmResult, error) {
 	opts = opts.withDefaults()
-	base, err := url.Parse(baseURL)
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: bad base URL %q: %v", baseURL, err)
+	var bases []*url.URL
+	var accs []*targetAcc
+	for _, raw := range strings.Split(baseURL, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		base, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad base URL %q: %v", raw, err)
+		}
+		bases = append(bases, base)
+		accs = append(accs, &targetAcc{url: strings.TrimRight(raw, "/")})
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("loadgen: no target in base URL %q", baseURL)
 	}
 	res := &ArmResult{Spec: w.Spec, Seed: w.Seed}
-	res.MetricsBefore, _ = scrapeQuiet(opts.Client, base)
+	res.MetricsBefore, _ = scrapeQuiet(opts.Client, bases[0])
 
 	var (
-		mu       sync.Mutex // guards the latency slices and timing sums
+		mu       sync.Mutex // guards the update latencies and timing sums
 		wg       sync.WaitGroup
-		counts   struct{ ok, shed, expired, timeout, notfound, failed atomic.Int64 }
 		inflight = make(chan struct{}, opts.MaxOutstanding)
 	)
 	start := time.Now()
@@ -120,7 +166,12 @@ func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (
 			res.Counts.Dropped++
 			continue
 		}
+		// Round-robin by dispatch order: drops never consume a slot in
+		// the rotation, so every target sees the same request mix.
+		ti := int(res.Counts.Sent) % len(bases)
+		base, acc := bases[ti], accs[ti]
 		res.Counts.Sent++
+		acc.sent++
 		if req.Op == OpSearch {
 			res.Searches++
 		} else {
@@ -134,12 +185,16 @@ func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (
 			lat := time.Since(intended)
 			switch {
 			case err != nil:
-				counts.failed.Add(1)
+				acc.failed.Add(1)
 			case status >= 200 && status < 300:
-				counts.ok.Add(1)
+				acc.ok.Add(1)
+				if req.Op == OpSearch {
+					acc.mu.Lock()
+					acc.searchMicros = append(acc.searchMicros, lat.Microseconds())
+					acc.mu.Unlock()
+				}
 				mu.Lock()
 				if req.Op == OpSearch {
-					res.SearchMicros = append(res.SearchMicros, lat.Microseconds())
 					if q, s, ok := parseServerTiming(hdr); ok {
 						res.ServerQueueMicros += q
 						res.ServerSearchMicros += s
@@ -150,27 +205,38 @@ func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (
 				}
 				mu.Unlock()
 			case status == http.StatusTooManyRequests:
-				counts.shed.Add(1)
+				acc.shed.Add(1)
 			case status == http.StatusServiceUnavailable:
-				counts.expired.Add(1)
+				acc.expired.Add(1)
 			case status == http.StatusGatewayTimeout:
-				counts.timeout.Add(1)
+				acc.timeout.Add(1)
 			case status == http.StatusNotFound:
-				counts.notfound.Add(1)
+				acc.notfound.Add(1)
 			default:
-				counts.failed.Add(1)
+				acc.failed.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	res.Wall = time.Since(start)
-	res.Counts.OK = counts.ok.Load()
-	res.Counts.Shed429 = counts.shed.Load()
-	res.Counts.Expired503 = counts.expired.Load()
-	res.Counts.Timeout504 = counts.timeout.Load()
-	res.Counts.NotFound = counts.notfound.Load()
-	res.Counts.Failed = counts.failed.Load()
-	res.MetricsAfter, _ = scrapeQuiet(opts.Client, base)
+	for _, acc := range accs {
+		c := acc.counts()
+		res.Counts.OK += c.OK
+		res.Counts.Shed429 += c.Shed429
+		res.Counts.Expired503 += c.Expired503
+		res.Counts.Timeout504 += c.Timeout504
+		res.Counts.NotFound += c.NotFound
+		res.Counts.Failed += c.Failed
+		res.SearchMicros = append(res.SearchMicros, acc.searchMicros...)
+	}
+	if len(accs) > 1 {
+		for _, acc := range accs {
+			res.Targets = append(res.Targets, TargetResult{
+				URL: acc.url, Counts: acc.counts(), SearchMicros: acc.searchMicros,
+			})
+		}
+	}
+	res.MetricsAfter, _ = scrapeQuiet(opts.Client, bases[0])
 	return res, nil
 }
 

@@ -171,6 +171,70 @@ func TestRunArmUpdatesMix(t *testing.T) {
 	}
 }
 
+// TestRunArmMultiTarget fans one workload across two live servers via
+// a comma-separated target list: the round-robin split must be even,
+// per-target attribution must sum to the arm totals, and the report
+// layer must carry the split into both artifacts.
+func TestRunArmMultiTarget(t *testing.T) {
+	srvA, _ := testServer(t, 0, 0)
+	srvB, _ := testServer(t, 0, 0)
+	w, err := Generate(ArmSpec{
+		Kind: KindZipf, RPS: 400, Duration: 400 * time.Millisecond, Vocab: 32,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunArm(context.Background(),
+		srvA.URL+" , "+srvB.URL+"/", w, RunOptions{}) // spaces and trailing slash are tolerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The admission-metric cross-check doesn't apply here (the scrape
+	// only covers the first target); the client-side invariant does.
+	if c := res.Counts; c.Sent+c.Dropped != int64(len(w.Reqs)) || c.Resolved() != c.Sent || c.Failed != 0 {
+		t.Errorf("accounting broken: scheduled %d, counts %+v", len(w.Reqs), c)
+	}
+	if len(res.Targets) != 2 {
+		t.Fatalf("targets = %d, want 2", len(res.Targets))
+	}
+	if res.Targets[0].URL != srvA.URL || res.Targets[1].URL != srvB.URL {
+		t.Fatalf("target URLs %q/%q, want %q/%q",
+			res.Targets[0].URL, res.Targets[1].URL, srvA.URL, srvB.URL)
+	}
+	var sent, ok int64
+	for _, tr := range res.Targets {
+		if tr.Counts.Resolved() != tr.Counts.Sent {
+			t.Errorf("target %s: resolved %d != sent %d", tr.URL, tr.Counts.Resolved(), tr.Counts.Sent)
+		}
+		sent += tr.Counts.Sent
+		ok += tr.Counts.OK
+	}
+	if sent != res.Counts.Sent || ok != res.Counts.OK {
+		t.Errorf("per-target sums (sent %d, ok %d) != arm totals (%d, %d)",
+			sent, ok, res.Counts.Sent, res.Counts.OK)
+	}
+	if d := res.Targets[0].Counts.Sent - res.Targets[1].Counts.Sent; d < -1 || d > 1 {
+		t.Errorf("round-robin split uneven: %d vs %d",
+			res.Targets[0].Counts.Sent, res.Targets[1].Counts.Sent)
+	}
+	a := BuildArmReport(res)
+	if len(a.Targets) != 2 || a.Targets[0].Sent != res.Targets[0].Counts.Sent {
+		t.Errorf("report lost the target split: %+v", a.Targets)
+	}
+	if a.Targets[0].P99Micros <= 0 {
+		t.Errorf("per-target p99 missing: %+v", a.Targets[0])
+	}
+
+	// Single-target runs stay free of attribution (goldens unchanged).
+	res1, err := RunArm(context.Background(), srvA.URL, w, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Targets != nil || len(BuildArmReport(res1).Targets) != 0 {
+		t.Errorf("single-target run grew a Targets split: %+v", res1.Targets)
+	}
+}
+
 // TestRunArmBadTarget: harness errors are errors, not data.
 func TestRunArmBadTarget(t *testing.T) {
 	w, err := Generate(ArmSpec{Kind: KindZipf, RPS: 100, Duration: 50 * time.Millisecond}, 1)

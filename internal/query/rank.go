@@ -112,15 +112,26 @@ type Options struct {
 	// the default of 2; negative disables retries. Cancellation, deadline
 	// and budget errors are never retried.
 	Retries int
-	// RetryBackoff is the wait before the first retry, doubling per
-	// attempt; the wait aborts early if the query is cancelled. 0 means
-	// the default of 5ms.
+	// RetryBackoff caps the wait before the first retry; the cap doubles
+	// per attempt and the actual wait is drawn uniformly from [0, cap]
+	// (full jitter, so synchronized queries can't stampede a recovering
+	// device in lockstep). The wait aborts early if the query is
+	// cancelled. 0 means the default cap of 5ms.
 	RetryBackoff time.Duration
+	// RetrySeed seeds the jittered backoff schedule. The draw stream is
+	// deterministic per (seed, shard), so tests replay identical waits.
+	// 0 selects seed 1.
+	RetrySeed int64
 	// FailureThreshold is the consecutive post-retry failure count at
 	// which a shard is marked unhealthy and excluded from subsequent
 	// queries (until index.Sharded.ResetHealth). 0 means the default of
 	// 3; negative disables marking.
 	FailureThreshold int
+	// ProbeInterval enables half-open recovery for sticky-unhealthy
+	// shards: once per interval an unhealthy shard is granted one trial
+	// execution inside a regular query, and a successful trial revives
+	// it. 0 (the default) keeps exclusion sticky until ResetHealth.
+	ProbeInterval time.Duration
 	// Report, when non-nil, accumulates degraded-execution facts — which
 	// shards were skipped or failed, how many retries ran — across every
 	// algorithm invocation that shares it. The engine attaches one per
@@ -168,6 +179,14 @@ func (o *Options) retryBackoff() time.Duration {
 		return 5 * time.Millisecond
 	}
 	return o.RetryBackoff
+}
+
+// retrySeed resolves Options.RetrySeed (0 = seed 1).
+func (o *Options) retrySeed() int64 {
+	if o.RetrySeed == 0 {
+		return 1
+	}
+	return o.RetrySeed
 }
 
 // failureThreshold resolves Options.FailureThreshold (0 = default 3;

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -54,28 +55,49 @@ func shardWorkers(requested, shards int) int {
 	return w
 }
 
+// JitterBackoff returns the wait before retry attempt (0-based): a draw
+// uniform in [0, base<<attempt] — exponential cap with full jitter, so a
+// fleet of queries retrying against one recovering device spreads out
+// instead of stampeding in lockstep. The shift is clamped so the cap
+// cannot overflow. The cluster coordinator reuses the same schedule for
+// replica failover.
+func JitterBackoff(rng *rand.Rand, base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	cap := int64(base) << attempt
+	return time.Duration(rng.Int63n(cap + 1))
+}
+
 // runShardAttempts invokes run on one shard with bounded
 // retry-with-backoff: a transient device fault (an error wrapping
-// storage.ErrIO) is retried up to opts.retries() times with exponential
-// backoff, aborting early if the query is cancelled. It returns the last
-// result plus how many retry attempts were consumed.
+// storage.ErrIO) is retried up to opts.retries() times with seeded
+// full-jitter exponential backoff (see JitterBackoff), aborting early if
+// the query is cancelled. It returns the last result plus how many retry
+// attempts were consumed.
 func runShardAttempts(s int, ix *index.Index, so Options,
 	run func(s int, ix *index.Index, so Options) ([]Result, error)) ([]Result, error, int) {
-	backoff := so.retryBackoff()
+	base := so.retryBackoff()
 	maxRetries := so.retries()
+	var rng *rand.Rand // created on first retry; most attempts never pay for it
 	for attempt := 0; ; attempt++ {
 		rs, err := run(s, ix, so)
 		if err == nil || !retryable(err) || attempt >= maxRetries {
 			return rs, err, attempt
 		}
-		t := time.NewTimer(backoff)
+		if rng == nil {
+			rng = rand.New(rand.NewSource(so.retrySeed() + int64(s)*1315423911))
+		}
+		t := time.NewTimer(JitterBackoff(rng, base, attempt))
 		select {
 		case <-so.Exec.Context().Done():
 			t.Stop()
 			return nil, so.Exec.Context().Err(), attempt
 		case <-t.C:
 		}
-		backoff *= 2
 	}
 }
 
@@ -85,14 +107,16 @@ func runShardAttempts(s int, ix *index.Index, so Options,
 // opts.Exec. With a single shard it degenerates to a direct call on the
 // caller's goroutine — no pool, no child context (retries still apply).
 //
-// Degraded mode: shards already marked unhealthy are skipped up front; a
-// shard whose execution still fails with a device fault after retries is
-// excluded from this merge (and counted toward its unhealthy threshold)
-// while the query completes over the remaining shards, recording the
-// exclusions in opts.Report. Non-device errors — cancellation, deadline,
-// budget, semantic — stay fatal and poison the ExecContext family so
-// sibling shards abort promptly. Only when every shard is excluded does
-// the query fail.
+// Degraded mode: shards already marked unhealthy are skipped up front —
+// unless opts.ProbeInterval grants one a half-open trial, in which case
+// it executes normally and a success revives it. A shard whose execution
+// still fails with a device fault after retries is excluded from this
+// merge (and counted toward its unhealthy threshold) while the query
+// completes over the remaining shards, recording the exclusions in
+// opts.Report. Non-device errors — cancellation, deadline, budget,
+// semantic — stay fatal and poison the ExecContext family so sibling
+// shards abort promptly. Only when every shard is excluded does the
+// query fail.
 func runSharded(sh *index.Sharded, opts Options, workers int,
 	run func(s int, ix *index.Index, so Options) ([]Result, error)) ([]Result, error) {
 	if err := opts.fill(); err != nil {
@@ -123,12 +147,19 @@ func runSharded(sh *index.Sharded, opts Options, workers int,
 		excluded = map[int]error{} // shard → why it is absent from the merge
 	)
 	for s, ix := range shards {
+		probe := false
 		if !sh.ShardHealthy(s) {
-			excluded[s] = nil // skipped up front; nil marks "already unhealthy"
-			continue
+			if !sh.TryProbe(s, opts.ProbeInterval) {
+				excluded[s] = nil // skipped up front; nil marks "already unhealthy"
+				continue
+			}
+			// Half-open trial: the shard executes like any other; success
+			// below revives it, failure re-arms the probe interval.
+			probe = true
+			opts.Report.noteProbe()
 		}
 		wg.Add(1)
-		go func(s int, ix *index.Index) {
+		go func(s int, ix *index.Index, probe bool) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
@@ -163,9 +194,12 @@ func runSharded(sh *index.Sharded, opts Options, workers int,
 				opts.Exec.Fail(err)
 				return
 			}
+			if probe {
+				sh.Revive(s)
+			}
 			sh.RecordShardSuccess(s)
 			perShard[s] = rs
-		}(s, ix)
+		}(s, ix, probe)
 	}
 	wg.Wait()
 	if fatalErr != nil {

@@ -35,6 +35,7 @@ type engineMetrics struct {
 	switches     *obs.Counter
 	degraded     *obs.Counter
 	shardRetries *obs.Counter
+	shardProbes  *obs.Counter
 	shards       *obs.Gauge
 	unhealthy    *obs.Gauge
 	inflight     *obs.Gauge
@@ -97,6 +98,7 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 		switches:     r.Counter("xrank_hdil_switches_total", "HDIL queries where at least one shard switched to DIL."),
 		degraded:     r.Counter("xrank_degraded_queries_total", "Queries served with at least one shard excluded."),
 		shardRetries: r.Counter("xrank_shard_retries_total", "Shard executions retried after a transient device fault."),
+		shardProbes:  r.Counter("xrank_shard_probes_total", "Half-open trial executions granted to unhealthy shards."),
 		shards:       r.Gauge("xrank_index_shards", "Index partitions the engine fans queries out over."),
 		unhealthy:    r.Gauge("xrank_shard_unhealthy", "Shards currently marked unhealthy and excluded from queries."),
 		inflight:     r.Gauge("xrank_inflight_queries", "Queries currently executing."),
@@ -147,6 +149,7 @@ func (m *engineMetrics) queryFinished(algo, q string, stats *QueryStats, err err
 		m.degraded.Inc()
 	}
 	m.shardRetries.Add(int64(stats.Retries))
+	m.shardProbes.Add(int64(stats.Probes))
 	if err != nil {
 		m.reg.Counter(metricQueryErrors, helpQueryErrors, "algo", algo).Inc()
 	} else {

@@ -135,10 +135,13 @@ type QueryStats struct {
 	// marked unhealthy were skipped. The results are the correct top-k of
 	// the healthy shards only. FailedShards lists the excluded shards;
 	// Retries counts the shard executions retried after transient faults
-	// (including ones that then succeeded).
+	// (including ones that then succeeded); Probes counts the half-open
+	// trials this query granted to unhealthy shards
+	// (Config.ShardProbeIntervalMillis).
 	Degraded     bool
 	FailedShards []int
 	Retries      int
+	Probes       int
 
 	// Trace holds the per-stage spans recorded while the query ran:
 	// engine stages (tokenize, execute, materialize), algorithm stages
@@ -467,6 +470,7 @@ func (e *Engine) executeQuery(ctx context.Context, q string, keywords []string, 
 	stats.Degraded = report.Degraded()
 	stats.FailedShards = report.FailedShards()
 	stats.Retries = report.Retries()
+	stats.Probes = report.Probes()
 	e.met.unhealthy.Set(int64(e.ix.UnhealthyCount()))
 	if err == nil && stats.Degraded && e.cfg.FailOnDegraded {
 		// Strict mode: a partial answer is an error. Decided before
@@ -511,7 +515,9 @@ func (e *Engine) searchLoop(keywords []string, opts SearchOptions, ec *storage.E
 		qopts.Report = report
 		qopts.Retries = e.cfg.ShardRetries
 		qopts.RetryBackoff = time.Duration(e.cfg.ShardRetryBackoffMillis) * time.Millisecond
+		qopts.RetrySeed = e.cfg.ShardRetrySeed
 		qopts.FailureThreshold = e.cfg.ShardFailureThreshold
+		qopts.ProbeInterval = time.Duration(e.cfg.ShardProbeIntervalMillis) * time.Millisecond
 
 		endExec := ec.StartSpan("execute")
 		rs, naive, err := e.runQuery(keywords, opts, qopts, stats)

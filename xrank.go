@@ -127,14 +127,28 @@ type Config struct {
 	// transient device fault before the shard is excluded from the query.
 	// Zero selects the default (2); negative disables retries.
 	ShardRetries int
-	// ShardRetryBackoffMillis is the wait before the first shard retry in
-	// milliseconds, doubling per attempt. Zero selects the default (5).
+	// ShardRetryBackoffMillis caps the wait before the first shard retry
+	// in milliseconds; the cap doubles per attempt and the actual wait is
+	// drawn uniformly from [0, cap] (exponential backoff with full
+	// jitter), so synchronized queries retrying against one recovering
+	// device spread out instead of stampeding. Zero selects the default
+	// cap (5).
 	ShardRetryBackoffMillis int
+	// ShardRetrySeed seeds the jittered backoff draw stream (per shard),
+	// making retry schedules reproducible in tests. Zero selects seed 1.
+	ShardRetrySeed int64
 	// ShardFailureThreshold is the consecutive post-retry failure count at
 	// which a shard is marked unhealthy and excluded from subsequent
 	// queries until ResetShardHealth. Zero selects the default (3);
 	// negative disables marking.
 	ShardFailureThreshold int
+	// ShardProbeIntervalMillis enables half-open recovery for unhealthy
+	// shards: once per interval an excluded shard is granted one trial
+	// execution inside a regular query, and a successful trial re-admits
+	// it without an operator ResetShardHealth. Each granted trial counts
+	// in xrank_shard_probes_total. Zero (the default) keeps exclusion
+	// sticky until ResetShardHealth.
+	ShardProbeIntervalMillis int
 
 	// CacheBytes bounds the in-memory query result cache: repeated
 	// queries with the same canonical fingerprint (normalized keywords +
