@@ -13,7 +13,9 @@
 // -cachejson), ingest (E12, incremental segment-ingestion throughput vs
 // a full rebuild, written to -ingestjson), block (E13, the block-max
 // pruning experiment comparing the v1 and block postings formats,
-// written to -blockjson).
+// written to -blockjson), suggest (E15, autosuggest latency and trie
+// memory vs dictionary size plus ingest throughput over the committed
+// abstracts fixture, written to -suggestjson).
 //
 // E1/E2/E6/E7 run on the DBLP-shaped and XMark-shaped corpora; E3/E4/E5
 // run on the long-list performance corpus (see internal/datagen/perfgen),
@@ -59,6 +61,11 @@ func main() {
 
 		blockBlocks = flag.Int("blockblocks", 200000, "performance-corpus size (records) for the block-pruning experiment")
 		blockJSON   = flag.String("blockjson", "BENCH_block.json", "where the block-pruning experiment writes its JSON report (empty: skip)")
+
+		suggestSizes   = flag.String("suggestsizes", "1000,10000,50000", "comma-separated dictionary sizes for the suggest experiment")
+		suggestK       = flag.Int("suggestk", 8, "completions per suggest query")
+		suggestFixture = flag.String("suggestfixture", "internal/ingest/testdata/abstracts.xml", "committed abstracts fixture the suggest experiment ingests (empty: skip the fixture section)")
+		suggestJSON    = flag.String("suggestjson", "BENCH_suggest.json", "where the suggest experiment writes its JSON report (empty: skip)")
 	)
 	flag.Parse()
 
@@ -67,7 +74,7 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	if want["all"] {
-		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache", "ingest", "block"} {
+		for _, e := range []string{"elemrank", "space", "fig10", "fig11", "topm", "quality", "ablation", "crossover", "warm", "shard", "cache", "ingest", "block", "suggest"} {
 			want[e] = true
 		}
 	}
@@ -265,6 +272,32 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("wrote %s\n", *blockJSON)
+		}
+	}
+	if want["suggest"] {
+		sizes, err := parseInts(*suggestSizes)
+		if err != nil {
+			fail(fmt.Errorf("bad -suggestsizes: %v", err))
+		}
+		t, rep, err := bench.E15Suggest(ws+"/suggestexp", sizes, *suggestK, *seed, *suggestFixture)
+		if err != nil {
+			fail(err)
+		}
+		t.Render(os.Stdout)
+		if n := len(rep.Runs); n > 0 {
+			last := rep.Runs[n-1]
+			fmt.Printf("suggest: %d-term dictionary completes at p50 %dµs / p99 %dµs in %.1fB/term\n",
+				last.Terms, last.P50Micros, last.P99Micros, last.BytesPerTerm)
+		}
+		if rep.FixtureDocs > 0 {
+			fmt.Printf("suggest fixture: %d docs ingested at %.0f docs/s; %d-term dictionary p50 %dµs / p99 %dµs\n",
+				rep.FixtureDocs, rep.FixtureDocsPerSec, rep.FixtureTerms, rep.FixtureP50Micros, rep.FixtureP99Micros)
+		}
+		if *suggestJSON != "" {
+			if err := rep.WriteJSON(*suggestJSON); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *suggestJSON)
 		}
 	}
 	if want["ingest"] {

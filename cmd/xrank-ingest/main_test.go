@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xrank"
+	"xrank/internal/httpapi"
+)
+
+const fixture = "../../internal/ingest/testdata/abstracts.xml"
+
+// TestIngestEndToEnd streams the committed abstracts fixture into a
+// fresh directory and proves the result is a queryable engine: search
+// finds fixture content, /api/suggest completes fixture terms, and the
+// xrank_suggest_* metrics move — the acceptance path of the subsystem.
+func TestIngestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-in", fixture, "-dir", dir, "-batch", "7"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "40 total") {
+		t.Fatalf("output does not report 40 docs:\n%s", out.String())
+	}
+
+	e, err := xrank.OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumDocs() != 40 {
+		t.Fatalf("NumDocs = %d, want 40", e.NumDocs())
+	}
+	rs, err := e.Search("inverted index")
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("search over ingested corpus: %v, %d results", err, len(rs))
+	}
+
+	mux := httpapi.NewMux(e, httpapi.Options{Metrics: true})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=pre&k=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/api/suggest: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Suggestions []xrank.Suggestion
+		Terms       int
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// "prefix", "precision", "predicts", "pressure" all live in the fixture.
+	if len(resp.Suggestions) == 0 || resp.Terms == 0 {
+		t.Fatalf("no completions over the ingested corpus: %s", rec.Body)
+	}
+	for _, s := range resp.Suggestions {
+		if !strings.HasPrefix(s.Term, "pre") {
+			t.Errorf("completion %q does not extend the prefix", s.Term)
+		}
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "xrank_suggest_queries_total 1") {
+		t.Fatalf("suggest metrics not populated:\n%s", rec.Body)
+	}
+}
+
+// TestIngestResume interrupts an ingest with -limit, resumes it, and
+// checks the result matches a one-shot run: same doc count, same
+// deterministic names, same search results.
+func TestIngestResume(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-in", fixture, "-dir", dir, "-batch", "6", "-limit", "15"}, &out); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out.String())
+	}
+	e, err := xrank.OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumDocs() != 15 {
+		t.Fatalf("after -limit 15: NumDocs = %d", e.NumDocs())
+	}
+	e.Close()
+
+	out.Reset()
+	if err := run([]string{"-in", fixture, "-dir", dir, "-batch", "6"}, &out); err != nil {
+		t.Fatalf("resume: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "resuming after 15 committed docs") {
+		t.Fatalf("resume did not pick up the checkpoint:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "25 docs this run, 40 total") {
+		t.Fatalf("resume accounting wrong:\n%s", out.String())
+	}
+
+	e, err = xrank.OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumDocs() != 40 {
+		t.Fatalf("after resume: NumDocs = %d, want 40", e.NumDocs())
+	}
+	// The last fixture doc must be present under its deterministic name.
+	rs, err := e.Search("load testing")
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("tail doc not searchable: %v, %d results", err, len(rs))
+	}
+	found := false
+	for _, r := range rs {
+		if r.Doc == "wiki-00000039.xml" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deterministic name missing from results: %+v", rs)
+	}
+
+	// Running again against a finished checkpoint is a no-op.
+	out.Reset()
+	if err := run([]string{"-in", fixture, "-dir", dir, "-batch", "6"}, &out); err != nil {
+		t.Fatalf("idempotent rerun: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 docs this run, 40 total") {
+		t.Fatalf("finished ingest re-ingested docs:\n%s", out.String())
+	}
+}
+
+// TestIngestGzipResume covers the non-seekable path: a gzipped dump
+// resumes by re-reading and skipping the committed prefix.
+func TestIngestGzipResume(t *testing.T) {
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzPath := filepath.Join(t.TempDir(), "abstracts.xml.gz")
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-in", gzPath, "-dir", dir, "-batch", "9", "-limit", "20"}, &out); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-in", gzPath, "-dir", dir, "-batch", "9"}, &out); err != nil {
+		t.Fatalf("resume: %v\n%s", err, out.String())
+	}
+	e, err := xrank.OpenEngine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.NumDocs() != 40 {
+		t.Fatalf("gzip resume: NumDocs = %d, want 40", e.NumDocs())
+	}
+}
+
+// TestIngestHTTPMode posts the fixture through a live /api/docs server
+// and checks the documents land (and suggest sees them).
+func TestIngestHTTPMode(t *testing.T) {
+	e := xrank.NewEngine(&xrank.Config{IndexDir: t.TempDir()})
+	if err := e.AddXML("seed.xml", strings.NewReader("<doc><t>seed document</t></doc>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	srv := httptest.NewServer(httpapi.NewMux(e, httpapi.Options{Updates: true}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-in", fixture, "-mode", "http", "-url", srv.URL,
+		"-checkpoint", "none", "-batch", "10", "-limit", "12"}, &out); err != nil {
+		t.Fatalf("http mode: %v\n%s", err, out.String())
+	}
+	if e.NumDocs() != 13 { // seed + 12
+		t.Fatalf("NumDocs = %d, want 13", e.NumDocs())
+	}
+	sugs, _, err := e.Suggest("anarch", 5)
+	if err != nil || len(sugs) == 0 {
+		t.Fatalf("suggest over HTTP-ingested docs: %v, %v", err, sugs)
+	}
+}
+
+// TestIngestChecksGuards covers the refusal paths: source mismatch and
+// bad flags.
+func TestIngestGuards(t *testing.T) {
+	if err := run([]string{"-dir", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", fixture}, &bytes.Buffer{}); err == nil {
+		t.Error("local mode without -dir accepted")
+	}
+	if err := run([]string{"-in", fixture, "-mode", "http"}, &bytes.Buffer{}); err == nil {
+		t.Error("http mode without -url accepted")
+	}
+	if err := run([]string{"-in", fixture, "-mode", "wat", "-dir", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+
+	// A checkpoint from a different dump is refused, not silently reused.
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-in", fixture, "-dir", dir, "-limit", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(t.TempDir(), "other.xml")
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", other, "-dir", dir}, &out); err == nil ||
+		!strings.Contains(err.Error(), "records source") {
+		t.Errorf("source mismatch not refused: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 // Command xrank-loadgen is the open-loop load harness for the xrank
-// HTTP server (experiment E14). It fires /api/search — and, in the
-// update-mix arm, /api/docs — at a fixed target rate with seeded
+// HTTP server (experiment E14). It fires /api/search — /api/docs in
+// the update-mix arm, /api/suggest in the keystroke-simulation
+// suggest arm — at a fixed target rate with seeded
 // Poisson or uniform arrivals, measures latency from each request's
 // *intended* send time (no coordinated omission), and reports per-arm
 // p50/p90/p99/p99.9 plus achieved-vs-target RPS, shed/error counts and
@@ -62,7 +63,7 @@ func run(args []string) error {
 	urlFlag := fs.String("url", "", "base URL(s) of running servers, comma-separated to round-robin across targets (mutually exclusive with -inproc)")
 	inproc := fs.Bool("inproc", false, "build a seeded corpus and serve it in-process on a loopback listener")
 	seed := fs.Int64("seed", 1, "workload seed: same seed, same spec => byte-identical request stream")
-	arms := fs.String("arms", "zipf,hotset,updates,overload", "comma-separated arm kinds to run, in order")
+	arms := fs.String("arms", "zipf,hotset,updates,suggest,overload", "comma-separated arm kinds to run, in order")
 	rps := fs.Float64("rps", 200, "base target arrival rate per arm")
 	overloadMult := fs.Float64("overload-mult", 20, "overload arm rate = -rps x this multiple")
 	duration := fs.Duration("duration", 10*time.Second, "length of each arm")
@@ -72,7 +73,7 @@ func run(args []string) error {
 	rotations := fs.Int("rotations", 1, "hotset arm: mid-run hot-set rotations")
 	updateFrac := fs.Float64("update-frac", 0.05, "updates arm: fraction of requests that mutate /api/docs")
 	algo := fs.String("algo", "dil", "search algorithm parameter")
-	topM := fs.Int("m", 10, "search top-m parameter")
+	topM := fs.Int("m", 10, "search top-m parameter (suggest arm: the k parameter)")
 	timeoutMS := fs.Int("timeout-ms", 0, "per-request timeout_ms query parameter (0 = none)")
 	maxOutstanding := fs.Int("max-outstanding", 1024, "client-side cap on in-flight requests (excess is counted dropped)")
 	warmup := fs.Int("warmup", 50, "untimed warmup requests before the first arm")

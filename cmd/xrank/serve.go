@@ -44,6 +44,7 @@ func cmdServe(args []string) error {
 	maxSegments := fs.Int("max-segments", 0, "compact when more than this many index segments accumulate (0 = engine config or 4; negative disables the compactor)")
 	compactInterval := fs.Int("compact-interval-ms", 0, "background compactor check interval in milliseconds (0 = engine config or 1000)")
 	compactBudget := fs.Int64("compact-budget-pages", 0, "max pages of write I/O one compaction may issue (0 = engine config or unmetered)")
+	suggestMaxK := fs.Int("suggest-max-k", 0, "max completions one /api/suggest request may ask for (0 = engine config or 50)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("serve: -dir is required")
@@ -71,6 +72,9 @@ func cmdServe(args []string) error {
 	}
 	e.ConfigureResultCache(bytes)
 	e.SetCoalesceQueries(*coalesce)
+	if *suggestMaxK != 0 {
+		e.SetSuggestMaxK(*suggestMaxK)
+	}
 	inflight := *maxInflight
 	if inflight == 0 {
 		inflight = cfg.MaxInflightQueries

@@ -69,6 +69,93 @@ func TestServeSearchAPI(t *testing.T) {
 	}
 }
 
+// TestServeSuggestAPI drives /api/suggest: completion, multi-keyword
+// normalization, the empty-prefix and no-match shapes, and parameter
+// validation.
+func TestServeSuggestAPI(t *testing.T) {
+	mux := newMux(newTestEngine(t), muxOptions{Metrics: true})
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=xq&k=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Query       string
+		Prefix      string
+		Terms       int
+		Suggestions []xrank.Suggestion
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query != "xq" || resp.Prefix != "xq" || resp.Terms == 0 || len(resp.Suggestions) == 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	for _, s := range resp.Suggestions {
+		if !strings.HasPrefix(s.Term, "xq") {
+			t.Errorf("completion %q does not extend the prefix", s.Term)
+		}
+	}
+	if st := rec.Header().Get("Server-Timing"); !strings.Contains(st, "queue;dur=") {
+		t.Errorf("Server-Timing = %q", st)
+	}
+
+	// Raw multi-keyword input: only the last token is completed, folded
+	// through the index tokenizer.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=ranked+XM", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"prefix":"xm"`) {
+		t.Fatalf("multi-keyword: %d %s", rec.Code, rec.Body)
+	}
+
+	// An empty q is valid: the top terms of the whole dictionary.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"term"`) {
+		t.Fatalf("empty prefix: %d %s", rec.Code, rec.Body)
+	}
+
+	// No match: 200 with an empty array, never null.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=zzzz", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"suggestions":[]`) {
+		t.Fatalf("no match: %d %s", rec.Code, rec.Body)
+	}
+
+	for _, bad := range []string{
+		"/api/suggest",          // missing q entirely
+		"/api/suggest?q=x&k=0",  // bad k
+		"/api/suggest?q=x&k=-1", // bad k
+		"/api/suggest?q=x&k=x",  // bad k
+	} {
+		rec = httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", bad, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// TestServeSuggestDisabled: an engine built with SuggestDisabled maps
+// ErrSuggestDisabled to 403, like the updates gate.
+func TestServeSuggestDisabled(t *testing.T) {
+	e := xrank.NewEngine(&xrank.Config{IndexDir: t.TempDir(), SuggestDisabled: true})
+	if err := e.AddXML("d", strings.NewReader("<doc><t>xml search</t></doc>")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	mux := newMux(e, muxOptions{})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=x", nil))
+	if rec.Code != 403 {
+		t.Fatalf("suggest disabled: status %d, want 403: %s", rec.Code, rec.Body)
+	}
+}
+
 func TestServeAncestorsAPI(t *testing.T) {
 	e := newTestEngine(t)
 	mux := newMux(e, muxOptions{Metrics: true})

@@ -84,7 +84,18 @@ func (e *Engine) CompactOnce(budgetPages int64) (CompactionStats, error) {
 	for i := range allIDs {
 		allIDs[i] = uint32(i)
 	}
-	newSeg := &engineSegment{id: segID, dir: segDirName, rankVer: e.rankVer, docs: allIDs, ix: six}
+	// The merged suggest dictionary covers the same whole collection
+	// (tombstones included — score-neutral, like the postings merge),
+	// rebuilt at the current rank version, written before the commit.
+	var sug *suggestTrie
+	if !e.cfg.SuggestDisabled {
+		sug = buildSegmentSuggest(e.col, e.ranks, allIDs)
+		if err := e.writeSegmentSuggest(segPath, sug); err != nil {
+			six.Close()
+			return cs, err
+		}
+	}
+	newSeg := &engineSegment{id: segID, dir: segDirName, rankVer: e.rankVer, docs: allIDs, ix: six, sug: sug}
 	sm := &segmentsManifest{
 		NextSeg:  segID + 1,
 		RankVer:  e.rankVer,
@@ -104,6 +115,7 @@ func (e *Engine) CompactOnce(budgetPages int64) (CompactionStats, error) {
 	e.ix = six
 	e.nextSeg = segID + 1
 	e.segmented = true
+	e.updateSuggestGauge()
 	e.snapMu.Unlock()
 
 	// Retirement: the write lock above drained every query that could
@@ -116,6 +128,10 @@ func (e *Engine) CompactOnce(budgetPages int64) (CompactionStats, error) {
 	for _, s := range old {
 		s.ix.RemoveFiles(fs)
 		s.ix.Close()
+		// The retired segment's suggest dictionary goes with its index
+		// files (the base segment's lives directly in IndexDir, which
+		// stays; only the now-unreferenced blob is removed).
+		fs.Remove(filepath.Join(s.path(dir), fileSuggest))
 		if s.dir != baseSegmentDir {
 			fs.Remove(filepath.Join(dir, s.dir))
 		}

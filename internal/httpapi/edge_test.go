@@ -101,6 +101,28 @@ func TestEdgeShed429(t *testing.T) {
 	checkGolden(t, "edge_shed_429.golden", envelope(rec))
 }
 
+// TestEdgeSuggestShed429: /api/suggest sits behind the same admission
+// gate as /api/search, so a saturated controller sheds completions
+// with the byte-identical envelope (same golden as the search shed).
+func TestEdgeSuggestShed429(t *testing.T) {
+	e := edgeEngine(t)
+	adm := cache.NewAdmission(1, -1)
+	if err := adm.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Release()
+	mux := NewMux(e, Options{Admission: adm})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/api/suggest?q=xq", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Header().Get("Server-Timing"), "queue;dur=") {
+		t.Errorf("shed response lost Server-Timing: %q", rec.Header().Get("Server-Timing"))
+	}
+	checkGolden(t, "edge_shed_429.golden", envelope(rec))
+}
+
 // TestEdgeExpired503 parks a request in the admission queue until its
 // deadline fires: 503, Retry-After, and the context error in the body.
 func TestEdgeExpired503(t *testing.T) {

@@ -1,14 +1,15 @@
 // Package httpapi builds the engine's HTTP surface: /api/search,
-// /api/docs, /api/ancestors, /api/shards, /api/segments, /api/slowlog,
-// /api/cache, a minimal HTML search page at /, and — per Options —
-// /metrics and /debug/pprof/. It is the one mux both `xrank serve` and
-// the in-process harnesses (tests, xrank-loadgen -inproc) mount, so a
-// load test exercises byte-for-byte the handler stack production runs.
+// /api/suggest, /api/docs, /api/ancestors, /api/shards, /api/segments,
+// /api/slowlog, /api/cache, a minimal HTML search page at /, and — per
+// Options — /metrics and /debug/pprof/. It is the one mux both `xrank
+// serve` and the in-process harnesses (tests, xrank-loadgen -inproc)
+// mount, so a load test exercises byte-for-byte the handler stack
+// production runs.
 //
-// Every /api/search response carries a Server-Timing header
-// (queue;dur=…, search;dur=… in milliseconds) so external clients can
-// split time-in-admission-queue from time-in-engine without scraping
-// /metrics per request.
+// Every /api/search and /api/suggest response carries a Server-Timing
+// header (queue;dur=…, search;dur=… in milliseconds) so external
+// clients can split time-in-admission-queue from time-in-engine
+// without scraping /metrics per request.
 package httpapi
 
 import (
@@ -77,6 +78,42 @@ func NewMux(e *xrank.Engine, opts Options) http.Handler {
 	admShed := e.Metrics().Counter("xrank_admission_shed_total", "Search requests shed with 429: limiter saturated and queue full.")
 	admExpired := e.Metrics().Counter("xrank_admission_expired_total", "Search requests whose deadline expired while queued (503).")
 	admWaiting := e.Metrics().Gauge("xrank_admission_queued", "Search requests currently waiting for an execution slot.")
+	// acquire runs the admission gate shared by /api/search and
+	// /api/suggest: on success it returns the queue wait and a release
+	// to defer; on shed/expiry it writes the 429/503 JSON envelope
+	// itself and reports !ok. Callers validate parameters first so a
+	// malformed request never costs a slot.
+	acquire := func(ctx context.Context, w http.ResponseWriter) (queued time.Duration, release func(), ok bool) {
+		adm := opts.Admission
+		if adm == nil {
+			return 0, func() {}, true
+		}
+		admWaiting.Add(1)
+		t0 := time.Now()
+		err := adm.Acquire(ctx)
+		queued = time.Since(t0)
+		admWaiting.Add(-1)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, cache.ErrQueueFull) {
+				status = http.StatusTooManyRequests
+				admShed.Inc()
+			} else {
+				admExpired.Inc()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Server-Timing", serverTiming(queued, 0))
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]interface{}{
+				"error":               err.Error(),
+				"retry_after_seconds": 1,
+			})
+			return queued, nil, false
+		}
+		admAdmitted.Inc()
+		return queued, adm.Release, true
+	}
 	mux.HandleFunc("/api/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		if q == "" {
@@ -124,37 +161,13 @@ func NewMux(e *xrank.Engine, opts Options) http.Handler {
 			}
 			budget = v
 		}
-		// Admission gate: parameters are validated above (rejecting a
-		// malformed request never costs a slot), and ctx already carries
-		// the request's deadline so time queued counts against it.
-		var queued time.Duration
-		if adm := opts.Admission; adm != nil {
-			admWaiting.Add(1)
-			t0 := time.Now()
-			err := adm.Acquire(ctx)
-			queued = time.Since(t0)
-			admWaiting.Add(-1)
-			if err != nil {
-				status := http.StatusServiceUnavailable
-				if errors.Is(err, cache.ErrQueueFull) {
-					status = http.StatusTooManyRequests
-					admShed.Inc()
-				} else {
-					admExpired.Inc()
-				}
-				w.Header().Set("Content-Type", "application/json")
-				w.Header().Set("Retry-After", "1")
-				w.Header().Set("Server-Timing", serverTiming(queued, 0))
-				w.WriteHeader(status)
-				json.NewEncoder(w).Encode(map[string]interface{}{
-					"error":               err.Error(),
-					"retry_after_seconds": 1,
-				})
-				return
-			}
-			admAdmitted.Inc()
-			defer adm.Release()
+		// Admission gate: ctx already carries the request's deadline so
+		// time queued counts against it.
+		queued, release, ok := acquire(ctx, w)
+		if !ok {
+			return
 		}
+		defer release()
 		t0 := time.Now()
 		results, stats, err := e.SearchContext(ctx, q, xrank.SearchOptions{
 			TopM: m, Algorithm: algo, MaxPageReads: budget,
@@ -183,6 +196,55 @@ func NewMux(e *xrank.Engine, opts Options) http.Handler {
 			resp["failed_shards"] = stats.FailedShards
 		}
 		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/api/suggest", func(w http.ResponseWriter, r *http.Request) {
+		// An empty q is a valid query (the top terms of the whole
+		// dictionary), so only a missing parameter is rejected.
+		if !r.URL.Query().Has("q") {
+			http.Error(w, `missing "q" parameter`, http.StatusBadRequest)
+			return
+		}
+		q := r.URL.Query().Get("q")
+		k := 0 // engine default (DefaultSuggestK)
+		if ks := r.URL.Query().Get("k"); ks != "" {
+			v, err := strconv.Atoi(ks)
+			if err != nil || v < 1 || v > 1000 {
+				http.Error(w, `bad "k" parameter`, http.StatusBadRequest)
+				return
+			}
+			k = v
+		}
+		// Completions share the search admission gate: a saturated
+		// engine sheds keystrokes before queries only in the sense that
+		// both wait in the same queue under the same limit.
+		queued, release, ok := acquire(r.Context(), w)
+		if !ok {
+			return
+		}
+		defer release()
+		t0 := time.Now()
+		sugs, st, err := e.Suggest(q, k)
+		w.Header().Set("Server-Timing", serverTiming(queued, time.Since(t0)))
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, xrank.ErrSuggestDisabled) {
+				status = http.StatusForbidden
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		if sugs == nil {
+			sugs = []xrank.Suggestion{} // JSON [] rather than null
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"query":         q,
+			"prefix":        st.Prefix,
+			"terms":         st.Terms,
+			"nodes_visited": st.NodesVisited,
+			"wall_us":       st.WallTime.Microseconds(),
+			"suggestions":   sugs,
+		})
 	})
 	mux.HandleFunc("/api/docs", func(w http.ResponseWriter, r *http.Request) {
 		if !opts.Updates {

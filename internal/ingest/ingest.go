@@ -1,0 +1,225 @@
+// Package ingest streams Wikipedia-abstract XML dumps into the engine.
+//
+// The dump format (enwiki-abstract*.xml) is a flat feed:
+//
+//	<feed>
+//	  <doc>
+//	    <title>Wikipedia: Anarchism</title>
+//	    <url>https://en.wikipedia.org/wiki/Anarchism</url>
+//	    <abstract>Anarchism is a political philosophy ...</abstract>
+//	    <links>...</links>
+//	  </doc>
+//	  ...
+//	</feed>
+//
+// Parser walks it with an encoding/xml token loop — one <doc> resident
+// at a time, unknown elements skipped wholesale — so memory stays
+// bounded no matter how large the dump is. After each document the
+// parser exposes the byte offset just past its </doc>; a Checkpoint
+// records that offset after every committed batch, and ResumeParser
+// restarts a seekable stream there (a synthetic <feed> root keeps the
+// decoder's view well-formed). Non-seekable streams (gzip) resume by
+// re-reading and discarding the first Checkpoint.Docs documents.
+package ingest
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xrank/internal/storage"
+)
+
+// maxFieldBytes caps one title/url/abstract field. Real abstracts are a
+// few hundred bytes; the cap keeps a malformed dump from buffering
+// without bound. Excess text is truncated, not an error.
+const maxFieldBytes = 1 << 20
+
+// Abstract is one document of the dump.
+type Abstract struct {
+	Title    string
+	URL      string
+	Abstract string
+}
+
+// DocXML renders the abstract as the XML document fed to the engine:
+// a three-element tree, so title terms and body terms get distinct
+// ElemRanks and the suggest dictionary sees real structure.
+func (a *Abstract) DocXML() []byte {
+	var b bytes.Buffer
+	b.WriteString("<abstract>")
+	writeElem(&b, "title", a.Title)
+	writeElem(&b, "url", a.URL)
+	writeElem(&b, "text", a.Abstract)
+	b.WriteString("</abstract>")
+	return b.Bytes()
+}
+
+func writeElem(b *bytes.Buffer, tag, text string) {
+	fmt.Fprintf(b, "<%s>", tag)
+	xml.EscapeText(b, []byte(text))
+	fmt.Fprintf(b, "</%s>", tag)
+}
+
+// DocName returns the deterministic engine name of the i-th document of
+// a dump (0-based): resuming a checkpointed ingest reproduces exactly
+// the names a one-shot run would have used.
+func DocName(i int64) string { return fmt.Sprintf("wiki-%08d.xml", i) }
+
+// Parser streams one dump.
+type Parser struct {
+	d    *xml.Decoder
+	base int64 // offset of the reader's first byte within the original stream
+}
+
+// NewParser reads a dump from its start.
+func NewParser(r io.Reader) *Parser { return &Parser{d: xml.NewDecoder(r)} }
+
+// resumeRoot is the synthetic root prepended when resuming mid-feed.
+const resumeRoot = "<feed>"
+
+// ResumeParser reads a dump whose reader is positioned at offset — a
+// value InputOffset returned after a committed document. The synthetic
+// <feed> root keeps the decoder's view well-formed; base arithmetic
+// keeps InputOffset reporting true stream offsets.
+func ResumeParser(r io.Reader, offset int64) *Parser {
+	return &Parser{
+		d:    xml.NewDecoder(io.MultiReader(strings.NewReader(resumeRoot), r)),
+		base: offset - int64(len(resumeRoot)),
+	}
+}
+
+// InputOffset returns the stream offset the decoder has consumed up to.
+// Read after Next returns a document, it is just past that </doc> —
+// the value to checkpoint and later hand to ResumeParser.
+func (p *Parser) InputOffset() int64 { return p.base + p.d.InputOffset() }
+
+// Next returns the next document, or io.EOF at the end of the feed.
+func (p *Parser) Next() (*Abstract, error) {
+	for {
+		tok, err := p.d.Token()
+		if err != nil {
+			return nil, err // io.EOF at end of input
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch se.Name.Local {
+		case "feed":
+			// Descend into the root.
+		case "doc":
+			return p.parseDoc()
+		default:
+			if err := p.d.Skip(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseDoc consumes one <doc> subtree (the start tag already read).
+func (p *Parser) parseDoc() (*Abstract, error) {
+	var a Abstract
+	for {
+		tok, err := p.d.Token()
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "title":
+				a.Title, err = p.text()
+			case "url":
+				a.URL, err = p.text()
+			case "abstract":
+				a.Abstract, err = p.text()
+			default:
+				err = p.d.Skip() // <links> etc: skipped, never buffered
+			}
+			if err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			// Dump titles carry a "Wikipedia: " sitename prefix.
+			a.Title = strings.TrimPrefix(a.Title, "Wikipedia: ")
+			return &a, nil
+		}
+	}
+}
+
+// text collects the character data of the element whose start tag was
+// just read, through its end tag, capped at maxFieldBytes.
+func (p *Parser) text() (string, error) {
+	var sb strings.Builder
+	depth := 1
+	for depth > 0 {
+		tok, err := p.d.Token()
+		if err != nil {
+			if err == io.EOF {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			if n := maxFieldBytes - sb.Len(); n > 0 {
+				if len(t) > n {
+					t = t[:n]
+				}
+				sb.Write(t)
+			}
+		case xml.StartElement:
+			depth++
+		case xml.EndElement:
+			depth--
+		}
+	}
+	return strings.TrimSpace(sb.String()), nil
+}
+
+// Checkpoint records durable ingest progress: everything before it is
+// committed in the target (an engine segment or an acknowledged HTTP
+// upload), so a killed ingest restarts exactly after the last committed
+// batch. Written through the checksummed-manifest protocol — a torn
+// checkpoint is detected at load, not silently resumed from.
+type Checkpoint struct {
+	// Source is the dump the checkpoint belongs to (base name); a resume
+	// against a different dump is refused.
+	Source string `json:"source"`
+	// SourceSize guards against the dump changing underneath a resume
+	// (0 when the size is unknown, e.g. a pipe).
+	SourceSize int64 `json:"source_size"`
+	// Docs counts committed documents; the next document is DocName(Docs).
+	Docs int64 `json:"docs"`
+	// Offset is the stream offset just past the last committed </doc>
+	// (uncompressed bytes; the ResumeParser target).
+	Offset int64 `json:"offset"`
+	// Batches counts committed batches.
+	Batches int64 `json:"batches"`
+}
+
+// SaveCheckpoint durably writes cp.
+func SaveCheckpoint(fs storage.FS, path string, cp *Checkpoint) error {
+	return storage.WriteManifestAtomic(fs, path, cp)
+}
+
+// LoadCheckpoint reads a checkpoint; a missing file returns (nil, nil)
+// — a fresh ingest — while a corrupt one is an error.
+func LoadCheckpoint(fs storage.FS, path string) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := storage.ReadManifest(fs, path, &cp); err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return &cp, nil
+}

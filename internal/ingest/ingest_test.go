@@ -1,0 +1,170 @@
+package ingest
+
+import (
+	"encoding/xml"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+func unmarshalXML(s string, v interface{}) error { return xml.Unmarshal([]byte(s), v) }
+
+// readAll drains a parser, recording each document and the offset
+// checkpointed after it.
+func readAll(t *testing.T, p *Parser) (docs []Abstract, offsets []int64) {
+	t.Helper()
+	for {
+		a, err := p.Next()
+		if err == io.EOF {
+			return docs, offsets
+		}
+		if err != nil {
+			t.Fatalf("Next after %d docs: %v", len(docs), err)
+		}
+		docs = append(docs, *a)
+		offsets = append(offsets, p.InputOffset())
+	}
+}
+
+func TestParseFixture(t *testing.T) {
+	f, err := os.Open("testdata/abstracts.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	docs, _ := readAll(t, NewParser(f))
+	if len(docs) != 40 {
+		t.Fatalf("parsed %d docs, want 40", len(docs))
+	}
+	first := docs[0]
+	if first.Title != "Anarchism" {
+		t.Errorf("sitename prefix not stripped: %q", first.Title)
+	}
+	if !strings.Contains(first.URL, "wikipedia.org/wiki/Anarchism") {
+		t.Errorf("url = %q", first.URL)
+	}
+	if !strings.Contains(first.Abstract, "political philosophy") {
+		t.Errorf("abstract = %q", first.Abstract)
+	}
+	for _, d := range docs {
+		// <links> subtrees are skipped, never folded into fields.
+		if strings.Contains(d.Abstract, "See also") || strings.Contains(d.Abstract, "sublink") {
+			t.Fatalf("links content leaked into abstract: %q", d.Abstract)
+		}
+	}
+}
+
+// TestResumeAtEveryOffset restarts the parse at the offset checkpointed
+// after each document and demands the tail match the straight-through
+// parse exactly — the property a crash-resumed ingest relies on.
+func TestResumeAtEveryOffset(t *testing.T) {
+	raw, err := os.ReadFile("testdata/abstracts.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, offsets := readAll(t, NewParser(strings.NewReader(string(raw))))
+	for i, off := range offsets {
+		p := ResumeParser(strings.NewReader(string(raw[off:])), off)
+		tail, tailOffs := readAll(t, p)
+		want, wantOffs := docs[i+1:], offsets[i+1:]
+		if len(tail) != len(want) {
+			t.Fatalf("resume after doc %d: %d docs, want %d", i, len(tail), len(want))
+		}
+		for j := range tail {
+			if tail[j] != want[j] {
+				t.Fatalf("resume after doc %d: doc %d diverged: %+v vs %+v", i, j, tail[j], want[j])
+			}
+			// Offsets keep reporting true stream positions across the resume.
+			if tailOffs[j] != wantOffs[j] {
+				t.Fatalf("resume after doc %d: offset %d diverged: %d vs %d", i, j, tailOffs[j], wantOffs[j])
+			}
+		}
+	}
+}
+
+func TestParserBoundedFields(t *testing.T) {
+	big := strings.Repeat("x", maxFieldBytes+4096)
+	feed := "<feed><doc><title>t</title><abstract>" + big + "</abstract></doc></feed>"
+	docs, _ := readAll(t, NewParser(strings.NewReader(feed)))
+	if len(docs) != 1 {
+		t.Fatalf("parsed %d docs", len(docs))
+	}
+	if len(docs[0].Abstract) != maxFieldBytes {
+		t.Fatalf("oversized field kept %d bytes, cap is %d", len(docs[0].Abstract), maxFieldBytes)
+	}
+}
+
+func TestParserTruncatedDump(t *testing.T) {
+	for _, cut := range []string{
+		"<feed><doc><title>t</title>",
+		"<feed><doc><abstract>half",
+	} {
+		if _, err := NewParser(strings.NewReader(cut)).Next(); err == nil {
+			t.Errorf("truncated dump %q parsed cleanly", cut)
+		}
+	}
+}
+
+func TestDocXML(t *testing.T) {
+	a := Abstract{Title: "A & B", URL: "https://e/x?a=1&b=2", Abstract: "uses <tags> & \"quotes\""}
+	x := string(a.DocXML())
+	if strings.Contains(x, "&b=2\"") || strings.Contains(x, "<tags>") {
+		t.Fatalf("unescaped markup in %q", x)
+	}
+	// The rendered document must round-trip through an XML parser.
+	var back struct {
+		Title string `xml:"title"`
+		URL   string `xml:"url"`
+		Text  string `xml:"text"`
+	}
+	if err := unmarshalXML(x, &back); err != nil {
+		t.Fatalf("DocXML output unparseable: %v\n%s", err, x)
+	}
+	if back.Title != a.Title || back.URL != a.URL || back.Text != a.Abstract {
+		t.Fatalf("round trip changed content: %+v", back)
+	}
+}
+
+func TestDocName(t *testing.T) {
+	if got := DocName(0); got != "wiki-00000000.xml" {
+		t.Errorf("DocName(0) = %q", got)
+	}
+	if got := DocName(123456); got != "wiki-00123456.xml" {
+		t.Errorf("DocName(123456) = %q", got)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	fs := storage.DefaultFS(nil)
+	path := t.TempDir() + "/ingest.checkpoint"
+	if cp, err := LoadCheckpoint(fs, path); err != nil || cp != nil {
+		t.Fatalf("missing checkpoint: %v, %v (want nil, nil)", cp, err)
+	}
+	want := &Checkpoint{Source: "abstracts.xml", SourceSize: 14644, Docs: 21, Offset: 7337, Batches: 3}
+	if err := SaveCheckpoint(fs, path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: %+v != %+v", got, want)
+	}
+	// A torn checkpoint is corruption, not a silent fresh start.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(fs, path); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("torn checkpoint: %v, want ErrCorrupt", err)
+	}
+}

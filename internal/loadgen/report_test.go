@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -77,6 +78,17 @@ func goldenReport() *Report {
 						Expired503: 200, Timeout504: 50, Failed: 2, P50Micros: 790, P99Micros: 9600},
 				},
 			},
+			{
+				// The keystroke-simulation arm: /api/suggest reads fill the
+				// same latency columns the search arms use.
+				Arm: "suggest", Kind: KindSuggest, Arrival: ArrivalPoisson, Algo: "dil",
+				TopM: 8, Seed: 42, ZipfS: 1.1, Vocab: 256,
+				TargetRPS: 800, AchievedRPS: 798.4, DurationSecs: 10,
+				Sent: 7984, OK: 7980, Failed: 4,
+				P50Micros: 120, P90Micros: 300, P99Micros: 900, P999Micros: 2100,
+				MeanMicros: 160, MaxMicros: 2600,
+				ServerQueueMeanMicros: 8, ServerSearchMeanMicros: 95,
+			},
 		},
 	}
 }
@@ -127,7 +139,7 @@ func TestReportGoldenJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Arms) != 2 || r.Arms[1].P99Micros != 9500 || r.Seed != 42 {
+	if len(r.Arms) != 3 || r.Arms[1].P99Micros != 9500 || r.Seed != 42 {
 		t.Errorf("ReadReport round-trip lost data: %+v", r)
 	}
 }
@@ -178,7 +190,9 @@ func TestCompareReports(t *testing.T) {
 		t.Error("empty baseline accepted")
 	}
 	renamed := goldenReport()
-	renamed.Arms[0].Arm, renamed.Arms[1].Arm = "x", "y"
+	for i := range renamed.Arms {
+		renamed.Arms[i].Arm = fmt.Sprintf("x%d", i)
+	}
 	if _, err := CompareReports(base, renamed, 0); err == nil {
 		t.Error("no common arms accepted")
 	}

@@ -172,10 +172,10 @@ func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (
 		base, acc := bases[ti], accs[ti]
 		res.Counts.Sent++
 		acc.sent++
-		if req.Op == OpSearch {
-			res.Searches++
-		} else {
+		if req.Op.mutates() {
 			res.Updates++
+		} else {
+			res.Searches++
 		}
 		wg.Add(1)
 		go func() {
@@ -188,13 +188,15 @@ func RunArm(ctx context.Context, baseURL string, w *Workload, opts RunOptions) (
 				acc.failed.Add(1)
 			case status >= 200 && status < 300:
 				acc.ok.Add(1)
-				if req.Op == OpSearch {
+				// Reads (search and suggest) fill the arm's latency
+				// percentiles; mutations fill the update buckets.
+				if !req.Op.mutates() {
 					acc.mu.Lock()
 					acc.searchMicros = append(acc.searchMicros, lat.Microseconds())
 					acc.mu.Unlock()
 				}
 				mu.Lock()
-				if req.Op == OpSearch {
+				if !req.Op.mutates() {
 					if q, s, ok := parseServerTiming(hdr); ok {
 						res.ServerQueueMicros += q
 						res.ServerSearchMicros += s
@@ -256,6 +258,14 @@ func issue(client *http.Client, base *url.URL, spec *ArmSpec, r *Request) (int, 
 		}
 		u := *base
 		u.Path = "/api/search"
+		u.RawQuery = q.Encode()
+		req, err = http.NewRequest(http.MethodGet, u.String(), nil)
+	case OpSuggest:
+		q := url.Values{}
+		q.Set("q", r.Query)
+		q.Set("k", strconv.Itoa(r.TopM))
+		u := *base
+		u.Path = "/api/suggest"
 		u.RawQuery = q.Encode()
 		req, err = http.NewRequest(http.MethodGet, u.String(), nil)
 	case OpAdd:

@@ -1,6 +1,7 @@
 // Package loadgen is an open-loop load harness for a running xrank HTTP
-// server: it fires /api/search (and, in the update-mix arm, /api/docs)
-// requests on a fixed-RPS arrival schedule and reports tail latency the
+// server: it fires /api/search (plus /api/suggest in the suggest arm
+// and /api/docs in the update-mix arm) requests on a fixed-RPS arrival
+// schedule and reports tail latency the
 // way a population of independent clients would see it.
 //
 // Open-loop means the arrival schedule never waits for responses: each
@@ -28,6 +29,10 @@
 //     quadratic combination space, so almost every request misses the
 //     result cache and runs a real merge) at a multiple of the base
 //     rate — the admission-control shedding demonstration.
+//   - suggest: a keystroke simulation against /api/suggest — each
+//     arrival types one more character of a Zipf-sampled pool term,
+//     starting the next term when the current one completes, the way
+//     an interactive search box drives the autosuggest path.
 package loadgen
 
 import (
@@ -45,6 +50,7 @@ const (
 	OpSearch Op = iota
 	OpAdd
 	OpDelete
+	OpSuggest
 )
 
 func (o Op) String() string {
@@ -55,9 +61,15 @@ func (o Op) String() string {
 		return "A"
 	case OpDelete:
 		return "D"
+	case OpSuggest:
+		return "G"
 	}
 	return "?"
 }
+
+// mutates reports whether the op goes through /api/docs (the update
+// path) rather than a read endpoint.
+func (o Op) mutates() bool { return o == OpAdd || o == OpDelete }
 
 // Request is one scheduled request: an intended send offset from arm
 // start plus the operation payload.
@@ -76,6 +88,7 @@ const (
 	KindHotset   = "hotset"
 	KindUpdates  = "updates"
 	KindOverload = "overload"
+	KindSuggest  = "suggest"
 )
 
 // Arrival processes.
@@ -98,7 +111,7 @@ type ArmSpec struct {
 	HotRotations int     // hotset: mid-run rotations of the popular head (default 1)
 	UpdateFrac   float64 // updates: fraction of requests that mutate (default 0.05)
 	Algo         string  // search algo parameter (default dil)
-	TopM         int     // search m parameter (default 10)
+	TopM         int     // search m parameter; suggest arm: the k parameter (default 10)
 	TimeoutMS    int     // per-request timeout_ms parameter (0: none)
 }
 
@@ -155,7 +168,7 @@ func Generate(spec ArmSpec, seed int64) (*Workload, error) {
 		return nil, fmt.Errorf("loadgen: arm %s: Duration must be > 0", spec.Name)
 	}
 	switch spec.Kind {
-	case KindZipf, KindHotset, KindUpdates, KindOverload:
+	case KindZipf, KindHotset, KindUpdates, KindOverload, KindSuggest:
 	default:
 		return nil, fmt.Errorf("loadgen: unknown arm kind %q", spec.Kind)
 	}
@@ -184,6 +197,8 @@ func Generate(spec ArmSpec, seed int64) (*Workload, error) {
 	var at time.Duration
 	var docSeq int
 	var live []string // added-then-not-yet-deleted document names, in add order
+	var typing string // suggest: the pool term currently being typed
+	var typed int     // suggest: keystrokes of it sent so far
 	for {
 		// Next intended send time.
 		switch spec.Arrival {
@@ -221,6 +236,19 @@ func Generate(spec ArmSpec, seed int64) (*Workload, error) {
 			// quadratic in Vocab, so the result cache absorbs almost
 			// nothing and every request costs a real merge.
 			req.Query = fmt.Sprintf("w%d w%d", zipf.Uint64(), zipf.Uint64())
+		case KindSuggest:
+			// One keystroke per arrival: progressive prefixes of a
+			// Zipf-sampled pool term, a fresh term once it completes.
+			// The first keystroke of "w17" asks for "w", then "w1",
+			// then "w17" — exactly the request stream a search box
+			// emits, and a progressively narrowing trie descent.
+			if typed >= len(typing) {
+				typing = fmt.Sprintf("w%d", zipf.Uint64())
+				typed = 0
+			}
+			typed++
+			req.Op = OpSuggest
+			req.Query = typing[:typed]
 		case KindHotset:
 			phase := int(at / phaseLen)
 			if phase >= phases {
@@ -286,6 +314,8 @@ func (w *Workload) Dump(out io.Writer) error {
 		switch r.Op {
 		case OpSearch:
 			payload = fmt.Sprintf("m=%d %s", r.TopM, r.Query)
+		case OpSuggest:
+			payload = fmt.Sprintf("k=%d %s", r.TopM, r.Query)
 		case OpAdd:
 			payload = fmt.Sprintf("%s %s", r.Name, r.Body)
 		case OpDelete:

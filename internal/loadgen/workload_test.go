@@ -20,7 +20,7 @@ func dumpString(t *testing.T, w *Workload) string {
 // pair must materialize a byte-identical workload for every arm kind,
 // and a different seed must not.
 func TestGenerateDeterministic(t *testing.T) {
-	for _, kind := range []string{KindZipf, KindHotset, KindUpdates, KindOverload} {
+	for _, kind := range []string{KindZipf, KindHotset, KindUpdates, KindOverload, KindSuggest} {
 		for _, arrival := range []string{ArrivalPoisson, ArrivalUniform} {
 			spec := ArmSpec{Kind: kind, Arrival: arrival, RPS: 200, Duration: 2 * time.Second, HotRotations: 3}
 			a, err := Generate(spec, 42)
@@ -126,6 +126,44 @@ func TestGenerateUpdatesLive(t *testing.T) {
 	}
 	if adds == 0 || dels == 0 || searches == 0 {
 		t.Fatalf("update mix missing an op kind: adds=%d dels=%d searches=%d", adds, dels, searches)
+	}
+}
+
+// TestGenerateSuggestKeystrokes checks the keystroke simulation's
+// shape: every request is a suggest op, and each query is either one
+// more character of the previous prefix or the single first character
+// of a fresh pool term (a completed term looks like w<digits>).
+func TestGenerateSuggestKeystrokes(t *testing.T) {
+	w, err := Generate(ArmSpec{Kind: KindSuggest, RPS: 500, Duration: 2 * time.Second, Vocab: 64}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ""
+	restarts := 0
+	for i, r := range w.Reqs {
+		if r.Op != OpSuggest {
+			t.Fatalf("req %d: op %v, want suggest", i, r.Op)
+		}
+		if r.TopM <= 0 {
+			t.Fatalf("req %d: k = %d", i, r.TopM)
+		}
+		switch {
+		case len(r.Query) == len(prev)+1 && strings.HasPrefix(r.Query, prev):
+			// Next keystroke of the current term.
+		case r.Query == "w":
+			// First keystroke of a fresh term; the term just finished
+			// must be a complete pool term.
+			restarts++
+			if prev != "" && !strings.HasPrefix(prev, "w") {
+				t.Fatalf("req %d: term %q completed without pool shape", i, prev)
+			}
+		default:
+			t.Fatalf("req %d: query %q is neither a keystroke of %q nor a fresh start", i, r.Query, prev)
+		}
+		prev = r.Query
+	}
+	if restarts < 10 {
+		t.Fatalf("only %d terms typed across %d keystrokes", restarts, len(w.Reqs))
 	}
 }
 

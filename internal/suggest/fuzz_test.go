@@ -1,0 +1,81 @@
+package suggest
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+// FuzzSuggestPrefix feeds arbitrary byte prefixes — including torn
+// UTF-8 sequences — through both search paths and demands exact
+// agreement and no panics. The dictionary mixes ASCII, multi-byte UTF-8
+// and shared prefixes so mid-label and child-boundary descents are both
+// exercised.
+func FuzzSuggestPrefix(f *testing.F) {
+	a := NewBuilder()
+	for term, w := range map[string]float64{
+		"data": 5, "database": 9, "databases": 2, "datum": 4,
+		"naïve": 3, "naïveté": 6, "日本": 8, "日本語": 1, "d": 0.5,
+	} {
+		a.Add(term, w)
+	}
+	b := NewBuilder()
+	for term, w := range map[string]float64{
+		"data": 1, "date": 7, "naïve": 2, "日": 4, "xql": 3,
+	} {
+		b.Add(term, w)
+	}
+	tries := []*Trie{a.Build(), b.Build()}
+
+	f.Add("da")
+	f.Add("naï")
+	f.Add("日")
+	f.Add(string([]byte{0xc3}))       // first byte of a split UTF-8 pair
+	f.Add(string([]byte{0xff, 0xfe})) // invalid UTF-8
+	f.Add("")
+	f.Fuzz(func(t *testing.T, prefix string) {
+		for _, k := range []int{1, 3, 100} {
+			got, _ := TopK(tries, prefix, k)
+			want := ScanTopK(tries, prefix, k)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("prefix %q k %d: TopK=%v Scan=%v", prefix, k, got, want)
+			}
+		}
+	})
+}
+
+// FuzzSuggestUnmarshal feeds arbitrary payloads to the trie parser: it
+// must either reject them with an ErrCorrupt-wrapping error or produce
+// a trie whose invariants hold — and must never panic.
+func FuzzSuggestUnmarshal(f *testing.F) {
+	b := NewBuilder()
+	b.Add("data", 5)
+	b.Add("database", 9)
+	b.Add("dog", 2)
+	f.Add(b.Build().Marshal())
+	f.Add(NewBuilder().Build().Marshal())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tr, err := Unmarshal(payload)
+		if err != nil {
+			if !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("error does not wrap ErrCorrupt: %v", err)
+			}
+			return
+		}
+		// Accepted payloads must behave: enumeration agrees with the
+		// recorded term count and the two search paths agree.
+		all, _ := TopK([]*Trie{tr}, "", tr.Terms()+1)
+		if len(all) != tr.Terms() {
+			t.Fatalf("TopK enumerated %d terms, header says %d", len(all), tr.Terms())
+		}
+		if want := ScanTopK([]*Trie{tr}, "", tr.Terms()+1); !reflect.DeepEqual(all, want) {
+			t.Fatalf("TopK=%v Scan=%v", all, want)
+		}
+	})
+}

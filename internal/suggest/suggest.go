@@ -1,0 +1,618 @@
+// Package suggest implements weighted top-k prefix autosuggestion over
+// the corpus term dictionary: a compact radix trie in which every node
+// carries the maximum completion score of its subtree, so top-k
+// completion can prune exactly — the same block-max idea the block
+// postings format uses for inverted lists, applied to the lexicon.
+//
+// One trie is built per index segment, scored by ElemRank-weighted term
+// frequency (each occurrence of a term contributes its containing
+// element's ElemRank), serialized through the engine's checksummed-blob
+// protocol, and merged at query time: TopK runs a synchronized
+// best-first search across any number of tries, summing per-trie scores
+// so the result is exactly what a single trie over the union dictionary
+// would return. ScanTopK is the brute-force reference the differential
+// harness compares against.
+package suggest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"xrank/internal/storage"
+)
+
+// node is one radix-trie node. label holds the bytes consumed by moving
+// from the parent to this node (at least one byte except at the root);
+// children are ordered by strictly increasing first label byte. max is
+// the maximum score over the node's whole subtree including itself, the
+// summary that makes best-first completion prune exactly.
+type node struct {
+	label    []byte
+	children []*node
+	score    float64 // meaningful only when terminal
+	max      float64
+	terminal bool
+}
+
+// Trie is an immutable weighted term dictionary supporting exact top-k
+// prefix completion. Build one with a Builder or Unmarshal.
+type Trie struct {
+	root  *node
+	terms int
+	nodes int
+}
+
+// Terms returns the number of distinct terms in the dictionary.
+func (t *Trie) Terms() int {
+	if t == nil {
+		return 0
+	}
+	return t.terms
+}
+
+// Nodes returns the number of radix nodes (excluding the root).
+func (t *Trie) Nodes() int {
+	if t == nil {
+		return 0
+	}
+	return t.nodes
+}
+
+// ApproxBytes estimates the in-memory footprint of the trie.
+func (t *Trie) ApproxBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	var b int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		// struct + label bytes + child-pointer slots.
+		b += 56 + int64(len(n.label)) + 8*int64(len(n.children))
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return b
+}
+
+// Builder accumulates term weights before freezing them into a Trie.
+// Adding the same term repeatedly sums the weights.
+type Builder struct {
+	w map[string]float64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{w: make(map[string]float64)} }
+
+// Add accumulates weight for term. Empty terms and non-finite or
+// negative weights are ignored (scores are sums of ElemRanks, which are
+// finite and non-negative by construction).
+func (b *Builder) Add(term string, weight float64) {
+	if term == "" || math.IsNaN(weight) || math.IsInf(weight, 0) || weight < 0 {
+		return
+	}
+	b.w[term] += weight
+}
+
+// Len returns the number of distinct terms accumulated so far.
+func (b *Builder) Len() int { return len(b.w) }
+
+// Build freezes the accumulated weights into a Trie. The construction
+// is deterministic: terms are sorted and the radix structure is fully
+// determined by the sorted term set.
+func (b *Builder) Build() *Trie {
+	terms := make([]string, 0, len(b.w))
+	for t := range b.w {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	t := &Trie{root: &node{}, terms: len(terms)}
+	t.root.children = buildNodes(t, terms, b.w, 0)
+	t.root.max = childMax(t.root)
+	return t
+}
+
+// buildNodes builds the radix children for the group of sorted terms
+// that all share a common prefix of length depth.
+func buildNodes(t *Trie, terms []string, w map[string]float64, depth int) []*node {
+	var out []*node
+	for i := 0; i < len(terms); {
+		b := terms[i][depth]
+		j := i + 1
+		for j < len(terms) && terms[j][depth] == b {
+			j++
+		}
+		group := terms[i:j]
+		// Longest common prefix of the group starting at depth.
+		lcp := len(group[0]) - depth
+		for _, s := range group[1:] {
+			l := 0
+			for l < lcp && depth+l < len(s) && s[depth+l] == group[0][depth+l] {
+				l++
+			}
+			lcp = l
+		}
+		n := &node{label: []byte(group[0][depth : depth+lcp])}
+		end := depth + lcp
+		rest := group
+		if len(group[0]) == end {
+			n.terminal = true
+			n.score = w[group[0]]
+			rest = group[1:]
+		}
+		n.children = buildNodes(t, rest, w, end)
+		n.max = childMax(n)
+		if n.terminal && n.score > n.max {
+			n.max = n.score
+		}
+		t.nodes++
+		out = append(out, n)
+		i = j
+	}
+	return out
+}
+
+func childMax(n *node) float64 {
+	m := 0.0
+	if n.terminal {
+		m = n.score
+	}
+	for _, c := range n.children {
+		if c.max > m {
+			m = c.max
+		}
+	}
+	return m
+}
+
+// Serialization. The payload (framed by storage.WriteBlobAtomic's
+// magic/version/CRC envelope, so bit flips are caught before parsing) is
+//
+//	uvarint termCount
+//	preorder nodes, each:
+//	  uvarint labelLen | label | flags(1) | [score f64 LE if terminal]
+//	  max f64 LE | uvarint childCount
+//
+// with the root serialized first (labelLen 0). Unmarshal validates the
+// full set of structural invariants — label non-empty below the root,
+// children strictly ordered by first byte, radix compaction (a
+// non-terminal non-root node has >= 2 children), max equal to the
+// recomputed subtree maximum, term count matching — so a manipulated
+// payload that passes the CRC still cannot produce a trie that violates
+// the pruning argument.
+
+const flagTerminal = 1
+
+// Marshal serializes the trie payload.
+func (t *Trie) Marshal() []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(t.terms))
+	var enc func(n *node)
+	enc = func(n *node) {
+		buf = binary.AppendUvarint(buf, uint64(len(n.label)))
+		buf = append(buf, n.label...)
+		var flags byte
+		if n.terminal {
+			flags |= flagTerminal
+		}
+		buf = append(buf, flags)
+		if n.terminal {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.score))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.max))
+		buf = binary.AppendUvarint(buf, uint64(len(n.children)))
+		for _, c := range n.children {
+			enc(c)
+		}
+	}
+	enc(t.root)
+	return buf
+}
+
+// corrupt wraps a parse failure in storage.ErrCorrupt so callers treat a
+// damaged suggest artifact exactly like any other damaged artifact.
+func corrupt(format string, args ...interface{}) error {
+	return fmt.Errorf("%w suggest trie: %s", storage.ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Unmarshal parses and validates a payload produced by Marshal. Any
+// structural violation returns an error wrapping storage.ErrCorrupt;
+// it never panics on arbitrary input.
+func Unmarshal(payload []byte) (*Trie, error) {
+	p := payload
+	wantTerms, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, corrupt("bad term count varint")
+	}
+	p = p[n:]
+	if wantTerms > uint64(len(payload)) {
+		return nil, corrupt("term count %d exceeds payload size", wantTerms)
+	}
+
+	t := &Trie{}
+	gotTerms := 0
+
+	// Iterative preorder parse: an explicit stack of parents still
+	// expecting children keeps adversarially deep payloads from
+	// overflowing the goroutine stack.
+	type frame struct {
+		n    *node
+		left uint64 // children still to parse
+	}
+	var stack []frame
+	root := true
+	for {
+		nd := &node{}
+		ll, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, corrupt("bad label length varint")
+		}
+		p = p[n:]
+		if ll > uint64(len(p)) {
+			return nil, corrupt("label length %d exceeds remaining payload", ll)
+		}
+		if root && ll != 0 {
+			return nil, corrupt("root node has a non-empty label")
+		}
+		if !root && ll == 0 {
+			return nil, corrupt("non-root node has an empty label")
+		}
+		nd.label = append([]byte(nil), p[:ll]...)
+		p = p[ll:]
+		if len(p) < 1 {
+			return nil, corrupt("truncated before flags")
+		}
+		flags := p[0]
+		p = p[1:]
+		if flags&^byte(flagTerminal) != 0 {
+			return nil, corrupt("unknown flag bits %02x", flags)
+		}
+		nd.terminal = flags&flagTerminal != 0
+		if root && nd.terminal {
+			return nil, corrupt("terminal root would encode the empty term")
+		}
+		if nd.terminal {
+			if len(p) < 8 {
+				return nil, corrupt("truncated before score")
+			}
+			nd.score = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+			if math.IsNaN(nd.score) || math.IsInf(nd.score, 0) || nd.score < 0 {
+				return nil, corrupt("score %v is not finite and non-negative", nd.score)
+			}
+			gotTerms++
+		}
+		if len(p) < 8 {
+			return nil, corrupt("truncated before max")
+		}
+		nd.max = math.Float64frombits(binary.LittleEndian.Uint64(p))
+		p = p[8:]
+		if math.IsNaN(nd.max) || math.IsInf(nd.max, 0) || nd.max < 0 {
+			return nil, corrupt("max %v is not finite and non-negative", nd.max)
+		}
+		cc, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, corrupt("bad child count varint")
+		}
+		p = p[n:]
+		if cc > uint64(len(p))+1 {
+			return nil, corrupt("child count %d exceeds remaining payload", cc)
+		}
+		if root {
+			t.root = nd
+			root = false
+		} else {
+			t.nodes++
+			parent := stack[len(stack)-1].n
+			if len(parent.children) > 0 {
+				prev := parent.children[len(parent.children)-1]
+				if prev.label[0] >= nd.label[0] {
+					return nil, corrupt("children out of order (%02x then %02x)", prev.label[0], nd.label[0])
+				}
+			}
+			parent.children = append(parent.children, nd)
+		}
+		stack = append(stack, frame{n: nd, left: cc})
+		// Unwind every completed frame, validating its invariants now
+		// that the whole subtree is known.
+		for len(stack) > 0 && stack[len(stack)-1].left == 0 {
+			done := stack[len(stack)-1].n
+			stack = stack[:len(stack)-1]
+			if done != t.root && !done.terminal && len(done.children) < 2 {
+				return nil, corrupt("non-terminal node with %d children breaks radix compaction", len(done.children))
+			}
+			if m := childMax(done); done.max != m {
+				return nil, corrupt("max summary %v != recomputed subtree max %v", done.max, m)
+			}
+			if len(stack) > 0 {
+				stack[len(stack)-1].left--
+			}
+		}
+		if len(stack) == 0 {
+			break
+		}
+	}
+	if len(p) != 0 {
+		return nil, corrupt("%d trailing bytes after the root subtree", len(p))
+	}
+	if uint64(gotTerms) != wantTerms {
+		return nil, corrupt("header declares %d terms, payload holds %d", wantTerms, gotTerms)
+	}
+	t.terms = gotTerms
+	return t, nil
+}
+
+// cursor is a position inside one trie during prefix descent: off bytes
+// of n.label have been consumed (off == len(label) means "at n").
+type cursor struct {
+	n   *node
+	off int
+}
+
+// descend advances from the root through prefix, returning false when
+// the trie contains no term with that prefix.
+func (t *Trie) descend(prefix []byte) (cursor, bool) {
+	if t == nil || t.root == nil {
+		return cursor{}, false
+	}
+	c := cursor{n: t.root}
+	for i := 0; i < len(prefix); i++ {
+		b := prefix[i]
+		if c.off < len(c.n.label) {
+			if c.n.label[c.off] != b {
+				return cursor{}, false
+			}
+			c.off++
+			continue
+		}
+		ch := findChild(c.n, b)
+		if ch == nil {
+			return cursor{}, false
+		}
+		c = cursor{n: ch, off: 1}
+	}
+	return c, true
+}
+
+func findChild(n *node, b byte) *node {
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.children[mid].label[0] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.children) && n.children[lo].label[0] == b {
+		return n.children[lo]
+	}
+	return nil
+}
+
+// Suggestion is one completion: the full term and its summed score.
+type Suggestion struct {
+	Term  string  `json:"term"`
+	Score float64 `json:"score"`
+}
+
+// Stats reports the work one TopK call did.
+type Stats struct {
+	// NodesVisited counts heap expansions — the pruning-effectiveness
+	// measure (brute force visits the whole prefix subtree).
+	NodesVisited int
+	// Candidates counts terms whose exact score was materialized.
+	Candidates int
+}
+
+// heap item: either an internal prefix with an admissible score bound
+// (term == false) or a fully materialized term with its exact score.
+type hitem struct {
+	key   string
+	score float64
+	curs  []cursor
+	term  bool
+}
+
+// itemLess orders the best-first frontier: higher score first, then
+// lexicographically smaller key, then term items before node items.
+// With admissible bounds this pops terms in exactly the final result
+// order (score desc, term asc) — see the exactness argument in
+// DESIGN.md.
+func itemLess(a, b *hitem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.term && !b.term
+}
+
+type itemHeap []*hitem
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return itemLess(h[i], h[j]) }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) push(x *hitem)     { *h = append(*h, x); h.up(len(*h) - 1) }
+func (h itemHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			return
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+func (h *itemHeap) pop() *hitem {
+	old := *h
+	n := len(old)
+	old.Swap(0, n-1)
+	it := old[n-1]
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	return it
+}
+func (h itemHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.Less(l, small) {
+			small = l
+		}
+		if r < n && h.Less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.Swap(i, small)
+		i = small
+	}
+}
+
+// TopK returns the k highest-scored terms with the given byte prefix
+// across all tries, scores summed per term across tries, ordered by
+// score descending with ties broken by term ascending — exactly the
+// order ScanTopK produces. Nil tries in the slice are skipped. The
+// search is best-first over (prefix, bound) frontier items, where a
+// prefix's bound is the sum of the per-trie subtree maxima: admissible
+// and monotone, so the first k term pops are the exact answer.
+func TopK(tries []*Trie, prefix string, k int) ([]Suggestion, Stats) {
+	var st Stats
+	if k <= 0 {
+		return nil, st
+	}
+	start := make([]cursor, 0, len(tries))
+	var bound float64
+	for _, t := range tries {
+		if c, ok := t.descend([]byte(prefix)); ok {
+			start = append(start, c)
+			bound += c.n.max
+		}
+	}
+	if len(start) == 0 {
+		return nil, st
+	}
+	h := itemHeap{&hitem{key: prefix, score: bound, curs: start}}
+	var out []Suggestion
+	for len(h) > 0 && len(out) < k {
+		it := h.pop()
+		if it.term {
+			out = append(out, Suggestion{Term: it.key, Score: it.score})
+			continue
+		}
+		st.NodesVisited++
+		// Expand: collect the exact score if any cursor sits on a
+		// terminal, and group cursor advancements by next byte. Summation
+		// runs in trie order in both paths, so exact scores are
+		// bit-identical to ScanTopK's accumulation.
+		var exact float64
+		hasTerm := false
+		var next [256][]cursor
+		for _, c := range it.curs {
+			if c.off < len(c.n.label) {
+				b := c.n.label[c.off]
+				next[b] = append(next[b], cursor{n: c.n, off: c.off + 1})
+				continue
+			}
+			if c.n.terminal {
+				exact += c.n.score
+				hasTerm = true
+			}
+			for _, ch := range c.n.children {
+				next[ch.label[0]] = append(next[ch.label[0]], cursor{n: ch, off: 1})
+			}
+		}
+		if hasTerm {
+			st.Candidates++
+			h.push(&hitem{key: it.key, score: exact, term: true})
+		}
+		for b := 0; b < 256; b++ {
+			curs := next[b]
+			if curs == nil {
+				continue
+			}
+			var bd float64
+			for _, c := range curs {
+				bd += c.n.max
+			}
+			// Raw byte append: string(byte) would UTF-8-encode values
+			// above 0x7f and corrupt multi-byte terms.
+			h.push(&hitem{key: it.key + string([]byte{byte(b)}), score: bd, curs: curs})
+		}
+	}
+	return out, st
+}
+
+// ScanTopK is the brute-force reference: enumerate every term with the
+// prefix by walking the whole subtree of each trie, sum scores per term
+// in trie order, sort (score desc, term asc), take k. The differential
+// harness and the fuzz target compare TopK against it.
+func ScanTopK(tries []*Trie, prefix string, k int) []Suggestion {
+	if k <= 0 {
+		return nil
+	}
+	sums := make(map[string]float64)
+	var order []string
+	for _, t := range tries {
+		t.scan([]byte(prefix), func(term string, score float64) {
+			if _, ok := sums[term]; !ok {
+				order = append(order, term)
+			}
+			sums[term] += score
+		})
+	}
+	sort.Strings(order)
+	out := make([]Suggestion, 0, len(order))
+	for _, term := range order {
+		out = append(out, Suggestion{Term: term, Score: sums[term]})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > k {
+		out = out[:k]
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// scan invokes fn for every (term, score) in the trie with the given
+// prefix, in lexicographic term order.
+func (t *Trie) scan(prefix []byte, fn func(term string, score float64)) {
+	c, ok := t.descend(prefix)
+	if !ok {
+		return
+	}
+	// The start cursor may sit mid-label; the remaining label bytes are
+	// part of every term below it.
+	base := append([]byte(nil), prefix...)
+	base = append(base, c.n.label[c.off:]...)
+	var dfs func(n *node, acc []byte)
+	dfs = func(n *node, acc []byte) {
+		if n.terminal {
+			fn(string(acc), n.score)
+		}
+		for _, ch := range n.children {
+			dfs(ch, append(acc, ch.label...))
+		}
+	}
+	dfs(c.n, base)
+}
+
+// Walk invokes fn for every (term, score) in lexicographic order — the
+// full-dictionary enumeration the bench harness uses.
+func (t *Trie) Walk(fn func(term string, score float64)) {
+	if t == nil || t.root == nil {
+		return
+	}
+	t.scan(nil, fn)
+}

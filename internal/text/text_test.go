@@ -49,6 +49,34 @@ func TestNormalizeTerm(t *testing.T) {
 	}
 }
 
+func TestNormalizePrefix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"ranked Key", "key"},            // completes the last keyword, case-folded
+		{"XQuery", "xquery"},             // single keyword
+		{"foo bar, baz", "baz"},          // punctuation separates like Tokenize
+		{"Naïve", "naïve"},               // multi-byte folding matches Tokenize
+		{"!!", ""},                       // no token characters
+		{"", ""},                         // empty input
+		{string([]byte{0xff, 0xfe}), ""}, // invalid UTF-8 never panics
+		{"don't", "don't"},               // apostrophes are token characters
+	}
+	for _, c := range cases {
+		if got := NormalizePrefix(c.in); got != c.want {
+			t.Errorf("NormalizePrefix(%q) = %q, want %q", c.in, got, c.want)
+		}
+		// Bit-identical to index-time tokenization by construction: the
+		// result must be exactly the last Tokenize token.
+		toks := Tokenize(c.in)
+		want := ""
+		if len(toks) > 0 {
+			want = toks[len(toks)-1]
+		}
+		if got := NormalizePrefix(c.in); got != want {
+			t.Errorf("NormalizePrefix(%q) = %q, Tokenize last = %q", c.in, got, want)
+		}
+	}
+}
+
 func TestVocabulary(t *testing.T) {
 	v := NewVocabulary()
 	a := v.Intern("alpha")

@@ -50,3 +50,17 @@ func NormalizeTerm(s string) string {
 	}
 	return toks[0]
 }
+
+// NormalizePrefix folds a raw autosuggest input into the prefix being
+// completed: the last token of s under the exact Tokenize rules
+// (earlier, already-completed keywords are dropped). Running the input
+// through Tokenize itself — rather than a separate lowercasing path —
+// guarantees the prefix is case-folded bit-identically to index-time
+// tokenization. Returns "" when s contains no token characters.
+func NormalizePrefix(s string) string {
+	toks := Tokenize(s)
+	if len(toks) == 0 {
+		return ""
+	}
+	return toks[len(toks)-1]
+}

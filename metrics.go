@@ -56,6 +56,12 @@ type engineMetrics struct {
 	resultBytes     *obs.Gauge
 	resultEntries   *obs.Gauge
 	coalesced       *obs.Counter
+
+	// Autosuggest series (see suggest.go).
+	suggestQueries *obs.Counter
+	suggestEmpty   *obs.Counter
+	suggestNodes   *obs.Counter
+	suggestTerms   *obs.Gauge
 }
 
 // Metric family names and help strings, shared by the per-query
@@ -114,6 +120,11 @@ func newEngineMetrics(cfg *Config) *engineMetrics {
 		resultBytes:     r.Gauge("xrank_cache_result_bytes", "Bytes resident in the result cache."),
 		resultEntries:   r.Gauge("xrank_cache_result_entries", "Entries resident in the result cache."),
 		coalesced:       r.Counter("xrank_coalesced_queries_total", "Queries served by joining another caller's in-flight execution."),
+
+		suggestQueries: r.Counter("xrank_suggest_queries_total", "Autosuggest completions served (including empty ones)."),
+		suggestEmpty:   r.Counter("xrank_suggest_empty_total", "Autosuggest completions that matched no dictionary term."),
+		suggestNodes:   r.Counter("xrank_suggest_nodes_visited_total", "Radix-trie nodes expanded by best-first completion searches."),
+		suggestTerms:   r.Gauge("xrank_suggest_terms", "Distinct terms in the live segments' suggest dictionaries (summed per segment)."),
 	}
 }
 

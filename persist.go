@@ -159,7 +159,14 @@ func OpenEngineFS(dir string, fs storage.FS) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.initBaseSegment(ix)
+	var sug *suggestTrie
+	if !e.cfg.SuggestDisabled {
+		if sug, err = loadSegmentSuggest(fs, dir); err != nil {
+			ix.Close()
+			return nil, fmt.Errorf("xrank: open %s: %w", dir, err)
+		}
+	}
+	e.initBaseSegment(ix, sug)
 	e.built = true
 	e.met.shards.Set(int64(ix.NumShards()))
 	return e, nil
@@ -241,7 +248,17 @@ func openSegmentedEngine(dir string, fs storage.FS) (*Engine, error) {
 			}
 			return nil, fmt.Errorf("xrank: open segment %d (%s): %w", se.ID, se.Dir, err)
 		}
-		e.segs = append(e.segs, &engineSegment{id: se.ID, dir: se.Dir, rankVer: se.RankVer, docs: se.Docs, ix: ix})
+		var sug *suggestTrie
+		if !e.cfg.SuggestDisabled {
+			if sug, err = loadSegmentSuggest(fs, segPath); err != nil {
+				ix.Close()
+				for _, s := range e.segs {
+					s.ix.Close()
+				}
+				return nil, fmt.Errorf("xrank: open segment %d (%s): %w", se.ID, se.Dir, err)
+			}
+		}
+		e.segs = append(e.segs, &engineSegment{id: se.ID, dir: se.Dir, rankVer: se.RankVer, docs: se.Docs, ix: ix, sug: sug})
 	}
 	e.ix = e.segs[0].ix
 	e.rankVer = sm.RankVer
@@ -250,5 +267,6 @@ func openSegmentedEngine(dir string, fs storage.FS) (*Engine, error) {
 	e.built = true
 	e.met.shards.Set(int64(e.ix.NumShards()))
 	e.met.segments.Set(int64(len(e.segs)))
+	e.updateSuggestGauge()
 	return e, nil
 }

@@ -55,6 +55,9 @@ type engineSegment struct {
 	rankVer int    // ElemRank version the postings were baked under
 	docs    []uint32
 	ix      *index.Sharded
+	// sug is the segment's autosuggest dictionary (nil when suggest is
+	// disabled or the segment predates the artifact); see suggest.go.
+	sug *suggestTrie
 }
 
 func (s *engineSegment) path(indexDir string) string {
@@ -142,17 +145,19 @@ func ranksFile(ver int) string {
 func segmentDirName(id int) string { return fmt.Sprintf("seg-%06d", id) }
 
 // initBaseSegment registers ix — a freshly built or reopened
-// whole-collection index living directly in IndexDir — as segment 0.
-func (e *Engine) initBaseSegment(ix *index.Sharded) {
+// whole-collection index living directly in IndexDir — as segment 0,
+// with its suggest dictionary (nil when disabled or absent).
+func (e *Engine) initBaseSegment(ix *index.Sharded, sug *suggestTrie) {
 	ids := make([]uint32, e.col.NumDocs())
 	for i := range ids {
 		ids[i] = uint32(i)
 	}
 	e.ix = ix
-	e.segs = []*engineSegment{{id: 0, dir: baseSegmentDir, rankVer: 0, docs: ids, ix: ix}}
+	e.segs = []*engineSegment{{id: 0, dir: baseSegmentDir, rankVer: 0, docs: ids, ix: ix, sug: sug}}
 	e.rankVer = 0
 	e.nextSeg = 1
 	e.met.segments.Set(1)
+	e.updateSuggestGauge()
 }
 
 // writeSegmentsManifest atomically replaces segments.json with sm.
@@ -308,10 +313,22 @@ func (e *Engine) AddDocs(add map[string]io.Reader) error {
 		return fmt.Errorf("xrank: delta segment: %w", err)
 	}
 
+	// The delta segment's suggest dictionary covers just the batch,
+	// weighted by the batch's rank version, and lands inside the
+	// still-unreferenced segment directory before the manifest commit.
+	var sug *suggestTrie
+	if !e.cfg.SuggestDisabled {
+		sug = buildSegmentSuggest(col2, ranks2, segDocs)
+		if err := e.writeSegmentSuggest(segPath, sug); err != nil {
+			six.Close()
+			return err
+		}
+	}
+
 	for _, id := range shadowed {
 		docs2[id].Deleted = true
 	}
-	newSeg := &engineSegment{id: segID, dir: segDirName, rankVer: rankVer2, docs: segDocs, ix: six}
+	newSeg := &engineSegment{id: segID, dir: segDirName, rankVer: rankVer2, docs: segDocs, ix: six, sug: sug}
 	segs2 := append(append([]*engineSegment(nil), e.segs...), newSeg)
 	sm := &segmentsManifest{NextSeg: segID + 1, RankVer: rankVer2, Docs: docs2}
 	for _, s := range segs2 {
@@ -344,6 +361,7 @@ func (e *Engine) AddDocs(add map[string]io.Reader) error {
 	e.docs = docs2
 	e.segs = segs2
 	e.segmented = true
+	e.updateSuggestGauge()
 	e.snapMu.Unlock()
 
 	// Every element's ElemRank changed, so every cached score is wrong:

@@ -1,0 +1,272 @@
+package xrank
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"xrank/internal/storage"
+)
+
+// Crash matrix for the suggest artifact: Build, AddDocs and CompactOnce
+// each write a suggest.bin before their manifest commit, adding write
+// boundaries to every operation. A crash at any boundary must leave the
+// directory either refusing to open or opening as exactly the pre- or
+// post-operation engine — with the suggest dictionary agreeing with the
+// committed manifest side. The engine must never serve a half-written
+// trie (the blob CRC and the structural validator turn one into an open
+// error, which the matrix would catch as an unexpected third state).
+
+// suggestCrashSig is the suggestion-side signature: full top-50
+// completions for a spread of prefixes. Exact score-and-order equality
+// is the bit-identical bar the search-side crashSig sets.
+func suggestCrashSig(t *testing.T, e *Engine) [][]Suggestion {
+	t.Helper()
+	var sig [][]Suggestion
+	for _, prefix := range []string{"", "x", "k", "ch", "s"} {
+		got, _, err := e.Suggest(prefix, 50)
+		if err != nil {
+			t.Fatalf("signature suggest %q: %v", prefix, err)
+		}
+		sig = append(sig, got)
+	}
+	return sig
+}
+
+const suggestCrashDoc = `<book id="8"><title>suggested completion corpus</title>
+ <chapter><t>prefix trie material</t><p>fresh xquery keyword text</p></chapter></book>`
+
+// TestCrashMatrixSuggestBuild kills a fresh Build (suggest enabled, the
+// default) at every write boundary, checking both search and suggest
+// signatures on every reopen.
+func TestCrashMatrixSuggestBuild(t *testing.T) {
+	docs := crashCorpus()
+
+	ref := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2})
+	addCorpus(t, ref, docs)
+	if _, err := ref.Build(); err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want := crashSig(t, ref)
+	wantSug := suggestCrashSig(t, ref)
+	if len(wantSug[0]) == 0 {
+		t.Fatal("reference engine suggests nothing; the matrix would prove nothing")
+	}
+
+	sizing := storage.NewFaultFS(nil, 61)
+	se := NewEngine(&Config{IndexDir: t.TempDir(), Shards: 2, FS: sizing})
+	addCorpus(t, se, docs)
+	if _, err := se.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if got := suggestCrashSig(t, se); !reflect.DeepEqual(got, wantSug) {
+		t.Fatal("fault-free FaultFS build suggests differently from the plain build")
+	}
+	se.Close()
+	n := sizing.WriteOps()
+	if n < 20 {
+		t.Fatalf("build counted only %d write boundaries", n)
+	}
+
+	for k := int64(1); k <= n; k += crashStride(n, t) {
+		dir := t.TempDir()
+		ffs := storage.NewFaultFS(nil, 61+k)
+		ffs.CrashAtWriteOp(k)
+		e := NewEngine(&Config{IndexDir: dir, Shards: 2, FS: ffs})
+		addCorpus(t, e, docs)
+		if _, err := e.Build(); err == nil {
+			t.Fatalf("crash at op %d/%d: Build reported success", k, n)
+		}
+		re, err := OpenEngine(dir)
+		if err != nil {
+			continue // pre-state: never committed
+		}
+		if got := crashSig(t, re); !reflect.DeepEqual(got, want) {
+			t.Fatalf("crash at op %d/%d: reopened search results differ", k, n)
+		}
+		if got := suggestCrashSig(t, re); !reflect.DeepEqual(got, wantSug) {
+			t.Fatalf("crash at op %d/%d: reopened suggestions differ from the clean build", k, n)
+		}
+		re.Close()
+	}
+}
+
+// TestCrashMatrixSuggest kills an AddDocs flush and then a compaction
+// at every write boundary, demanding the suggest dictionary track the
+// committed manifest side exactly (old xor new, never a mixture).
+func TestCrashMatrixSuggest(t *testing.T) {
+	docs := crashCorpus()
+
+	pristine := t.TempDir()
+	b := NewEngine(&Config{IndexDir: pristine, Shards: 2})
+	addCorpus(t, b, docs)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	preSug := suggestCrashSig(t, b)
+	b.Close()
+
+	postDir := filepath.Join(t.TempDir(), "post")
+	copyDir(t, pristine, postDir)
+	pe, err := OpenEngine(postDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.AddDoc("doc8.xml", strings.NewReader(suggestCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	postSug := suggestCrashSig(t, pe)
+	pe.Close()
+	if reflect.DeepEqual(preSug, postSug) {
+		t.Fatal("adding doc8 does not change any suggestion; the matrix would prove nothing")
+	}
+
+	szDir := filepath.Join(t.TempDir(), "sz")
+	copyDir(t, pristine, szDir)
+	sizing := storage.NewFaultFS(nil, 67)
+	se, err := OpenEngineFS(szDir, sizing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := se.AddDoc("doc8.xml", strings.NewReader(suggestCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	nAdd := sizing.WriteOps()
+	if cs, err := se.CompactOnce(0); err != nil || !cs.Compacted {
+		t.Fatalf("fault-free compaction: %+v, %v", cs, err)
+	}
+	// Compaction rebakes stale-segment weights at the current rank
+	// version; capture its suggest signature as the compacted reference.
+	compactSug := suggestCrashSig(t, se)
+	se.Close()
+	nCompact := sizing.WriteOps() - nAdd
+	if nAdd < 10 || nCompact < 10 {
+		t.Fatalf("sizing counted only %d AddDocs / %d compaction boundaries", nAdd, nCompact)
+	}
+
+	for k := int64(1); k <= nAdd; k += crashStride(nAdd, t) {
+		dirK := filepath.Join(t.TempDir(), "k")
+		copyDir(t, pristine, dirK)
+		ffs := storage.NewFaultFS(nil, 67+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("crash replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		aerr := e.AddDoc("doc8.xml", strings.NewReader(suggestCrashDoc))
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			t.Fatalf("crash at op %d/%d left the directory unopenable: %v", k, nAdd, err)
+		}
+		got := suggestCrashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		switch {
+		case segs == 1 && reflect.DeepEqual(got, preSug):
+			if aerr == nil {
+				t.Fatalf("crash at op %d/%d: AddDocs claimed success but suggestions show the old state", k, nAdd)
+			}
+		case segs == 2 && reflect.DeepEqual(got, postSug):
+			// Committed state; either op outcome is acceptable.
+		default:
+			t.Fatalf("crash at op %d/%d: suggestions in a third state (segments=%d, op err=%v)", k, nAdd, segs, aerr)
+		}
+	}
+
+	// Compaction matrix from a two-segment pristine copy.
+	twoSeg := filepath.Join(t.TempDir(), "two")
+	copyDir(t, pristine, twoSeg)
+	te, err := OpenEngine(twoSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := te.AddDoc("doc8.xml", strings.NewReader(suggestCrashDoc)); err != nil {
+		t.Fatal(err)
+	}
+	te.Close()
+
+	for k := int64(1); k <= nCompact; k += crashStride(nCompact, t) {
+		dirK := filepath.Join(t.TempDir(), "ck")
+		copyDir(t, twoSeg, dirK)
+		ffs := storage.NewFaultFS(nil, 71+k)
+		e, err := OpenEngineFS(dirK, ffs)
+		if err != nil {
+			t.Fatalf("compaction replay %d: reopen: %v", k, err)
+		}
+		ffs.CrashAtWriteOp(k)
+		_, cerr := e.CompactOnce(0)
+		e.Close()
+
+		re, err := OpenEngine(dirK)
+		if err != nil {
+			t.Fatalf("compaction crash at op %d/%d left the directory unopenable: %v", k, nCompact, err)
+		}
+		got := suggestCrashSig(t, re)
+		segs := re.SegmentCount()
+		re.Close()
+		switch {
+		case segs == 2 && reflect.DeepEqual(got, postSug):
+			if cerr == nil {
+				t.Fatalf("compaction crash at op %d/%d: CompactOnce claimed success but the old manifest survived", k, nCompact)
+			}
+		case segs == 1 && reflect.DeepEqual(got, compactSug):
+			// Committed merge.
+		default:
+			t.Fatalf("compaction crash at op %d/%d: suggestions in a third state (segments=%d, op err=%v)",
+				k, nCompact, segs, cerr)
+		}
+	}
+}
+
+// TestSuggestCorruptArtifact flips bytes across suggest.bin: every
+// mutation must fail the open with ErrCorrupt (blob CRC or structural
+// validation) — never open an engine serving a damaged dictionary.
+func TestSuggestCorruptArtifact(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEngine(&Config{IndexDir: dir})
+	addCorpus(t, e, crashCorpus())
+	if _, err := e.Build(); err != nil {
+		t.Fatal(err)
+	}
+	want := suggestCrashSig(t, e)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "suggest.bin")
+	fs := storage.DefaultFS(nil)
+	orig, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 4, 8, 16, 21, len(orig) / 2, len(orig) - 1} {
+		if off >= len(orig) {
+			continue
+		}
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x40
+		if err := storage.WriteFileAtomic(fs, path, mut); err != nil {
+			t.Fatal(err)
+		}
+		if _, oerr := OpenEngine(dir); oerr == nil {
+			t.Fatalf("flip at offset %d: corrupted suggest.bin opened cleanly", off)
+		} else if !strings.Contains(oerr.Error(), "corrupt") {
+			t.Fatalf("flip at offset %d: error does not report corruption: %v", off, oerr)
+		}
+	}
+	if err := storage.WriteFileAtomic(fs, path, orig); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenEngine(dir)
+	if err != nil {
+		t.Fatalf("restored suggest.bin fails to open: %v", err)
+	}
+	defer re.Close()
+	if got := suggestCrashSig(t, re); !reflect.DeepEqual(got, want) {
+		t.Fatal("restored suggest.bin changed suggestions")
+	}
+}

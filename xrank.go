@@ -175,6 +175,16 @@ type Config struct {
 	MaxInflightQueries int
 	AdmissionQueue     int
 
+	// SuggestDisabled turns off the prefix-autosuggest subsystem: no
+	// suggest.bin dictionaries are built or persisted alongside
+	// segments, and Engine.Suggest fails with ErrSuggestDisabled. The
+	// default (false) builds a per-segment radix-trie dictionary scored
+	// by ElemRank-weighted term frequency; see suggest.go.
+	SuggestDisabled bool
+	// SuggestMaxK caps the completion count a single Suggest call may
+	// request (k above it is clamped). Zero selects the default (50).
+	SuggestMaxK int
+
 	// MaxSegments, CompactIntervalMillis and CompactBudgetPages are the
 	// background compactor's serve-command defaults (see
 	// Engine.StartCompactor): when more than MaxSegments live segments
@@ -458,6 +468,21 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	info.Sizes = *stats
 	info.Terms = stats.Meta.Terms
 
+	// The suggest dictionary lands before engine.json (the commit
+	// point), so a crash mid-write leaves an unreferenced orphan and a
+	// committed directory always has a matching trie.
+	var sug *suggestTrie
+	if !e.cfg.SuggestDisabled {
+		ids := make([]uint32, e.col.NumDocs())
+		for i := range ids {
+			ids[i] = uint32(i)
+		}
+		sug = buildSegmentSuggest(e.col, e.ranks, ids)
+		if err := e.writeSegmentSuggest(dir, sug); err != nil {
+			return nil, err
+		}
+	}
+
 	if err := e.persist(dir); err != nil {
 		return nil, err
 	}
@@ -465,7 +490,7 @@ func (e *Engine) Build() (*BuildInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.initBaseSegment(ix)
+	e.initBaseSegment(ix, sug)
 	e.built = true
 	e.met.shards.Set(int64(ix.NumShards()))
 	e.gen.Add(1) // anything cached against the pre-build engine is void
